@@ -1,0 +1,68 @@
+// Command debugncp prints per-bucket minimum conductance for the spectral
+// and flow profiles side by side (diagnostic tool).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/ncp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 2000, FwdProb: 0.37, Ambs: 1}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=%d m=%d\n", g.N(), g.M())
+	sp, err := ncp.SpectralProfile(g, ncp.SpectralConfig{Seeds: 20}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl, err := ncp.FlowProfile(g, ncp.FlowConfig{}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type best struct{ sp, fl float64 }
+	buckets := map[int]*best{}
+	get := func(b int) *best {
+		if buckets[b] == nil {
+			buckets[b] = &best{sp: -1, fl: -1}
+		}
+		return buckets[b]
+	}
+	bucketOf := func(size int) int {
+		b := 0
+		for s := size; s > 1; s /= 2 {
+			b++
+		}
+		return b
+	}
+	for _, c := range sp.Clusters {
+		e := get(bucketOf(len(c.Nodes)))
+		if e.sp < 0 || c.Conductance < e.sp {
+			e.sp = c.Conductance
+		}
+	}
+	for _, c := range fl.Clusters {
+		e := get(bucketOf(len(c.Nodes)))
+		if e.fl < 0 || c.Conductance < e.fl {
+			e.fl = c.Conductance
+		}
+	}
+	var keys []int
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Printf("%8s %12s %12s\n", "size~2^b", "spectral", "flow")
+	for _, k := range keys {
+		e := buckets[k]
+		fmt.Printf("%8d %12.5f %12.5f\n", 1<<k, e.sp, e.fl)
+	}
+	fmt.Printf("clusters: spectral %d, flow %d\n", len(sp.Clusters), len(fl.Clusters))
+}

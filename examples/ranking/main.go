@@ -1,0 +1,118 @@
+// Ranking: PageRank as a spectral ranking method (§3.1), with the
+// early-stopping-as-regularization demonstration. We rank the nodes of a
+// web-like power-law graph with the Power Method run to convergence and
+// truncated early, and we verify the §3.1 theory: the PageRank operator
+// at teleportation γ exactly solves the log-det regularized SDP.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/regsdp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	w := gen.PowerLawWeights(400, 2.3, 2, 40, rng)
+	g, err := gen.ChungLu(w, rng)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	nodes := g.LargestComponent()
+	gc, _, err := g.Subgraph(nodes)
+	if err != nil {
+		log.Fatalf("subgraph: %v", err)
+	}
+	fmt.Printf("power-law web graph (largest component): n=%d m=%d\n\n", gc.N(), gc.M())
+
+	// Global PageRank: uniform seed over all nodes.
+	seed := make([]float64, gc.N())
+	for i := range seed {
+		seed[i] = 1 / float64(gc.N())
+	}
+	gamma := 0.15
+	pr, err := diffusion.PageRank(gc, seed, gamma, diffusion.PageRankOptions{})
+	if err != nil {
+		log.Fatalf("pagerank: %v", err)
+	}
+	type ranked struct {
+		node int
+		mass float64
+	}
+	rs := make([]ranked, gc.N())
+	for u, m := range pr {
+		rs[u] = ranked{u, m}
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].mass > rs[b].mass })
+	fmt.Printf("top 8 nodes by PageRank (γ=%.2f):\n", gamma)
+	for i := 0; i < 8 && i < len(rs); i++ {
+		fmt.Printf("  #%d node %-5d pr=%.5f deg=%g\n", i+1, rs[i].node, rs[i].mass, gc.Degree(rs[i].node))
+	}
+
+	// Early stopping: k Richardson iterations instead of convergence. The
+	// truncated iterate is a *regularized* ranking — biased toward the
+	// seed — not just a sloppy one.
+	fmt.Println("\nearly stopping as implicit regularization (distance from converged ranking):")
+	for _, k := range []int{1, 2, 5, 10, 25, 100} {
+		xk, err := diffusion.PageRankSteps(gc, seed, gamma, k)
+		if err != nil {
+			log.Fatalf("pagerank steps: %v", err)
+		}
+		var dist float64
+		for i := range xk {
+			d := xk[i] - pr[i]
+			if d < 0 {
+				d = -d
+			}
+			dist += d
+		}
+		fmt.Printf("  k=%-4d ‖x_k − pr‖₁ = %.2e\n", k, dist)
+	}
+
+	// The §3.1 theory on a small subgraph: the PageRank operator exactly
+	// optimizes Tr(𝓛X) − (1/η)·log det X.
+	small, _, err := gc.Subgraph(firstN(gc.N(), 120))
+	if err != nil {
+		log.Fatalf("small subgraph: %v", err)
+	}
+	smallNodes := small.LargestComponent()
+	small2, _, err := small.Subgraph(smallNodes)
+	if err != nil {
+		log.Fatalf("component: %v", err)
+	}
+	spec, err := regsdp.NewSpectrum(small2)
+	if err != nil {
+		log.Fatalf("spectrum: %v", err)
+	}
+	op, err := regsdp.PageRankOperator(spec, gamma)
+	if err != nil {
+		log.Fatalf("operator: %v", err)
+	}
+	eta, err := regsdp.EtaForPageRank(spec, gamma)
+	if err != nil {
+		log.Fatalf("eta: %v", err)
+	}
+	sdp, err := regsdp.Solve(spec, regsdp.LogDet, eta, 0)
+	if err != nil {
+		log.Fatalf("sdp: %v", err)
+	}
+	fmt.Printf("\n§3.1 verification on an n=%d subgraph: ‖PageRank-op − LogDet-SDP-opt‖∞ = %.2e (η=%.4g)\n",
+		small2.N(), regsdp.MaxWeightDiff(op, sdp), eta)
+	fmt.Println("→ running PageRank IS solving a regularized optimization problem, exactly.")
+}
+
+func firstN(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

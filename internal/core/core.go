@@ -1,0 +1,281 @@
+// Package core packages the paper's primary contribution — the exact
+// correspondence between approximate computation and implicit statistical
+// regularization — as one cohesive API.
+//
+// The central result (Section 3.1, after Mahoney–Orecchia): running a
+// diffusion dynamics to a finite aggressiveness does not approximately
+// solve the eigenvector SDP, it *exactly* solves a regularized SDP
+//
+//	minimize  Tr(LX) + (1/η)·G(X)
+//	subject to X ⪰ 0, Tr(X) = 1, X·D^{1/2}1 = 0,
+//
+// with the regularizer G determined by which dynamics you ran:
+//
+//	Heat Kernel       ⇒ G = generalized (von Neumann) entropy
+//	PageRank          ⇒ G = −log det
+//	Lazy Random Walk  ⇒ G = (1/p)·Tr(Xᵖ)
+//
+// Certify verifies the correspondence on a concrete graph to machine
+// precision; Path traces how a dynamics' implicit regularization strength
+// η and its solution move as the aggressiveness parameter varies — the
+// "regularization path" that early stopping walks along.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/regsdp"
+)
+
+// Dynamics identifies one of the paper's three diffusion dynamics.
+type Dynamics int
+
+const (
+	// HeatKernel is the dynamics H_t = exp(−tL); its aggressiveness
+	// parameter is the time t > 0.
+	HeatKernel Dynamics = iota
+	// PageRank is R_γ = γ(I−(1−γ)M)^{-1} (Eq. (2) of the paper); its
+	// aggressiveness parameter is the teleportation γ ∈ (0,1), with
+	// small γ aggressive.
+	PageRank
+	// LazyWalk is W_α^k = (αI+(1−α)M)^k; its aggressiveness parameter is
+	// the number of steps k (the holding probability α is fixed by the
+	// caller).
+	LazyWalk
+)
+
+// String names the dynamics.
+func (d Dynamics) String() string {
+	switch d {
+	case HeatKernel:
+		return "heat-kernel"
+	case PageRank:
+		return "pagerank"
+	case LazyWalk:
+		return "lazy-walk"
+	default:
+		return fmt.Sprintf("Dynamics(%d)", int(d))
+	}
+}
+
+// Regularizer returns the implicit regularizer G(·) that the dynamics
+// exactly optimizes — the content of the paper's Section 3.1 table.
+func (d Dynamics) Regularizer() (regsdp.Regularizer, error) {
+	switch d {
+	case HeatKernel:
+		return regsdp.Entropy, nil
+	case PageRank:
+		return regsdp.LogDet, nil
+	case LazyWalk:
+		return regsdp.PNorm, nil
+	default:
+		return 0, fmt.Errorf("core: unknown dynamics %d", int(d))
+	}
+}
+
+// Certificate is the result of verifying the diffusion ↔ regularized-SDP
+// correspondence for one (dynamics, parameter) pair on one graph.
+type Certificate struct {
+	Dynamics Dynamics
+	// Param echoes the aggressiveness parameter (t, γ, or k as float).
+	Param float64
+	// Eta is the implied regularization strength 1/η in the SDP.
+	Eta float64
+	// P is the matrix-p-norm exponent (lazy walk only; 0 otherwise).
+	P float64
+	// MaxWeightDiff is ‖w_diffusion − w_SDP‖∞ over the shared spectral
+	// weights; ≈ 1e−15 certifies exact equivalence.
+	MaxWeightDiff float64
+	// TraceObjective is Tr(LX) of the (shared) solution: how far the
+	// regularized optimum sits above λ₂, the unregularized optimum.
+	TraceObjective float64
+	// Lambda2 is the unregularized optimum for reference.
+	Lambda2 float64
+}
+
+// Exact reports whether the certificate shows equivalence to the given
+// tolerance (use ~1e-10 for float64 spectra).
+func (c *Certificate) Exact(tol float64) bool { return c.MaxWeightDiff <= tol }
+
+// Certify runs a dynamics at one parameter value on g, solves the
+// corresponding regularized SDP in closed form, and returns the
+// comparison. g must be connected. Parameters: t for HeatKernel, γ for
+// PageRank; for LazyWalk, param is the step count k (integer-valued) and
+// alpha is the holding probability.
+func Certify(g *graph.Graph, d Dynamics, param, alpha float64) (*Certificate, error) {
+	spec, err := regsdp.NewSpectrum(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return certifyOn(spec, d, param, alpha)
+}
+
+func certifyOn(spec *regsdp.Spectrum, d Dynamics, param, alpha float64) (*Certificate, error) {
+	cert := &Certificate{Dynamics: d, Param: param}
+	lams := spec.NontrivialValues()
+	if len(lams) > 0 {
+		cert.Lambda2 = lams[0]
+	}
+	var (
+		diffusion *regsdp.Solution
+		sdp       *regsdp.Solution
+		err       error
+	)
+	switch d {
+	case HeatKernel:
+		if param <= 0 {
+			return nil, fmt.Errorf("core: heat-kernel time t=%v must be positive", param)
+		}
+		diffusion, err = regsdp.HeatKernelOperator(spec, param)
+		if err != nil {
+			return nil, err
+		}
+		cert.Eta = param
+		sdp, err = regsdp.Solve(spec, regsdp.Entropy, cert.Eta, 0)
+	case PageRank:
+		if param <= 0 || param >= 1 {
+			return nil, fmt.Errorf("core: pagerank gamma=%v outside (0,1)", param)
+		}
+		diffusion, err = regsdp.PageRankOperator(spec, param)
+		if err != nil {
+			return nil, err
+		}
+		cert.Eta, err = regsdp.EtaForPageRank(spec, param)
+		if err != nil {
+			return nil, err
+		}
+		sdp, err = regsdp.Solve(spec, regsdp.LogDet, cert.Eta, 0)
+	case LazyWalk:
+		k := int(param)
+		if float64(k) != param || k < 1 {
+			return nil, fmt.Errorf("core: lazy-walk step count %v must be a positive integer", param)
+		}
+		if alpha < 0.5 || alpha >= 1 {
+			// alpha ≥ 1/2 keeps W_α = αI + (1−α)M positive semidefinite,
+			// which the SDP correspondence requires.
+			return nil, fmt.Errorf("core: lazy-walk alpha=%v outside [0.5,1)", alpha)
+		}
+		diffusion, err = regsdp.LazyWalkOperator(spec, alpha, k)
+		if err != nil {
+			return nil, err
+		}
+		cert.Eta, cert.P, err = regsdp.EtaForLazyWalk(spec, alpha, k)
+		if err != nil {
+			return nil, err
+		}
+		sdp, err = regsdp.Solve(spec, regsdp.PNorm, cert.Eta, cert.P)
+	default:
+		return nil, fmt.Errorf("core: unknown dynamics %d", int(d))
+	}
+	if err != nil {
+		return nil, err
+	}
+	cert.MaxWeightDiff = regsdp.MaxWeightDiff(diffusion, sdp)
+	cert.TraceObjective = diffusion.TraceObjective()
+	return cert, nil
+}
+
+// CertifyAll certifies every dynamics at representative parameters on g
+// and returns the certificates; it is the one-call "check the paper's
+// headline result on my graph" entry point.
+func CertifyAll(g *graph.Graph) ([]*Certificate, error) {
+	spec, err := regsdp.NewSpectrum(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cases := []struct {
+		d            Dynamics
+		param, alpha float64
+	}{
+		{HeatKernel, 0.5, 0}, {HeatKernel, 4, 0},
+		{PageRank, 0.1, 0}, {PageRank, 0.5, 0},
+		{LazyWalk, 3, 0.6}, {LazyWalk, 10, 0.8},
+	}
+	out := make([]*Certificate, 0, len(cases))
+	for _, c := range cases {
+		cert, err := certifyOn(spec, c.d, c.param, c.alpha)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at %v: %w", c.d, c.param, err)
+		}
+		out = append(out, cert)
+	}
+	return out, nil
+}
+
+// PathPoint is one point of a regularization path.
+type PathPoint struct {
+	// Param is the dynamics' aggressiveness parameter at this point.
+	Param float64
+	// Eta is the implied SDP regularization strength.
+	Eta float64
+	// TraceObjective is Tr(LX): decreases toward λ₂ as regularization
+	// weakens.
+	TraceObjective float64
+	// TopWeight is the spectral weight on v₂: 1 at the unregularized
+	// optimum, 1/(n−1) at maximal smoothing.
+	TopWeight float64
+	// Entropy is −Σ wᵢ ln wᵢ of the spectral weights, a scalar summary of
+	// how "spread" (regularized) the solution is.
+	Entropy float64
+}
+
+// Path traces the regularization path of a dynamics over the given
+// parameter values on g: for each parameter it solves the implied
+// regularized SDP and records where the solution sits between maximal
+// smoothing and the exact eigenvector. For HeatKernel and PageRank the
+// params are t and γ values; for LazyWalk they are step counts with the
+// given alpha.
+func Path(g *graph.Graph, d Dynamics, params []float64, alpha float64) ([]PathPoint, error) {
+	if len(params) == 0 {
+		return nil, errors.New("core: empty parameter list")
+	}
+	spec, err := regsdp.NewSpectrum(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out := make([]PathPoint, 0, len(params))
+	for _, p := range params {
+		cert, err := certifyOn(spec, d, p, alpha)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := solutionFor(spec, d, p, alpha)
+		if err != nil {
+			return nil, err
+		}
+		pt := PathPoint{Param: p, Eta: cert.Eta, TraceObjective: cert.TraceObjective}
+		if len(sol.Weights) > 0 {
+			pt.TopWeight = sol.Weights[0]
+		}
+		pt.Entropy = weightEntropy(sol.Weights)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func solutionFor(spec *regsdp.Spectrum, d Dynamics, param, alpha float64) (*regsdp.Solution, error) {
+	switch d {
+	case HeatKernel:
+		return regsdp.HeatKernelOperator(spec, param)
+	case PageRank:
+		return regsdp.PageRankOperator(spec, param)
+	case LazyWalk:
+		return regsdp.LazyWalkOperator(spec, alpha, int(param))
+	default:
+		return nil, fmt.Errorf("core: unknown dynamics %d", int(d))
+	}
+}
+
+// weightEntropy returns −Σ wᵢ ln wᵢ (0·ln 0 := 0).
+func weightEntropy(w []float64) float64 {
+	var h float64
+	for _, x := range w {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/regsdp"
+)
+
+func TestDynamicsStringsAndRegularizers(t *testing.T) {
+	cases := []struct {
+		d    Dynamics
+		name string
+		reg  regsdp.Regularizer
+	}{
+		{HeatKernel, "heat-kernel", regsdp.Entropy},
+		{PageRank, "pagerank", regsdp.LogDet},
+		{LazyWalk, "lazy-walk", regsdp.PNorm},
+	}
+	for _, c := range cases {
+		if c.d.String() != c.name {
+			t.Errorf("%d.String() = %q, want %q", int(c.d), c.d.String(), c.name)
+		}
+		reg, err := c.d.Regularizer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reg != c.reg {
+			t.Errorf("%s regularizer = %v, want %v", c.name, reg, c.reg)
+		}
+	}
+	if _, err := Dynamics(99).Regularizer(); err == nil {
+		t.Error("unknown dynamics should error")
+	}
+}
+
+func TestCertifyHeatKernelExact(t *testing.T) {
+	g := gen.RingOfCliques(4, 5)
+	for _, tt := range []float64{0.1, 1, 10} {
+		cert, err := Certify(g, HeatKernel, tt, 0)
+		if err != nil {
+			t.Fatalf("t=%v: %v", tt, err)
+		}
+		if !cert.Exact(1e-10) {
+			t.Errorf("t=%v: max weight diff %.3e, want exact", tt, cert.MaxWeightDiff)
+		}
+		if cert.Eta != tt {
+			t.Errorf("t=%v: eta = %v (heat kernel's eta is t itself)", tt, cert.Eta)
+		}
+		if cert.TraceObjective < cert.Lambda2-1e-12 {
+			t.Errorf("t=%v: Tr(LX)=%v below lambda2=%v — infeasible", tt, cert.TraceObjective, cert.Lambda2)
+		}
+	}
+}
+
+func TestCertifyPageRankExact(t *testing.T) {
+	g := gen.Dumbbell(6, 3)
+	for _, gamma := range []float64{0.05, 0.3, 0.8} {
+		cert, err := Certify(g, PageRank, gamma, 0)
+		if err != nil {
+			t.Fatalf("gamma=%v: %v", gamma, err)
+		}
+		if !cert.Exact(1e-10) {
+			t.Errorf("gamma=%v: max weight diff %.3e", gamma, cert.MaxWeightDiff)
+		}
+		if cert.Eta <= 0 {
+			t.Errorf("gamma=%v: implied eta %v should be positive", gamma, cert.Eta)
+		}
+	}
+}
+
+func TestCertifyLazyWalkExact(t *testing.T) {
+	g := gen.Lollipop(6, 4)
+	for _, k := range []float64{1, 4, 12} {
+		cert, err := Certify(g, LazyWalk, k, 0.7)
+		if err != nil {
+			t.Fatalf("k=%v: %v", k, err)
+		}
+		if !cert.Exact(1e-10) {
+			t.Errorf("k=%v: max weight diff %.3e", k, cert.MaxWeightDiff)
+		}
+		if cert.P <= 0 {
+			t.Errorf("k=%v: p-norm exponent %v should be positive", k, cert.P)
+		}
+	}
+}
+
+func TestCertifyValidation(t *testing.T) {
+	g := gen.Cycle(8)
+	bad := []struct {
+		d            Dynamics
+		param, alpha float64
+	}{
+		{HeatKernel, 0, 0},
+		{HeatKernel, -1, 0},
+		{PageRank, 0, 0},
+		{PageRank, 1, 0},
+		{LazyWalk, 2.5, 0.5}, // non-integer steps
+		{LazyWalk, 0, 0.5},
+		{LazyWalk, 3, 0},
+		{LazyWalk, 3, 1},
+		{Dynamics(42), 1, 0},
+	}
+	for _, c := range bad {
+		if _, err := Certify(g, c.d, c.param, c.alpha); err == nil {
+			t.Errorf("Certify(%v, %v, %v) should error", c.d, c.param, c.alpha)
+		}
+	}
+	// Disconnected graphs are rejected.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	disc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Certify(disc, HeatKernel, 1, 0); err == nil {
+		t.Error("disconnected graph should error")
+	}
+}
+
+func TestCertifyAllExactOnFamilies(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.RingOfCliques(3, 4),
+		gen.Dumbbell(5, 2),
+		gen.Grid(4, 5),
+	} {
+		certs, err := CertifyAll(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(certs) != 6 {
+			t.Fatalf("got %d certificates, want 6", len(certs))
+		}
+		for _, c := range certs {
+			if !c.Exact(1e-9) {
+				t.Errorf("%s param=%v: diff %.3e", c.Dynamics, c.Param, c.MaxWeightDiff)
+			}
+		}
+	}
+}
+
+func TestPathHeatKernelMonotone(t *testing.T) {
+	// Along the heat-kernel path with increasing t (weakening
+	// regularization): Tr(LX) decreases toward lambda2, the top weight
+	// increases toward 1, and the weight entropy decreases.
+	g := gen.RingOfCliques(4, 5)
+	params := []float64{0.25, 0.5, 1, 2, 4, 8, 16, 64}
+	path, err := Path(g, HeatKernel, params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != len(params) {
+		t.Fatalf("path has %d points, want %d", len(path), len(params))
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].TraceObjective > path[i-1].TraceObjective+1e-12 {
+			t.Errorf("Tr(LX) increased at t=%v: %v -> %v",
+				path[i].Param, path[i-1].TraceObjective, path[i].TraceObjective)
+		}
+		if path[i].TopWeight < path[i-1].TopWeight-1e-12 {
+			t.Errorf("top weight decreased at t=%v", path[i].Param)
+		}
+		if path[i].Entropy > path[i-1].Entropy+1e-12 {
+			t.Errorf("entropy increased at t=%v", path[i].Param)
+		}
+	}
+	last := path[len(path)-1]
+	cert, err := Certify(g, HeatKernel, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(last.TraceObjective-cert.Lambda2) > 0.05*cert.Lambda2 {
+		t.Errorf("t=64 objective %v far from lambda2 %v", last.TraceObjective, cert.Lambda2)
+	}
+}
+
+func TestPathPageRankEndpoints(t *testing.T) {
+	// gamma -> 1 is maximal regularization (uniform-ish weights, high
+	// entropy); gamma -> 0 approaches the exact eigenvector.
+	g := gen.Dumbbell(6, 3)
+	path, err := Path(g, PageRank, []float64{0.99, 0.5, 0.05, 0.001}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0].TopWeight >= path[len(path)-1].TopWeight {
+		t.Errorf("top weight should grow as gamma shrinks: %v -> %v",
+			path[0].TopWeight, path[len(path)-1].TopWeight)
+	}
+	// The gamma->0 limit of the PageRank family has weights ∝ 1/λᵢ (the
+	// resolvent), not a point mass on v₂ — but v₂ must clearly dominate
+	// the uniform share.
+	n := g.N()
+	if last := path[len(path)-1].TopWeight; last < 5.0/float64(n-1) {
+		t.Errorf("gamma=0.001 top weight %v; expected ≫ uniform 1/(n-1)=%v",
+			last, 1.0/float64(n-1))
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	g := gen.Cycle(6)
+	if _, err := Path(g, HeatKernel, nil, 0); err == nil {
+		t.Error("empty params should error")
+	}
+	if _, err := Path(g, PageRank, []float64{2}, 0); err == nil {
+		t.Error("invalid gamma in path should error")
+	}
+}
+
+// TestCertifyPropertyExactEverywhere: the equivalence is not a property
+// of nice graphs — it holds on arbitrary connected random graphs at
+// arbitrary valid parameters.
+func TestCertifyPropertyExactEverywhere(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g, err := gen.ErdosRenyi(n, 0.3, rng)
+		if err != nil || !g.IsConnected() {
+			return true
+		}
+		spec, err := regsdp.NewSpectrum(g)
+		if err != nil {
+			return false
+		}
+		cases := []struct {
+			d            Dynamics
+			param, alpha float64
+		}{
+			{HeatKernel, 0.1 + rng.Float64()*10, 0},
+			{PageRank, 0.01 + rng.Float64()*0.98, 0},
+			{LazyWalk, float64(1 + rng.Intn(20)), 0.5 + rng.Float64()*0.45},
+		}
+		for _, c := range cases {
+			cert, err := certifyOn(spec, c.d, c.param, c.alpha)
+			if err != nil {
+				return false
+			}
+			if !cert.Exact(1e-8) {
+				t.Logf("seed %d: %s param=%v diff=%.3e", seed, c.d, c.param, cert.MaxWeightDiff)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightEntropy(t *testing.T) {
+	if h := weightEntropy([]float64{1}); h != 0 {
+		t.Errorf("entropy of point mass = %v, want 0", h)
+	}
+	h := weightEntropy([]float64{0.5, 0.5})
+	if math.Abs(h-math.Log(2)) > 1e-12 {
+		t.Errorf("entropy of fair coin = %v, want ln 2", h)
+	}
+	if h := weightEntropy([]float64{0, 1, 0}); h != 0 {
+		t.Errorf("zero weights must not contribute: %v", h)
+	}
+}

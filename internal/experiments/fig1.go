@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ncp"
+)
+
+// Fig1Config parameterizes the Figure 1 reproduction. The zero value
+// reproduces the default experiment: a ~20k-node forest-fire network
+// standing in for AtP-DBLP (see DESIGN.md substitutions).
+type Fig1Config struct {
+	N       int     // network size (default 20000)
+	FwdProb float64 // forest-fire burning probability (default 0.37)
+	Seed    int64   // RNG seed (default 1)
+	// Seeds per scale for the spectral profile (default 20).
+	SpectralSeeds int
+	// MinSize/MaxSize restrict the clusters evaluated for niceness
+	// (defaults 8 and 2048, Fig. 1's 10^1–10^4 decade span scaled to the
+	// synthetic network).
+	MinSize, MaxSize int
+}
+
+func (c *Fig1Config) withDefaults() Fig1Config {
+	out := *c
+	if out.N <= 0 {
+		out.N = 20000
+	}
+	if out.FwdProb <= 0 {
+		out.FwdProb = 0.37
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.SpectralSeeds <= 0 {
+		out.SpectralSeeds = 20
+	}
+	if out.MinSize <= 0 {
+		out.MinSize = 8
+	}
+	if out.MaxSize <= 0 {
+		out.MaxSize = 2048
+	}
+	return out
+}
+
+// ScatterPoint is one cluster in the Fig. 1 scatter plots: its size
+// (X-axis of all panels), conductance (Y of 1a), average shortest path
+// (Y of 1b) and external/internal conductance ratio (Y of 1c).
+type ScatterPoint struct {
+	Size        int
+	Conductance float64
+	AvgPath     float64
+	ExtIntRatio float64
+}
+
+// Fig1Result carries both methods' scatter series plus the aggregate
+// comparison that summarizes the paper's reading of the figure.
+type Fig1Result struct {
+	Graph    *graph.Graph
+	Spectral []ScatterPoint // blue: LocalSpectral
+	Flow     []ScatterPoint // red: Metis+MQI
+	// Aggregates over the evaluated size range (medians).
+	MedianPhiSpectral, MedianPhiFlow         float64
+	MedianPathSpectral, MedianPathFlow       float64
+	MedianRatioSpectral, MedianRatioFlow     float64
+	FracFlowWinsPhi, FracSpectralWinsNicePth float64
+	// EnvelopeRatioGeoMean is the geometric mean over common size buckets
+	// of min-φ(flow)/min-φ(spectral): < 1 when flow wins the conductance
+	// envelope, the Fig. 1(a) claim.
+	EnvelopeRatioGeoMean float64
+}
+
+// Fig1 reproduces Figure 1: sample clusters at all scales with the
+// spectral (LocalSpectral) and flow-based (Metis+MQI) methods on a
+// forest-fire network, evaluate size-resolved conductance and the two
+// niceness measures, and aggregate. The paper's claim: flow generally
+// wins on conductance (panel a) while spectral yields nicer clusters
+// (panels b and c).
+func Fig1(cfg Fig1Config) (*Fig1Result, error) {
+	c := (&cfg).withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: c.N, FwdProb: c.FwdProb, Ambs: 1}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 generator: %w", err)
+	}
+	spProf, err := ncp.SpectralProfile(g, ncp.SpectralConfig{Seeds: c.SpectralSeeds}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 spectral profile: %w", err)
+	}
+	flProf, err := ncp.FlowProfile(g, ncp.FlowConfig{}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 flow profile: %w", err)
+	}
+	// 16 evaluated clusters per size bucket per method keeps the scatter
+	// informative while bounding the BFS-heavy niceness evaluation.
+	spM, err := ncp.EvaluateProfileCapped(g, spProf, c.MinSize, c.MaxSize, 16)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 spectral measures: %w", err)
+	}
+	flM, err := ncp.EvaluateProfileCapped(g, flProf, c.MinSize, c.MaxSize, 16)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 flow measures: %w", err)
+	}
+	res := &Fig1Result{Graph: g}
+	for _, m := range spM {
+		res.Spectral = append(res.Spectral, toPoint(m))
+	}
+	for _, m := range flM {
+		res.Flow = append(res.Flow, toPoint(m))
+	}
+	res.MedianPhiSpectral = medianOf(res.Spectral, func(p ScatterPoint) float64 { return p.Conductance })
+	res.MedianPhiFlow = medianOf(res.Flow, func(p ScatterPoint) float64 { return p.Conductance })
+	res.MedianPathSpectral = medianOf(res.Spectral, func(p ScatterPoint) float64 { return p.AvgPath })
+	res.MedianPathFlow = medianOf(res.Flow, func(p ScatterPoint) float64 { return p.AvgPath })
+	res.MedianRatioSpectral = medianOf(res.Spectral, func(p ScatterPoint) float64 { return p.ExtIntRatio })
+	res.MedianRatioFlow = medianOf(res.Flow, func(p ScatterPoint) float64 { return p.ExtIntRatio })
+	res.FracFlowWinsPhi, res.FracSpectralWinsNicePth = bucketWinRates(res.Spectral, res.Flow)
+	res.EnvelopeRatioGeoMean = envelopeRatio(res.Spectral, res.Flow)
+	return res, nil
+}
+
+// envelopeRatio returns the geometric mean of flow-min/spectral-min
+// conductance over common power-of-two size buckets.
+func envelopeRatio(sp, fl []ScatterPoint) float64 {
+	minPhi := func(pts []ScatterPoint) map[int]float64 {
+		m := map[int]float64{}
+		for _, p := range pts {
+			b := 0
+			for s := p.Size; s > 1; s >>= 1 {
+				b++
+			}
+			if cur, ok := m[b]; !ok || p.Conductance < cur {
+				m[b] = p.Conductance
+			}
+		}
+		return m
+	}
+	sb, fb := minPhi(sp), minPhi(fl)
+	var logSum float64
+	var count int
+	for b, s := range sb {
+		if ff, ok := fb[b]; ok && s > 0 && ff > 0 {
+			logSum += math.Log(ff / s)
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return math.Exp(logSum / float64(count))
+}
+
+func toPoint(m *ncp.Measures) ScatterPoint {
+	return ScatterPoint{
+		Size:        m.Size,
+		Conductance: m.Conductance,
+		AvgPath:     m.AvgPathLen,
+		ExtIntRatio: m.ExtIntRatio,
+	}
+}
+
+func medianOf(pts []ScatterPoint, sel func(ScatterPoint) float64) float64 {
+	var vals []float64
+	for _, p := range pts {
+		v := sel(p)
+		if !math.IsNaN(v) {
+			vals = append(vals, v) // +Inf kept: disconnected = maximally un-nice
+		}
+	}
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}
+
+// bucketWinRates compares the two methods bucket-by-bucket over
+// power-of-two size buckets where both methods produced clusters. Panel
+// (a) is an envelope question, so it compares per-bucket *minimum*
+// conductance; panels (b) and (c) are typical-cluster questions, so they
+// compare per-bucket *medians* of the niceness values, with +Inf values
+// (disconnected clusters) included so that a method whose typical cluster
+// is disconnected pays for it.
+func bucketWinRates(sp, fl []ScatterPoint) (flowWinsPhi, spectralWinsPath float64) {
+	type agg struct {
+		minPhi float64
+		paths  []float64
+	}
+	bucket := func(pts []ScatterPoint) map[int]*agg {
+		m := map[int]*agg{}
+		for _, p := range pts {
+			b := bucketOfSize(p.Size)
+			cur := m[b]
+			if cur == nil {
+				cur = &agg{minPhi: math.Inf(1)}
+				m[b] = cur
+			}
+			if p.Conductance < cur.minPhi {
+				cur.minPhi = p.Conductance
+			}
+			if !math.IsNaN(p.AvgPath) {
+				// +Inf (disconnected cluster) is kept: it is maximally
+				// un-nice and must drag the median, not vanish from it.
+				cur.paths = append(cur.paths, p.AvgPath)
+			}
+		}
+		return m
+	}
+	sb, fb := bucket(sp), bucket(fl)
+	var both, flowPhi, pathBuckets, spPath int
+	for b, s := range sb {
+		ff, ok := fb[b]
+		if !ok {
+			continue
+		}
+		both++
+		if ff.minPhi < s.minPhi {
+			flowPhi++
+		}
+		spMed, spOK := medianFloat(s.paths)
+		flMed, flOK := medianFloat(ff.paths)
+		switch {
+		case spOK && flOK:
+			pathBuckets++
+			if spMed < flMed {
+				spPath++
+			}
+		case spOK && !flOK: // flow has only disconnected clusters here
+			pathBuckets++
+			spPath++
+		case !spOK && flOK:
+			pathBuckets++
+		}
+	}
+	if both == 0 {
+		return math.NaN(), math.NaN()
+	}
+	flowWinsPhi = float64(flowPhi) / float64(both)
+	if pathBuckets == 0 {
+		return flowWinsPhi, math.NaN()
+	}
+	return flowWinsPhi, float64(spPath) / float64(pathBuckets)
+}
+
+func bucketOfSize(size int) int {
+	b := 0
+	for s := size; s > 1; s >>= 1 {
+		b++
+	}
+	return b
+}
+
+func medianFloat(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2], true
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2, true
+}
+
+// Fig1aTable renders panel (a): size-resolved minimum conductance per
+// bucket for both methods.
+func (r *Fig1Result) Fig1aTable() *Table {
+	return r.panelTable("Figure 1(a): size-resolved conductance (lower = better objective)",
+		"min φ", func(p ScatterPoint) float64 { return p.Conductance })
+}
+
+// Fig1bTable renders panel (b): average shortest-path niceness, as
+// per-bucket medians (disconnected clusters count as +Inf).
+func (r *Fig1Result) Fig1bTable() *Table {
+	return r.panelTableStat("Figure 1(b): average shortest-path length inside cluster (lower = nicer)",
+		"median avg-path", func(p ScatterPoint) float64 { return p.AvgPath }, true)
+}
+
+// Fig1cTable renders panel (c): external/internal conductance ratio, as
+// per-bucket medians (disconnected clusters count as +Inf).
+func (r *Fig1Result) Fig1cTable() *Table {
+	return r.panelTableStat("Figure 1(c): external/internal conductance ratio (lower = nicer)",
+		"median ext/int", func(p ScatterPoint) float64 { return p.ExtIntRatio }, true)
+}
+
+func (r *Fig1Result) panelTable(title, metric string, sel func(ScatterPoint) float64) *Table {
+	return r.panelTableStat(title, metric, sel, false)
+}
+
+// panelTableStat renders a per-bucket panel. useMedian selects the
+// per-bucket statistic: minimum (the envelope reading of panel a) or
+// median (the typical-cluster reading of panels b and c; +Inf values from
+// disconnected clusters are included and drag the median).
+func (r *Fig1Result) panelTableStat(title, metric string, sel func(ScatterPoint) float64, useMedian bool) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"size bucket", "spectral " + metric, "flow " + metric},
+	}
+	type pool struct{ sp, fl []float64 }
+	buckets := map[int]*pool{}
+	add := func(pts []ScatterPoint, isSp bool) {
+		for _, p := range pts {
+			b := bucketOfSize(p.Size)
+			pr, ok := buckets[b]
+			if !ok {
+				pr = &pool{}
+				buckets[b] = pr
+			}
+			v := sel(p)
+			if math.IsNaN(v) {
+				continue
+			}
+			if isSp {
+				pr.sp = append(pr.sp, v)
+			} else {
+				pr.fl = append(pr.fl, v)
+			}
+		}
+	}
+	add(r.Spectral, true)
+	add(r.Flow, false)
+	stat := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return math.NaN()
+		}
+		if useMedian {
+			m, _ := medianFloat(xs)
+			return m
+		}
+		min := xs[0]
+		for _, x := range xs[1:] {
+			if x < min {
+				min = x
+			}
+		}
+		return min
+	}
+	var keys []int
+	for b := range buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	for _, b := range keys {
+		pr := buckets[b]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("[%d,%d)", 1<<b, 1<<(b+1)), f(stat(pr.sp)), f(stat(pr.fl)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("medians — spectral: φ=%s path=%s ratio=%s | flow: φ=%s path=%s ratio=%s",
+			f(r.MedianPhiSpectral), f(r.MedianPathSpectral), f(r.MedianRatioSpectral),
+			f(r.MedianPhiFlow), f(r.MedianPathFlow), f(r.MedianRatioFlow)),
+		fmt.Sprintf("flow wins conductance in %.0f%% of common buckets; spectral wins avg-path in %.0f%%",
+			100*r.FracFlowWinsPhi, 100*r.FracSpectralWinsNicePth))
+	return t
+}

@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ForestFireConfig parameterizes the Leskovec–Kleinberg–Faloutsos forest
+// fire model, the generator used throughout [27, 28] to mimic social and
+// information networks. FwdProb (the "burning probability" p_f) around
+// 0.35–0.40 produces the heavy-tailed degrees, expander-like core and
+// whisker-dominated community structure that Fig. 1's AtP-DBLP network
+// exhibits.
+type ForestFireConfig struct {
+	N        int     // number of nodes
+	FwdProb  float64 // forward burning probability p_f ∈ [0, 1)
+	Ambs     int     // number of ambassador nodes each newcomer links to (≥ 1)
+	MaxBurn  int     // cap on nodes burned per arrival (0 = no cap beyond N)
+	SeedSize int     // size of the initial clique (default 2 if < 2)
+}
+
+// ForestFire generates an undirected forest fire graph. Each arriving
+// node chooses Ambs ambassadors uniformly, links to them, and then
+// recursively "burns" outward: from each burned node it links to a
+// geometrically-distributed number of that node's neighbors (mean
+// p_f/(1−p_f)), chosen without replacement among unburned neighbors.
+func ForestFire(cfg ForestFireConfig, rng *rand.Rand) (*graph.Graph, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("gen: ForestFire needs N >= 1, got %d", cfg.N)
+	}
+	if cfg.FwdProb < 0 || cfg.FwdProb >= 1 {
+		return nil, fmt.Errorf("gen: ForestFire FwdProb=%v outside [0,1)", cfg.FwdProb)
+	}
+	if cfg.Ambs < 1 {
+		cfg.Ambs = 1
+	}
+	if cfg.SeedSize < 2 {
+		cfg.SeedSize = 2
+	}
+	if cfg.SeedSize > cfg.N {
+		cfg.SeedSize = cfg.N
+	}
+	maxBurn := cfg.MaxBurn
+	if maxBurn <= 0 {
+		maxBurn = cfg.N
+	}
+
+	// Adjacency is grown incrementally, so keep a mutable representation
+	// and convert to the immutable Graph at the end.
+	adj := make([][]int, cfg.N)
+	addEdge := func(u, v int) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for i := 0; i < cfg.SeedSize; i++ {
+		for j := i + 1; j < cfg.SeedSize; j++ {
+			addEdge(i, j)
+		}
+	}
+
+	visited := make([]int, cfg.N) // stamp per new node, avoids clearing
+	stamp := 0
+	for v := cfg.SeedSize; v < cfg.N; v++ {
+		stamp++
+		visited[v] = stamp
+		var frontier []int
+		burned := 0
+		for a := 0; a < cfg.Ambs && a < v; a++ {
+			amb := rng.Intn(v)
+			for visited[amb] == stamp {
+				amb = rng.Intn(v)
+			}
+			visited[amb] = stamp
+			addEdge(v, amb)
+			frontier = append(frontier, amb)
+			burned++
+		}
+		for len(frontier) > 0 && burned < maxBurn {
+			u := frontier[0]
+			frontier = frontier[1:]
+			// Geometric number of forward burns with mean p/(1-p).
+			nBurn := 0
+			for rng.Float64() < cfg.FwdProb {
+				nBurn++
+			}
+			if nBurn == 0 {
+				continue
+			}
+			// Collect unburned neighbors of u among existing nodes.
+			var cands []int
+			for _, w := range adj[u] {
+				if w < v && visited[w] != stamp {
+					cands = append(cands, w)
+				}
+			}
+			rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+			if nBurn > len(cands) {
+				nBurn = len(cands)
+			}
+			for _, w := range cands[:nBurn] {
+				if burned >= maxBurn {
+					break
+				}
+				visited[w] = stamp
+				addEdge(v, w)
+				frontier = append(frontier, w)
+				burned++
+			}
+		}
+	}
+
+	b := graph.NewBuilder(cfg.N)
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,218 @@
+// Package gen provides deterministic graph generators for every workload
+// the reproduction needs. All stochastic generators take an explicit
+// *rand.Rand so experiments are reproducible from a seed.
+//
+// The structured families (paths, lollipops, rings of cliques, dumbbells)
+// exist because the paper's §3.2 argues spectral and flow partitioning
+// fail on complementary inputs: "long stringy" graphs saturate spectral's
+// quadratic Cheeger factor, while constant-degree expanders saturate
+// flow's O(log n) factor. The random families (Chung–Lu, forest fire,
+// planted partition) stand in for the AtP-DBLP social network of Fig. 1.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Path returns the path graph P_n: 0—1—⋯—(n−1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return mustBuild(b, "Path")
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	if n > 2 {
+		b.AddEdge(n-1, 0)
+	}
+	return mustBuild(b, "Cycle")
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return mustBuild(b, "Complete")
+}
+
+// Star returns the star graph: node 0 connected to nodes 1..n-1.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return mustBuild(b, "Star")
+}
+
+// Grid returns the rows×cols 2-D grid graph; node (r, c) has index
+// r*cols + c.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return mustBuild(b, "Grid")
+}
+
+// BinaryTree returns the complete binary tree with the given number of
+// levels (level 1 is the single root).
+func BinaryTree(levels int) *graph.Graph {
+	n := (1 << levels) - 1
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		l, r := 2*i+1, 2*i+2
+		if l < n {
+			b.AddEdge(i, l)
+		}
+		if r < n {
+			b.AddEdge(i, r)
+		}
+	}
+	return mustBuild(b, "BinaryTree")
+}
+
+// Lollipop returns a clique of size cliqueN with a path of length pathN
+// attached — the canonical "long stringy piece" from §3.2 on which
+// spectral methods confuse long paths with deep cuts. Nodes 0..cliqueN-1
+// form the clique; the path hangs off node 0.
+func Lollipop(cliqueN, pathN int) *graph.Graph {
+	n := cliqueN + pathN
+	b := graph.NewBuilder(n)
+	for i := 0; i < cliqueN; i++ {
+		for j := i + 1; j < cliqueN; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathN; i++ {
+		b.AddEdge(prev, cliqueN+i)
+		prev = cliqueN + i
+	}
+	return mustBuild(b, "Lollipop")
+}
+
+// Dumbbell returns two cliques of size cliqueN joined by a path with
+// pathN interior nodes (pathN = 0 joins them by a single edge). The
+// minimum-conductance cut separates the two cliques through the path.
+func Dumbbell(cliqueN, pathN int) *graph.Graph {
+	n := 2*cliqueN + pathN
+	b := graph.NewBuilder(n)
+	for i := 0; i < cliqueN; i++ {
+		for j := i + 1; j < cliqueN; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(cliqueN+i, cliqueN+j)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathN; i++ {
+		b.AddEdge(prev, 2*cliqueN+i)
+		prev = 2*cliqueN + i
+	}
+	b.AddEdge(prev, cliqueN)
+	return mustBuild(b, "Dumbbell")
+}
+
+// RingOfCliques returns k cliques of size cliqueN arranged in a ring,
+// adjacent cliques joined by a single edge. Good-conductance cuts exist
+// at every clique boundary.
+func RingOfCliques(k, cliqueN int) *graph.Graph {
+	n := k * cliqueN
+	b := graph.NewBuilder(n)
+	for c := 0; c < k; c++ {
+		base := c * cliqueN
+		for i := 0; i < cliqueN; i++ {
+			for j := i + 1; j < cliqueN; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+		next := ((c + 1) % k) * cliqueN
+		if k > 1 && (c+1 < k || k > 2) {
+			b.AddEdge(base, next)
+		}
+	}
+	return mustBuild(b, "RingOfCliques")
+}
+
+// Caveman returns the connected caveman graph: k cliques of size cliqueN
+// where one edge per clique is rewired to the next clique, keeping the
+// graph connected while preserving strong communities.
+func Caveman(k, cliqueN int) *graph.Graph {
+	if cliqueN < 2 {
+		return RingOfCliques(k, cliqueN)
+	}
+	n := k * cliqueN
+	b := graph.NewBuilder(n)
+	for c := 0; c < k; c++ {
+		base := c * cliqueN
+		for i := 0; i < cliqueN; i++ {
+			for j := i + 1; j < cliqueN; j++ {
+				// Rewire the (0,1) edge of each clique to the next clique.
+				if i == 0 && j == 1 && k > 1 {
+					continue
+				}
+				b.AddEdge(base+i, base+j)
+			}
+		}
+		if k > 1 {
+			next := ((c + 1) % k) * cliqueN
+			b.AddEdge(base, next+1)
+		}
+	}
+	return mustBuild(b, "Caveman")
+}
+
+// WhiskeredExpander attaches pendant paths ("whiskers") to a random
+// regular expander core. This mimics the structure [27, 28] report for
+// large social networks: an expander-like core with small well-separated
+// pieces hanging off, which is exactly the regime where spectral and
+// flow partitioning diverge.
+func WhiskeredExpander(coreN, degree, whiskers, whiskerLen int, rng *rand.Rand) (*graph.Graph, error) {
+	core, err := RandomRegular(coreN, degree, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gen: WhiskeredExpander core: %w", err)
+	}
+	n := coreN + whiskers*whiskerLen
+	b := graph.NewBuilder(n)
+	core.Edges(func(u, v int, w float64) { b.AddWeightedEdge(u, v, w) })
+	next := coreN
+	for wk := 0; wk < whiskers; wk++ {
+		attach := rng.Intn(coreN)
+		prev := attach
+		for s := 0; s < whiskerLen; s++ {
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+	}
+	return b.Build()
+}
+
+func mustBuild(b *graph.Builder, name string) *graph.Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("gen: %s: %v", name, err))
+	}
+	return g
+}

@@ -1,0 +1,440 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("P5: N=%d M=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("path not connected")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Error("path degrees wrong")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.N() != 6 || g.M() != 6 {
+		t.Fatalf("C6: N=%d M=%d", g.N(), g.M())
+	}
+	for u := 0; u < 6; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("cycle degree(%d) = %v", u, g.Degree(u))
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.M() != 10 {
+		t.Fatalf("K5 edges = %d, want 10", g.M())
+	}
+	for u := 0; u < 5; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatal("K5 degree wrong")
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(7)
+	if g.Degree(0) != 6 || g.Degree(3) != 1 || g.M() != 6 {
+		t.Fatal("star shape wrong")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid N = %d", g.N())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 9 + 8 = 17.
+	if g.M() != 17 {
+		t.Fatalf("grid M = %d, want 17", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("grid not connected")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(4)
+	if g.N() != 15 || g.M() != 14 {
+		t.Fatalf("tree N=%d M=%d", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("tree not connected")
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(5, 10)
+	if g.N() != 15 {
+		t.Fatalf("lollipop N = %d", g.N())
+	}
+	if g.M() != 10+10 {
+		t.Fatalf("lollipop M = %d, want 20", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("lollipop not connected")
+	}
+	// End of the path has degree 1.
+	if g.Degree(14) != 1 {
+		t.Error("lollipop path end degree wrong")
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	g := Dumbbell(4, 3)
+	if g.N() != 11 {
+		t.Fatalf("dumbbell N = %d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Error("dumbbell not connected")
+	}
+	// Cutting at the path midpoint cuts exactly one edge.
+	inS := g.Membership([]int{0, 1, 2, 3, 8})
+	if c := g.Cut(inS); c != 1 {
+		t.Fatalf("dumbbell mid-path cut = %v, want 1", c)
+	}
+}
+
+func TestDumbbellNoPath(t *testing.T) {
+	g := Dumbbell(3, 0)
+	if g.N() != 6 || !g.IsConnected() {
+		t.Fatal("dumbbell with no path broken")
+	}
+	inS := g.Membership([]int{0, 1, 2})
+	if c := g.Cut(inS); c != 1 {
+		t.Fatalf("direct bridge cut = %v, want 1", c)
+	}
+}
+
+func TestRingOfCliques(t *testing.T) {
+	g := RingOfCliques(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Error("ring of cliques not connected")
+	}
+	// One clique forms a low-conductance set.
+	clique := []int{0, 1, 2, 3, 4}
+	if phi := g.ConductanceOfSet(clique); phi > 0.1 {
+		t.Errorf("clique conductance = %v, expected low", phi)
+	}
+}
+
+func TestCaveman(t *testing.T) {
+	g := Caveman(5, 4)
+	if g.N() != 20 || !g.IsConnected() {
+		t.Fatalf("caveman N=%d connected=%v", g.N(), g.IsConnected())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := ErdosRenyi(200, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges = C(200,2)*0.05 = 995; allow wide tolerance.
+	if g.M() < 700 || g.M() > 1300 {
+		t.Fatalf("G(200,0.05) edges = %d, expected ≈995", g.M())
+	}
+	if _, err := ErdosRenyi(10, 1.5, rng); err == nil {
+		t.Fatal("invalid p accepted")
+	}
+	g0, err := ErdosRenyi(10, 0, rng)
+	if err != nil || g0.M() != 0 {
+		t.Fatal("G(n,0) should have no edges")
+	}
+	g1, err := ErdosRenyi(6, 1, rng)
+	if err != nil || g1.M() != 15 {
+		t.Fatalf("G(6,1) edges = %d, want 15", g1.M())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a, err := ErdosRenyi(50, 0.1, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErdosRenyi(50, 0.1, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := RandomRegular(50, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 50; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("degree(%d) = %v, want 4", u, g.Degree(u))
+		}
+	}
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Fatal("odd n·d accepted")
+	}
+	if _, err := RandomRegular(4, 4, rng); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+	z, err := RandomRegular(5, 0, rng)
+	if err != nil || z.M() != 0 {
+		t.Fatal("0-regular should be empty")
+	}
+}
+
+func TestRandomRegularIsExpanderLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := RandomRegular(200, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Skip("rare disconnected sample")
+	}
+	// Random 6-regular graphs have conductance bounded away from 0; a
+	// random balanced cut should have conductance > 0.2.
+	inS := make([]bool, 200)
+	for i := 0; i < 100; i++ {
+		inS[i] = true
+	}
+	if phi := g.Conductance(inS); phi < 0.2 {
+		t.Errorf("expander random-cut conductance = %v, suspiciously low", phi)
+	}
+}
+
+func TestChungLu(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := PowerLawWeights(500, 2.5, 2, 0, rng)
+	g, err := ChungLu(w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Expected volume ≈ Σw (up to min(1,·) clipping); verify the right
+	// order of magnitude.
+	var sw float64
+	for _, wi := range w {
+		sw += wi
+	}
+	if g.Volume() < 0.2*sw || g.Volume() > 2.5*sw {
+		t.Errorf("ChungLu volume %v far from expected %v", g.Volume(), sw)
+	}
+}
+
+func TestChungLuInvalidWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ChungLu([]float64{1, -2}, rng); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := ChungLu([]float64{1, math.NaN()}, rng); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	g, err := ChungLu([]float64{0, 0, 0}, rng)
+	if err != nil || g.M() != 0 {
+		t.Fatal("all-zero weights should give empty graph")
+	}
+}
+
+func TestPowerLawWeightsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := PowerLawWeights(1000, 2.1, 3, 100, rng)
+	for i, wi := range w {
+		if wi < 3-1e-9 || wi > 100+1e-9 {
+			t.Fatalf("weight[%d] = %v outside [3,100]", i, wi)
+		}
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := WattsStrogatz(100, 4, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Edge count is preserved by rewiring.
+	if g.M() != 200 {
+		t.Fatalf("M = %d, want 200", g.M())
+	}
+	if _, err := WattsStrogatz(10, 3, 0.1, rng); err == nil {
+		t.Fatal("odd k accepted")
+	}
+	if _, err := WattsStrogatz(10, 4, 2, rng); err == nil {
+		t.Fatal("beta > 1 accepted")
+	}
+}
+
+func TestWattsStrogatzNoRewire(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := WattsStrogatz(20, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure ring lattice: every node degree 4.
+	for u := 0; u < 20; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("lattice degree(%d) = %v", u, g.Degree(u))
+		}
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := PlantedPartition(4, 25, 0.5, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// The planted block should have much lower conductance than a random
+	// set of the same size.
+	block := make([]int, 25)
+	for i := range block {
+		block[i] = i
+	}
+	phiBlock := g.ConductanceOfSet(block)
+	random := make([]int, 25)
+	for i := range random {
+		random[i] = rng.Intn(100)
+	}
+	seen := map[int]bool{}
+	var uniq []int
+	for _, u := range random {
+		if !seen[u] {
+			seen[u] = true
+			uniq = append(uniq, u)
+		}
+	}
+	phiRand := g.ConductanceOfSet(uniq)
+	if phiBlock >= phiRand {
+		t.Errorf("planted block φ=%v not better than random φ=%v", phiBlock, phiRand)
+	}
+	if _, err := PlantedPartition(2, 5, 1.5, 0, rng); err == nil {
+		t.Fatal("invalid pin accepted")
+	}
+}
+
+func TestForestFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := ForestFire(ForestFireConfig{N: 500, FwdProb: 0.35, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Error("forest fire graph should be connected (every node links an ambassador)")
+	}
+	// Burning produces superlinear edge growth: more edges than a tree.
+	if g.M() < 520 {
+		t.Errorf("forest fire M = %d, expected noticeably more than n-1", g.M())
+	}
+}
+
+func TestForestFireHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := ForestFire(ForestFireConfig{N: 2000, FwdProb: 0.37, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDeg float64
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := g.Volume() / float64(g.N())
+	if maxDeg < 8*avg {
+		t.Errorf("max degree %v not heavy-tailed vs avg %v", maxDeg, avg)
+	}
+}
+
+func TestForestFireErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ForestFire(ForestFireConfig{N: 0, FwdProb: 0.3}, rng); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := ForestFire(ForestFireConfig{N: 10, FwdProb: 1}, rng); err == nil {
+		t.Fatal("FwdProb=1 accepted")
+	}
+}
+
+func TestWhiskeredExpander(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g, err := WhiskeredExpander(100, 6, 10, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 150 {
+		t.Fatalf("N = %d, want 150", g.N())
+	}
+	if !g.IsConnected() {
+		t.Error("whiskered expander should be connected")
+	}
+	// A whisker (the last 5 nodes) forms a very low conductance set.
+	whisker := []int{145, 146, 147, 148, 149}
+	if phi := g.ConductanceOfSet(whisker); phi > 0.2 {
+		t.Errorf("whisker conductance = %v, expected low", phi)
+	}
+}
+
+// Property: every generated graph has non-negative degrees summing to
+// twice the edge weight, i.e. Volume == 2·Σw.
+func TestPropVolumeIsTwiceEdgeWeight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := ErdosRenyi(2+rng.Intn(40), 0.2, rng)
+		if err != nil {
+			return false
+		}
+		var tw float64
+		g.Edges(func(u, v int, w float64) { tw += w })
+		return math.Abs(g.Volume()-2*tw) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: forest fire graphs are connected for any seed.
+func TestPropForestFireConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := ForestFire(ForestFireConfig{N: 60 + rng.Intn(100), FwdProb: 0.3, Ambs: 1}, rng)
+		if err != nil {
+			return false
+		}
+		return g.IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = graph.SetOf // keep the import for helper use in future tests

@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// KroneckerConfig parameterizes the stochastic Kronecker (R-MAT)
+// generator, the other standard synthetic model — besides the forest
+// fire — for social-network-like graphs with power-law degrees and a
+// core-periphery NCP. The 2×2 initiator [[A,B],[C,D]] is recursively
+// Kronecker-powered; each edge is sampled by descending Levels quadrant
+// choices.
+type KroneckerConfig struct {
+	// Levels is the Kronecker power: the graph has 2^Levels nodes.
+	Levels int
+	// Edges is the number of edge samples drawn. Duplicates and self
+	// loops are discarded, so the realized M is somewhat smaller.
+	Edges int
+	// A, B, C, D are the initiator probabilities; they must be
+	// nonnegative and sum to 1. The classic R-MAT choice is
+	// (0.57, 0.19, 0.19, 0.05).
+	A, B, C, D float64
+}
+
+func (c *KroneckerConfig) withDefaults() KroneckerConfig {
+	out := *c
+	if out.A == 0 && out.B == 0 && out.C == 0 && out.D == 0 {
+		out.A, out.B, out.C, out.D = 0.57, 0.19, 0.19, 0.05
+	}
+	if out.Edges == 0 {
+		out.Edges = 8 << out.Levels // average degree ~16
+	}
+	return out
+}
+
+// Kronecker generates a stochastic Kronecker graph. The result is
+// undirected and simple (duplicate samples merged, self loops dropped);
+// isolated nodes may remain, as in the real model.
+func Kronecker(cfg KroneckerConfig, rng *rand.Rand) (*graph.Graph, error) {
+	c := (&cfg).withDefaults()
+	if c.Levels < 1 || c.Levels > 30 {
+		return nil, fmt.Errorf("gen: Kronecker levels %d outside [1,30]", c.Levels)
+	}
+	if c.Edges < 1 {
+		return nil, fmt.Errorf("gen: Kronecker edge budget %d must be positive", c.Edges)
+	}
+	sum := c.A + c.B + c.C + c.D
+	if c.A < 0 || c.B < 0 || c.C < 0 || c.D < 0 || sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("gen: Kronecker initiator (%v,%v,%v,%v) must be a distribution", c.A, c.B, c.C, c.D)
+	}
+	n := 1 << c.Levels
+	b := graph.NewBuilder(n)
+	seen := make(map[int64]bool, c.Edges)
+	for e := 0; e < c.Edges; e++ {
+		u, v := 0, 0
+		for l := 0; l < c.Levels; l++ {
+			x := rng.Float64() * sum
+			u <<= 1
+			v <<= 1
+			switch {
+			case x < c.A:
+				// top-left: both bits 0
+			case x < c.A+c.B:
+				v |= 1
+			case x < c.A+c.B+c.C:
+				u |= 1
+			default:
+				u |= 1
+				v |= 1
+			}
+		}
+		if u == v {
+			continue
+		}
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := int64(lo)<<32 | int64(hi)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}

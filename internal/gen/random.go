@@ -1,0 +1,308 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErdosRenyi returns a G(n, p) random graph.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) (*graph.Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: ErdosRenyi p=%v outside [0,1]", p)
+	}
+	b := graph.NewBuilder(n)
+	if p > 0 {
+		// Geometric skipping for sparse graphs: iterate potential edges in
+		// lexicographic order jumping by Geom(p) gaps.
+		logq := math.Log(1 - p)
+		if p == 1 {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					b.AddEdge(i, j)
+				}
+			}
+		} else {
+			total := int64(n) * int64(n-1) / 2
+			var idx int64 = -1
+			for {
+				r := rng.Float64()
+				skip := int64(math.Floor(math.Log(1-r)/logq)) + 1
+				idx += skip
+				if idx >= total {
+					break
+				}
+				u, v := edgeFromIndex(idx, n)
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// edgeFromIndex maps a linear index in [0, n(n-1)/2) to the lexicographic
+// (u, v) pair with u < v.
+func edgeFromIndex(idx int64, n int) (int, int) {
+	u := 0
+	rowLen := int64(n - 1)
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + int(idx)
+}
+
+// RandomRegular returns a random d-regular graph on n nodes via the
+// configuration model with round-based pairing: stubs are shuffled and
+// paired greedily, conflicting stubs are carried into the next round, and
+// the whole process restarts if it stalls. n·d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("gen: RandomRegular degree %d invalid for n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: RandomRegular n·d = %d·%d is odd", n, d)
+	}
+	if d == 0 {
+		return mustBuildErr(graph.NewBuilder(n))
+	}
+	const maxRestarts = 200
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		if g, ok := tryRegularPairing(n, d, rng); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: RandomRegular(n=%d, d=%d) failed after %d attempts", n, d, maxRestarts)
+}
+
+func tryRegularPairing(n, d int, rng *rand.Rand) (*graph.Graph, bool) {
+	key := func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)*int64(n) + int64(v)
+	}
+	seen := make(map[int64]bool, n*d/2)
+	b := graph.NewBuilder(n)
+	stubs := make([]int, 0, n*d)
+	for u := 0; u < n; u++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, u)
+		}
+	}
+	for len(stubs) > 0 {
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		var leftover []int
+		progress := false
+		for i := 0; i+1 < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || seen[key(u, v)] {
+				leftover = append(leftover, u, v)
+				continue
+			}
+			seen[key(u, v)] = true
+			b.AddEdge(u, v)
+			progress = true
+		}
+		if len(stubs)%2 == 1 { // cannot happen for even n·d, defensive
+			leftover = append(leftover, stubs[len(stubs)-1])
+		}
+		if !progress {
+			// Check whether any valid pair remains among the leftovers; if
+			// not the pairing is stuck and we must restart from scratch.
+			if !anyValidPair(leftover, seen, key) {
+				return nil, false
+			}
+		}
+		stubs = leftover
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+func anyValidPair(stubs []int, seen map[int64]bool, key func(u, v int) int64) bool {
+	for i := 0; i < len(stubs); i++ {
+		for j := i + 1; j < len(stubs); j++ {
+			if stubs[i] != stubs[j] && !seen[key(stubs[i], stubs[j])] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ChungLu returns a random graph with expected degree sequence w
+// (the Chung–Lu model): edge {i,j} appears with probability
+// min(1, wᵢwⱼ/Σw). Used with a power-law weight sequence it produces the
+// heavy-tailed degree distributions of social and information networks.
+func ChungLu(w []float64, rng *rand.Rand) (*graph.Graph, error) {
+	n := len(w)
+	var total float64
+	for i, wi := range w {
+		if wi < 0 || math.IsNaN(wi) || math.IsInf(wi, 0) {
+			return nil, fmt.Errorf("gen: ChungLu weight[%d]=%v invalid", i, wi)
+		}
+		total += wi
+	}
+	b := graph.NewBuilder(n)
+	if total == 0 {
+		return b.Build()
+	}
+	// Efficient O(n + m) sampling (Miller–Hagberg): sort weights
+	// descending, then per row use geometric skipping with the row
+	// maximum probability and accept with ratio p/q.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Simple insertion of a sort by weight descending.
+	sortByWeightDesc(idx, w)
+	for a := 0; a < n-1; a++ {
+		i := idx[a]
+		q := math.Min(1, w[i]*w[idx[a+1]]/total)
+		if q <= 0 {
+			continue
+		}
+		bpos := a + 1
+		for bpos < n {
+			if q < 1 {
+				r := rng.Float64()
+				skip := int(math.Floor(math.Log(1-r) / math.Log(1-q)))
+				bpos += skip
+			}
+			if bpos >= n {
+				break
+			}
+			j := idx[bpos]
+			p := math.Min(1, w[i]*w[j]/total)
+			if rng.Float64() < p/q {
+				b.AddEdge(i, j)
+			}
+			q = p
+			if q <= 0 {
+				break
+			}
+			bpos++
+		}
+	}
+	return b.Build()
+}
+
+func sortByWeightDesc(idx []int, w []float64) {
+	sort.Slice(idx, func(a, b int) bool { return w[idx[a]] > w[idx[b]] })
+}
+
+// PowerLawWeights returns n expected-degree weights following a power law
+// with exponent gamma (> 1), minimum expected degree dmin, and maximum
+// expected degree capped at dmax (<= 0 means n^(1/2) natural cutoff).
+func PowerLawWeights(n int, gamma, dmin, dmax float64, rng *rand.Rand) []float64 {
+	if dmax <= 0 {
+		dmax = math.Sqrt(float64(n)) * dmin
+	}
+	w := make([]float64, n)
+	for i := range w {
+		// Inverse-CDF sampling of a bounded Pareto distribution.
+		u := rng.Float64()
+		a := math.Pow(dmin, 1-gamma)
+		bb := math.Pow(dmax, 1-gamma)
+		w[i] = math.Pow(a+u*(bb-a), 1/(1-gamma))
+	}
+	return w
+}
+
+// WattsStrogatz returns a small-world ring lattice on n nodes where each
+// node connects to its k nearest neighbors (k even) and each edge is
+// rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) (*graph.Graph, error) {
+	if k%2 != 0 || k < 0 || k >= n {
+		return nil, fmt.Errorf("gen: WattsStrogatz k=%d invalid for n=%d (need even, < n)", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz beta=%v outside [0,1]", beta)
+	}
+	type pair struct{ u, v int }
+	exists := make(map[pair]bool, n*k/2)
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		exists[pair{u, v}] = true
+	}
+	has := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return exists[pair{u, v}]
+	}
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k/2; d++ {
+			add(u, (u+d)%n)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k/2; d++ {
+			v := (u + d) % n
+			if rng.Float64() >= beta {
+				continue
+			}
+			if !has(u, v) {
+				continue // already rewired away by the other endpoint
+			}
+			// Rewire u—v to u—w for a uniform random non-neighbor w.
+			for tries := 0; tries < 2*n; tries++ {
+				w := rng.Intn(n)
+				if w == u || has(u, w) {
+					continue
+				}
+				delete(exists, canonical(u, v))
+				add(u, w)
+				break
+			}
+		}
+	}
+	b := graph.NewBuilder(n)
+	for p := range exists {
+		b.AddEdge(p.u, p.v)
+	}
+	return b.Build()
+}
+
+func canonical(u, v int) struct{ u, v int } {
+	if u > v {
+		u, v = v, u
+	}
+	return struct{ u, v int }{u, v}
+}
+
+// PlantedPartition returns a stochastic block model graph with k blocks
+// of size blockN, within-block edge probability pin and between-block
+// probability pout. Ground-truth community c contains nodes
+// [c·blockN, (c+1)·blockN).
+func PlantedPartition(k, blockN int, pin, pout float64, rng *rand.Rand) (*graph.Graph, error) {
+	if pin < 0 || pin > 1 || pout < 0 || pout > 1 {
+		return nil, fmt.Errorf("gen: PlantedPartition probabilities (%v, %v) outside [0,1]", pin, pout)
+	}
+	n := k * blockN
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := pout
+			if i/blockN == j/blockN {
+				p = pin
+			}
+			if rng.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func mustBuildErr(b *graph.Builder) (*graph.Graph, error) { return b.Build() }

@@ -1,0 +1,296 @@
+// Package graph provides the undirected weighted graph substrate that all
+// partitioning, diffusion and community-detection code in this repository
+// operates on. Graphs are stored in CSR (adjacency-list) form and are
+// immutable once built; construction goes through Builder.
+//
+// Terminology follows the paper: for S ⊆ V, vol(S) (written A(S) in the
+// paper) is the sum of degrees of nodes in S, cut(S) is the weight of
+// edges with exactly one endpoint in S, and the conductance is
+// φ(S) = cut(S) / min(vol(S), vol(V∖S)).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an undirected weighted graph in CSR form. Self-loops are not
+// stored. Every undirected edge {u, v} appears in both adjacency lists.
+type Graph struct {
+	n      int
+	rowPtr []int
+	adj    []int
+	w      []float64
+	deg    []float64 // weighted degree of each node
+	volume float64   // sum of all weighted degrees = 2 * total edge weight
+	edges  int       // number of undirected edges
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	us    []int
+	vs    []int
+	ws    []float64
+	nErrs int
+	err   error
+}
+
+// NewBuilder returns a builder for a graph with n nodes labelled 0..n-1.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		return &Builder{err: fmt.Errorf("graph: negative node count %d", n)}
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records an undirected edge {u, v} with weight 1. Self-loops are
+// silently ignored (they do not affect cuts; the paper's Laplacians
+// exclude them). Parallel edges accumulate weight.
+func (b *Builder) AddEdge(u, v int) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records an undirected edge {u, v} with weight w > 0.
+func (b *Builder) AddWeightedEdge(u, v int, w float64) {
+	if b.err != nil {
+		return
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.err = fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+		return
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		b.err = fmt.Errorf("graph: edge (%d,%d) has invalid weight %v", u, v, w)
+		return
+	}
+	if u == v {
+		return
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+}
+
+// Build assembles the graph, merging parallel edges by summing weights.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := b.n
+	// Normalize each edge so u < v, then sort and merge duplicates.
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	es := make([]edge, 0, len(b.us))
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		if u > v {
+			u, v = v, u
+		}
+		es = append(es, edge{u, v, b.ws[i]})
+	}
+	sort.Slice(es, func(a, c int) bool {
+		if es[a].u != es[c].u {
+			return es[a].u < es[c].u
+		}
+		return es[a].v < es[c].v
+	})
+	merged := es[:0]
+	for i := 0; i < len(es); {
+		j := i + 1
+		w := es[i].w
+		for j < len(es) && es[j].u == es[i].u && es[j].v == es[i].v {
+			w += es[j].w
+			j++
+		}
+		merged = append(merged, edge{es[i].u, es[i].v, w})
+		i = j
+	}
+	es = merged
+
+	g := &Graph{n: n, rowPtr: make([]int, n+1), deg: make([]float64, n), edges: len(es)}
+	counts := make([]int, n)
+	for _, e := range es {
+		counts[e.u]++
+		counts[e.v]++
+	}
+	for i := 0; i < n; i++ {
+		g.rowPtr[i+1] = g.rowPtr[i] + counts[i]
+	}
+	g.adj = make([]int, g.rowPtr[n])
+	g.w = make([]float64, g.rowPtr[n])
+	pos := make([]int, n)
+	copy(pos, g.rowPtr[:n])
+	for _, e := range es {
+		g.adj[pos[e.u]] = e.v
+		g.w[pos[e.u]] = e.w
+		pos[e.u]++
+		g.adj[pos[e.v]] = e.u
+		g.w[pos[e.v]] = e.w
+		pos[e.v]++
+		g.deg[e.u] += e.w
+		g.deg[e.v] += e.w
+	}
+	// Adjacency lists are already sorted by construction (edges sorted by
+	// (u,v)) for the u side, but the v side entries arrive in u order,
+	// which is also ascending; nevertheless sort defensively per row.
+	for i := 0; i < n; i++ {
+		lo, hi := g.rowPtr[i], g.rowPtr[i+1]
+		sortAdj(g.adj[lo:hi], g.w[lo:hi])
+	}
+	for _, d := range g.deg {
+		g.volume += d
+	}
+	return g, nil
+}
+
+func sortAdj(adj []int, w []float64) {
+	sort.Sort(&adjSorter{adj, w})
+}
+
+type adjSorter struct {
+	adj []int
+	w   []float64
+}
+
+func (s *adjSorter) Len() int           { return len(s.adj) }
+func (s *adjSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.edges }
+
+// Volume returns vol(V) = Σᵢ deg(i) = 2 · (total edge weight).
+func (g *Graph) Volume() float64 { return g.volume }
+
+// Degree returns the weighted degree of node u.
+func (g *Graph) Degree(u int) float64 { return g.deg[u] }
+
+// Degrees returns the weighted degree vector. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Degrees() []float64 { return g.deg }
+
+// NumNeighbors returns the number of distinct neighbors of u.
+func (g *Graph) NumNeighbors(u int) int { return g.rowPtr[u+1] - g.rowPtr[u] }
+
+// Neighbors returns u's neighbor list and the corresponding edge weights.
+// Both slices alias internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) ([]int, []float64) {
+	lo, hi := g.rowPtr[u], g.rowPtr[u+1]
+	return g.adj[lo:hi], g.w[lo:hi]
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists, and its
+// weight.
+func (g *Graph) HasEdge(u, v int) (float64, bool) {
+	lo, hi := g.rowPtr[u], g.rowPtr[u+1]
+	k := lo + sort.SearchInts(g.adj[lo:hi], v)
+	if k < hi && g.adj[k] == v {
+		return g.w[k], true
+	}
+	return 0, false
+}
+
+// Edges calls fn once per undirected edge with u < v.
+func (g *Graph) Edges(fn func(u, v int, w float64)) {
+	for u := 0; u < g.n; u++ {
+		for k := g.rowPtr[u]; k < g.rowPtr[u+1]; k++ {
+			v := g.adj[k]
+			if u < v {
+				fn(u, v, g.w[k])
+			}
+		}
+	}
+}
+
+// Cut returns the total weight of edges with exactly one endpoint in the
+// set indicated by inS (a length-n membership slice).
+func (g *Graph) Cut(inS []bool) float64 {
+	if len(inS) != g.n {
+		panic(fmt.Sprintf("graph: Cut membership length %d != %d", len(inS), g.n))
+	}
+	var c float64
+	for u := 0; u < g.n; u++ {
+		if !inS[u] {
+			continue
+		}
+		for k := g.rowPtr[u]; k < g.rowPtr[u+1]; k++ {
+			if !inS[g.adj[k]] {
+				c += g.w[k]
+			}
+		}
+	}
+	return c
+}
+
+// VolumeOf returns vol(S) = Σ_{i∈S} deg(i) for the membership slice inS.
+func (g *Graph) VolumeOf(inS []bool) float64 {
+	if len(inS) != g.n {
+		panic(fmt.Sprintf("graph: VolumeOf membership length %d != %d", len(inS), g.n))
+	}
+	var v float64
+	for u, in := range inS {
+		if in {
+			v += g.deg[u]
+		}
+	}
+	return v
+}
+
+// Conductance returns φ(S) = cut(S)/min(vol(S), vol(S̄)) for the
+// membership slice inS. It returns +Inf for the empty set, the full set,
+// or a set with zero boundary-normalizer, matching Eq. (6) of the paper.
+func (g *Graph) Conductance(inS []bool) float64 {
+	cut := g.Cut(inS)
+	volS := g.VolumeOf(inS)
+	volC := g.volume - volS
+	m := math.Min(volS, volC)
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return cut / m
+}
+
+// ConductanceOfSet is Conductance for a node-list set representation.
+func (g *Graph) ConductanceOfSet(s []int) float64 {
+	return g.Conductance(g.Membership(s))
+}
+
+// Membership converts a node list into a length-n membership slice.
+func (g *Graph) Membership(s []int) []bool {
+	in := make([]bool, g.n)
+	for _, u := range s {
+		if u < 0 || u >= g.n {
+			panic(fmt.Sprintf("graph: Membership node %d out of range [0,%d)", u, g.n))
+		}
+		in[u] = true
+	}
+	return in
+}
+
+// SetOf converts a membership slice into a sorted node list.
+func SetOf(inS []bool) []int {
+	var s []int
+	for u, in := range inS {
+		if in {
+			s = append(s, u)
+		}
+	}
+	return s
+}
+
+// Complement returns the complement of the membership slice.
+func Complement(inS []bool) []bool {
+	out := make([]bool, len(inS))
+	for i, in := range inS {
+		out[i] = !in
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a plain-text edge list: a header line
+// "# nodes <n>" followed by one "u v w" line per undirected edge (u < v).
+// Weights equal to 1 are written without a weight column for
+// compatibility with common SNAP-style files.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.n); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	var werr error
+	g.Edges(func(u, v int, wt float64) {
+		if werr != nil {
+			return
+		}
+		if wt == 1 {
+			_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		} else {
+			_, werr = fmt.Fprintf(bw, "%d %d %g\n", u, v, wt)
+		}
+	})
+	if werr != nil {
+		return fmt.Errorf("graph: write edge: %w", werr)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the node-count header are treated as comments. If no
+// header is present, the node count is inferred as max node id + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	type rawEdge struct {
+		u, v int
+		w    float64
+	}
+	var edges []rawEdge
+	n := -1
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 3 && fields[1] == "nodes" {
+				v, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad node count %q: %w", lineNo, fields[2], err)
+				}
+				n = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: expected 'u v [w]', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node %q: %w", lineNo, fields[1], err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q: %w", lineNo, fields[2], err)
+			}
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, rawEdge{u, v, w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddWeightedEdge(e.u, e.v, e.w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graph: build from edge list: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildGraph(t *testing.T, n int, edges [][2]int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTriangleCountOnKnownGraphs(t *testing.T) {
+	triangle := buildGraph(t, 3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if got := triangle.TriangleCount(); got != 1 {
+		t.Errorf("triangle: %d triangles, want 1", got)
+	}
+	// K4 has C(4,3) = 4 triangles.
+	k4 := buildGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if got := k4.TriangleCount(); got != 4 {
+		t.Errorf("K4: %d triangles, want 4", got)
+	}
+	// A path has none.
+	path := buildGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if got := path.TriangleCount(); got != 0 {
+		t.Errorf("path: %d triangles, want 0", got)
+	}
+	// A 4-cycle has none either (no odd girth-3 cycle).
+	c4 := buildGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if got := c4.TriangleCount(); got != 0 {
+		t.Errorf("C4: %d triangles, want 0", got)
+	}
+}
+
+func TestTrianglesPerNode(t *testing.T) {
+	// Two triangles sharing node 0: 0 sits in 2, all others in 1.
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {3, 4}, {0, 4}})
+	tri := g.Triangles()
+	want := []int{2, 1, 1, 1, 1}
+	for i := range want {
+		if tri[i] != want[i] {
+			t.Errorf("triangles[%d] = %d, want %d", i, tri[i], want[i])
+		}
+	}
+}
+
+func TestLocalClusteringValues(t *testing.T) {
+	// Star: hub neighbors are never adjacent → all coefficients 0.
+	star := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	for u, c := range star.LocalClustering() {
+		if c != 0 {
+			t.Errorf("star node %d clustering %g, want 0", u, c)
+		}
+	}
+	// Complete graph: all 1.
+	k5 := completeGraph(t, 5)
+	for u, c := range k5.LocalClustering() {
+		if math.Abs(c-1) > 1e-12 {
+			t.Errorf("K5 node %d clustering %g, want 1", u, c)
+		}
+	}
+	if ac := k5.AverageClustering(); math.Abs(ac-1) > 1e-12 {
+		t.Errorf("K5 average clustering %g, want 1", ac)
+	}
+	if tr := k5.Transitivity(); math.Abs(tr-1) > 1e-12 {
+		t.Errorf("K5 transitivity %g, want 1", tr)
+	}
+}
+
+func completeGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestClusteringDegenerateCases(t *testing.T) {
+	// Single edge: both endpoints have < 2 neighbors.
+	g := buildGraph(t, 2, [][2]int{{0, 1}})
+	if ac := g.AverageClustering(); ac != 0 {
+		t.Errorf("edge graph average clustering %g, want 0", ac)
+	}
+	if tr := g.Transitivity(); tr != 0 {
+		t.Errorf("edge graph transitivity %g, want 0", tr)
+	}
+}
+
+// TestTrianglePropertyMatchesBruteForce: the oriented counter agrees with
+// the O(n^3) brute force on random graphs.
+func TestTrianglePropertyMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := NewBuilder(n)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					b.AddEdge(i, j)
+					adj[i][j] = true
+					adj[j][i] = true
+				}
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		brute := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					if adj[i][j] && adj[j][k] && adj[i][k] {
+						brute++
+					}
+				}
+			}
+		}
+		return g.TriangleCount() == brute
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClusteringPropertyBounds: coefficients always lie in [0,1] and the
+// per-node triangle counts sum to 3× the total.
+func TestClusteringPropertyBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, c := range g.Triangles() {
+			sum += c
+		}
+		if sum != 3*g.TriangleCount() {
+			return false
+		}
+		for _, c := range g.LocalClustering() {
+			if c < 0 || c > 1+1e-12 {
+				return false
+			}
+		}
+		tr := g.Transitivity()
+		return tr >= 0 && tr <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package linsolve provides iterative solvers for sparse symmetric
+// positive (semi)definite linear systems arising from graph Laplacians.
+//
+// Every solver reports the number of iterations actually performed and the
+// final residual, because in this repository truncated linear solves are
+// themselves an object of study: stopping a Krylov or stationary iteration
+// early produces a smoothed (implicitly regularized) solution, exactly in
+// the sense of Mahoney (PODS 2012), Section 3.1.
+package linsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/vec"
+)
+
+// ErrNoConvergence is wrapped by solver errors when the iteration cap is
+// reached before the residual tolerance.
+var ErrNoConvergence = errors.New("linsolve: no convergence")
+
+// ErrBreakdown is wrapped when an iteration encounters a numerical
+// breakdown (zero curvature direction, division by ~0) that indicates the
+// operator is not SPD on the working subspace.
+var ErrBreakdown = errors.New("linsolve: numerical breakdown")
+
+// Operator is a linear operator on R^n. Solvers only need matrix-vector
+// products, so composite operators (e.g. I - (1-gamma)*M, or L + tau*D) can
+// be applied without being materialized.
+type Operator interface {
+	// Dim returns n, the dimension of the operator.
+	Dim() int
+	// Apply computes y = A*x. If y is nil or of the wrong length a fresh
+	// slice is allocated; the result slice is returned either way.
+	Apply(x, y []float64) []float64
+}
+
+// CSROp adapts a square mat.CSR to the Operator interface.
+type CSROp struct{ M *mat.CSR }
+
+// Dim returns the number of rows of the wrapped matrix.
+func (o CSROp) Dim() int { return o.M.Rows }
+
+// Apply computes y = M*x.
+func (o CSROp) Apply(x, y []float64) []float64 { return o.M.MulVec(x, y) }
+
+// ShiftedOp applies (A + shift*diag(d))x. With d == nil it applies
+// (A + shift*I)x. It is how the MOV operator L - gamma*D and the PageRank
+// operator are expressed without building new matrices.
+type ShiftedOp struct {
+	A     Operator
+	Shift float64
+	D     []float64 // optional diagonal; nil means identity
+}
+
+// Dim returns the dimension of the underlying operator.
+func (o ShiftedOp) Dim() int { return o.A.Dim() }
+
+// Apply computes y = A*x + shift*diag(d)*x.
+func (o ShiftedOp) Apply(x, y []float64) []float64 {
+	y = o.A.Apply(x, y)
+	if o.D == nil {
+		for i := range y {
+			y[i] += o.Shift * x[i]
+		}
+		return y
+	}
+	for i := range y {
+		y[i] += o.Shift * o.D[i] * x[i]
+	}
+	return y
+}
+
+// ScaledOp applies c·A.
+type ScaledOp struct {
+	A Operator
+	C float64
+}
+
+// Dim returns the dimension of the underlying operator.
+func (o ScaledOp) Dim() int { return o.A.Dim() }
+
+// Apply computes y = c·(A x).
+func (o ScaledOp) Apply(x, y []float64) []float64 {
+	y = o.A.Apply(x, y)
+	for i := range y {
+		y[i] *= o.C
+	}
+	return y
+}
+
+// ProjectedOp applies A and then projects the result (and implicitly the
+// input space) onto the complement of span{u}. It keeps Krylov iterations
+// on a Laplacian inside the space orthogonal to the trivial eigenvector,
+// making the singular system L x = b solvable when b ⟂ u.
+type ProjectedOp struct {
+	A Operator
+	U []float64 // unit vector to project out
+}
+
+// Dim returns the dimension of the underlying operator.
+func (o ProjectedOp) Dim() int { return o.A.Dim() }
+
+// Apply computes y = P A P x where P = I - u u^T.
+func (o ProjectedOp) Apply(x, y []float64) []float64 {
+	px := vec.Clone(x)
+	vec.ProjectOut(px, o.U)
+	y = o.A.Apply(px, y)
+	vec.ProjectOut(y, o.U)
+	return y
+}
+
+// Preconditioner applies an approximation of A^{-1}.
+type Preconditioner interface {
+	// Precondition computes z = M^{-1} r into z (allocating if needed) and
+	// returns z.
+	Precondition(r, z []float64) []float64
+}
+
+// IdentityPrec is the trivial preconditioner z = r.
+type IdentityPrec struct{}
+
+// Precondition copies r into z.
+func (IdentityPrec) Precondition(r, z []float64) []float64 {
+	if len(z) != len(r) {
+		z = make([]float64, len(r))
+	}
+	copy(z, r)
+	return z
+}
+
+// JacobiPrec preconditions with the inverse of a diagonal.
+type JacobiPrec struct{ InvDiag []float64 }
+
+// NewJacobiPrec builds a Jacobi preconditioner from the diagonal entries
+// of A. Zero diagonal entries are treated as 1 so that isolated rows do
+// not poison the iteration.
+func NewJacobiPrec(diag []float64) *JacobiPrec {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if d == 0 {
+			inv[i] = 1
+		} else {
+			inv[i] = 1 / d
+		}
+	}
+	return &JacobiPrec{InvDiag: inv}
+}
+
+// Precondition computes z_i = r_i / diag_i.
+func (p *JacobiPrec) Precondition(r, z []float64) []float64 {
+	if len(z) != len(r) {
+		z = make([]float64, len(r))
+	}
+	for i := range r {
+		z[i] = r[i] * p.InvDiag[i]
+	}
+	return z
+}
+
+// Options configures the iterative solvers.
+type Options struct {
+	// Tol is the relative residual tolerance ||b-Ax|| <= Tol*||b||.
+	// Defaults to 1e-10.
+	Tol float64
+	// MaxIter caps the number of iterations. Defaults to 10*n (CG) or
+	// 100*n (stationary methods).
+	MaxIter int
+	// X0 is the starting iterate; nil means the zero vector.
+	X0 []float64
+	// Prec is the preconditioner; nil means identity.
+	Prec Preconditioner
+}
+
+func (o Options) withDefaults(n int, stationary bool) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		if stationary {
+			o.MaxIter = 100 * n
+		} else {
+			o.MaxIter = 10 * n
+		}
+		if o.MaxIter < 200 {
+			o.MaxIter = 200
+		}
+	}
+	if o.Prec == nil {
+		o.Prec = IdentityPrec{}
+	}
+	return o
+}
+
+// Result reports the outcome of an iterative solve.
+type Result struct {
+	// X is the final iterate.
+	X []float64
+	// Iterations is the number of iterations performed.
+	Iterations int
+	// Residual is the final absolute residual norm ||b - A x||_2.
+	Residual float64
+	// Converged reports whether the tolerance was met.
+	Converged bool
+}
+
+// CG solves A x = b for SPD (or PSD with b in the range) operators using
+// the conjugate gradient method. It returns the best iterate found even on
+// ErrNoConvergence, so callers studying truncated solves can inspect it.
+func CG(a Operator, b []float64, opt Options) (*Result, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return nil, fmt.Errorf("linsolve: CG rhs length %d != dim %d", len(b), n)
+	}
+	opt = opt.withDefaults(n, false)
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, fmt.Errorf("linsolve: CG x0 length %d != dim %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	}
+
+	r := make([]float64, n)
+	ax := a.Apply(x, nil)
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		return &Result{X: x, Residual: vec.Norm2(r), Converged: true}, nil
+	}
+	tol := opt.Tol * normB
+
+	z := opt.Prec.Precondition(r, nil)
+	p := vec.Clone(z)
+	rz := vec.Dot(r, z)
+	ap := make([]float64, n)
+
+	res := vec.Norm2(r)
+	iter := 0
+	for ; iter < opt.MaxIter && res > tol; iter++ {
+		ap = a.Apply(p, ap)
+		pap := vec.Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return &Result{X: x, Iterations: iter, Residual: res},
+				fmt.Errorf("linsolve: CG curvature p'Ap=%g at iter %d: %w", pap, iter, ErrBreakdown)
+		}
+		alpha := rz / pap
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, ap, r)
+		res = vec.Norm2(r)
+		if res <= tol {
+			iter++
+			break
+		}
+		z = opt.Prec.Precondition(r, z)
+		rzNew := vec.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	out := &Result{X: x, Iterations: iter, Residual: res, Converged: res <= tol}
+	if !out.Converged {
+		return out, fmt.Errorf("linsolve: CG stopped after %d iterations with residual %.3e (tol %.3e): %w",
+			iter, res, tol, ErrNoConvergence)
+	}
+	return out, nil
+}
+
+// CGSteps runs exactly k unpreconditioned CG iterations from the zero
+// vector and returns the iterate, without any convergence test. It is the
+// "early stopping" form used to study implicit regularization of truncated
+// Krylov solves.
+func CGSteps(a Operator, b []float64, k int) ([]float64, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("linsolve: CGSteps negative step count %d", k)
+	}
+	n := a.Dim()
+	if len(b) != n {
+		return nil, fmt.Errorf("linsolve: CGSteps rhs length %d != dim %d", len(b), n)
+	}
+	x := make([]float64, n)
+	r := vec.Clone(b)
+	p := vec.Clone(b)
+	rr := vec.Dot(r, r)
+	ap := make([]float64, n)
+	for i := 0; i < k; i++ {
+		if rr == 0 {
+			break
+		}
+		ap = a.Apply(p, ap)
+		pap := vec.Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return x, fmt.Errorf("linsolve: CGSteps curvature p'Ap=%g at iter %d: %w", pap, i, ErrBreakdown)
+		}
+		alpha := rr / pap
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, ap, r)
+		rrNew := vec.Dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for j := range p {
+			p[j] = r[j] + beta*p[j]
+		}
+	}
+	return x, nil
+}
+
+// ResidualNorm returns ||b - A x||_2.
+func ResidualNorm(a Operator, x, b []float64) float64 {
+	ax := a.Apply(x, nil)
+	s := 0.0
+	for i := range b {
+		d := b[i] - ax[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,457 @@
+package linsolve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/mat"
+	"repro/internal/spectral"
+	"repro/internal/vec"
+)
+
+// spdSystem builds the SPD matrix L + tau*I for a path graph, which is
+// well-conditioned enough for every solver here yet nontrivially coupled.
+func spdSystem(t *testing.T, n int, tau float64) *mat.CSR {
+	t.Helper()
+	g := gen.Path(n)
+	l := spectral.Laplacian(g)
+	var entries []mat.Triplet
+	for i := 0; i < n; i++ {
+		cols, vals := l.RowNNZ(i)
+		for k, j := range cols {
+			entries = append(entries, mat.Triplet{Row: i, Col: j, Val: vals[k]})
+		}
+		entries = append(entries, mat.Triplet{Row: i, Col: i, Val: tau})
+	}
+	m, err := mat.NewCSR(n, n, entries)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	return m
+}
+
+func randomRHS(n int, rng *rand.Rand) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+func TestCGSolvesSPDSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := spdSystem(t, 50, 0.5)
+	b := randomRHS(50, rng)
+	res, err := CG(CSROp{M: a}, b, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("CG did not converge")
+	}
+	if r := ResidualNorm(CSROp{M: a}, res.X, b); r > 1e-10*vec.Norm2(b)+1e-12 {
+		t.Errorf("residual %g too large", r)
+	}
+}
+
+func TestCGExactInNIterations(t *testing.T) {
+	// CG in exact arithmetic terminates in at most n steps; with
+	// floating point we allow a modest multiple.
+	rng := rand.New(rand.NewSource(2))
+	n := 30
+	a := spdSystem(t, n, 1.0)
+	b := randomRHS(n, rng)
+	res, err := CG(CSROp{M: a}, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	if res.Iterations > 3*n {
+		t.Errorf("CG took %d iterations on n=%d system", res.Iterations, n)
+	}
+}
+
+func TestCGWithJacobiPreconditioner(t *testing.T) {
+	// A system with wildly varying diagonal: Jacobi preconditioning must
+	// still converge, and should not be slower than plain CG by much.
+	n := 80
+	var entries []mat.Triplet
+	for i := 0; i < n; i++ {
+		d := 1.0 + float64(i%7)*100
+		entries = append(entries, mat.Triplet{Row: i, Col: i, Val: d})
+		if i+1 < n {
+			entries = append(entries, mat.Triplet{Row: i, Col: i + 1, Val: -0.5})
+			entries = append(entries, mat.Triplet{Row: i + 1, Col: i, Val: -0.5})
+		}
+	}
+	a, err := mat.NewCSR(n, n, entries)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b := randomRHS(n, rng)
+
+	plain, err := CG(CSROp{M: a}, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("plain CG: %v", err)
+	}
+	prec, err := CG(CSROp{M: a}, b, Options{Tol: 1e-10, Prec: NewJacobiPrec(Diagonal(a))})
+	if err != nil {
+		t.Fatalf("preconditioned CG: %v", err)
+	}
+	if prec.Iterations > plain.Iterations {
+		t.Errorf("Jacobi-PCG took %d iters, plain CG %d; expected preconditioning to help on this diagonal",
+			prec.Iterations, plain.Iterations)
+	}
+	if r := ResidualNorm(CSROp{M: a}, prec.X, b); r > 1e-8 {
+		t.Errorf("PCG residual %g", r)
+	}
+}
+
+func TestCGRejectsBadInput(t *testing.T) {
+	a := spdSystem(t, 10, 1)
+	if _, err := CG(CSROp{M: a}, make([]float64, 7), Options{}); err == nil {
+		t.Error("expected error for mismatched rhs length")
+	}
+	if _, err := CG(CSROp{M: a}, make([]float64, 10), Options{X0: make([]float64, 3)}); err == nil {
+		t.Error("expected error for mismatched x0 length")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := spdSystem(t, 10, 1)
+	res, err := CG(CSROp{M: a}, make([]float64, 10), Options{})
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	if !res.Converged || vec.Norm2(res.X) != 0 {
+		t.Errorf("zero rhs should give zero solution immediately, got %v", res)
+	}
+}
+
+func TestCGIndefiniteBreaksDown(t *testing.T) {
+	// A diagonal matrix with a negative entry is indefinite; CG should
+	// report a breakdown rather than silently returning garbage.
+	entries := []mat.Triplet{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 1, Col: 1, Val: -1},
+	}
+	a, err := mat.NewCSR(2, 2, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CG(CSROp{M: a}, []float64{0, 1}, Options{})
+	if err == nil || !errors.Is(err, ErrBreakdown) {
+		t.Errorf("expected ErrBreakdown, got %v", err)
+	}
+}
+
+func TestCGNoConvergenceReturnsBestIterate(t *testing.T) {
+	a := spdSystem(t, 200, 1e-6)
+	rng := rand.New(rand.NewSource(4))
+	b := randomRHS(200, rng)
+	res, err := CG(CSROp{M: a}, b, Options{Tol: 1e-14, MaxIter: 2})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("expected ErrNoConvergence, got %v", err)
+	}
+	if res == nil || res.X == nil {
+		t.Fatal("expected partial iterate on non-convergence")
+	}
+	if res.Iterations != 2 {
+		t.Errorf("expected 2 iterations, got %d", res.Iterations)
+	}
+}
+
+func TestCGStepsMonotoneResidual(t *testing.T) {
+	// Truncated CG: the residual norm is non-increasing in k. This is the
+	// invariant that makes "early stopping" a regularization path.
+	a := spdSystem(t, 40, 0.3)
+	rng := rand.New(rand.NewSource(5))
+	b := randomRHS(40, rng)
+	prev := math.Inf(1)
+	for k := 0; k <= 40; k += 4 {
+		x, err := CGSteps(CSROp{M: a}, b, k)
+		if err != nil {
+			t.Fatalf("CGSteps(%d): %v", k, err)
+		}
+		r := ResidualNorm(CSROp{M: a}, x, b)
+		if r > prev+1e-9 {
+			t.Errorf("residual increased at k=%d: %g -> %g", k, prev, r)
+		}
+		prev = r
+	}
+}
+
+func TestCGStepsZeroIterations(t *testing.T) {
+	a := spdSystem(t, 10, 1)
+	x, err := CGSteps(CSROp{M: a}, vec.Ones(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Norm2(x) != 0 {
+		t.Error("k=0 should return the zero vector")
+	}
+	if _, err := CGSteps(CSROp{M: a}, vec.Ones(10), -1); err == nil {
+		t.Error("negative k should error")
+	}
+}
+
+func TestShiftedOpMatchesMaterialized(t *testing.T) {
+	g := gen.Cycle(12)
+	l := spectral.Laplacian(g)
+	d := g.Degrees()
+	op := ShiftedOp{A: CSROp{M: l}, Shift: 0.7, D: d}
+	rng := rand.New(rand.NewSource(6))
+	x := randomRHS(12, rng)
+	y := op.Apply(x, nil)
+	want := l.MulVec(x, nil)
+	for i := range want {
+		want[i] += 0.7 * d[i] * x[i]
+	}
+	if vec.MaxAbsDiff(y, want) > 1e-14 {
+		t.Errorf("ShiftedOp mismatch: %g", vec.MaxAbsDiff(y, want))
+	}
+
+	opI := ShiftedOp{A: CSROp{M: l}, Shift: -0.1}
+	y = opI.Apply(x, nil)
+	want = l.MulVec(x, nil)
+	for i := range want {
+		want[i] -= 0.1 * x[i]
+	}
+	if vec.MaxAbsDiff(y, want) > 1e-14 {
+		t.Errorf("ShiftedOp identity-diagonal mismatch: %g", vec.MaxAbsDiff(y, want))
+	}
+}
+
+func TestProjectedOpSolvesSingularLaplacian(t *testing.T) {
+	// L is singular with kernel = span{1}; projecting out the kernel makes
+	// CG converge to the minimum-norm solution of L x = b for b ⟂ 1.
+	g := gen.Grid(5, 5)
+	n := g.N()
+	l := spectral.Laplacian(g)
+	u := vec.Ones(n)
+	vec.Normalize(u)
+
+	rng := rand.New(rand.NewSource(7))
+	b := randomRHS(n, rng)
+	vec.ProjectOut(b, u) // make consistent
+
+	op := ProjectedOp{A: CSROp{M: l}, U: u}
+	res, err := CG(op, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("CG on projected Laplacian: %v", err)
+	}
+	lx := l.MulVec(res.X, nil)
+	if vec.MaxAbsDiff(lx, b) > 1e-7 {
+		t.Errorf("L x != b: max diff %g", vec.MaxAbsDiff(lx, b))
+	}
+	if s := vec.Dot(res.X, u); math.Abs(s) > 1e-8 {
+		t.Errorf("solution has kernel component %g", s)
+	}
+}
+
+func TestJacobiConvergesOnDiagonallyDominant(t *testing.T) {
+	a := spdSystem(t, 40, 3.0) // strictly diagonally dominant
+	rng := rand.New(rand.NewSource(8))
+	b := randomRHS(40, rng)
+	res, err := Jacobi(a, b, 1.0, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	if r := ResidualNorm(CSROp{M: a}, res.X, b); r > 1e-7 {
+		t.Errorf("Jacobi residual %g", r)
+	}
+}
+
+func TestJacobiRejectsBadOmega(t *testing.T) {
+	a := spdSystem(t, 5, 1)
+	for _, omega := range []float64{0, -0.5, 1.5} {
+		if _, err := Jacobi(a, vec.Ones(5), omega, Options{}); err == nil {
+			t.Errorf("omega=%g should be rejected", omega)
+		}
+	}
+}
+
+func TestJacobiRejectsZeroDiagonal(t *testing.T) {
+	entries := []mat.Triplet{
+		{Row: 0, Col: 1, Val: 1},
+		{Row: 1, Col: 0, Val: 1},
+	}
+	a, err := mat.NewCSR(2, 2, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Jacobi(a, []float64{1, 1}, 1, Options{}); err == nil {
+		t.Error("zero diagonal should be rejected")
+	}
+}
+
+func TestGaussSeidelConvergesAndBeatsJacobi(t *testing.T) {
+	a := spdSystem(t, 60, 0.8)
+	rng := rand.New(rand.NewSource(9))
+	b := randomRHS(60, rng)
+	gs, err := GaussSeidel(a, b, 1.0, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("GaussSeidel: %v", err)
+	}
+	jc, err := Jacobi(a, b, 1.0, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	if gs.Iterations > jc.Iterations {
+		t.Errorf("Gauss-Seidel (%d iters) should not be slower than Jacobi (%d iters) on SPD system",
+			gs.Iterations, jc.Iterations)
+	}
+}
+
+func TestSORRelaxationValidation(t *testing.T) {
+	a := spdSystem(t, 5, 1)
+	for _, omega := range []float64{0, 2, 2.5, -1} {
+		if _, err := GaussSeidel(a, vec.Ones(5), omega, Options{}); err == nil {
+			t.Errorf("omega=%g should be rejected", omega)
+		}
+	}
+	if _, err := GaussSeidel(a, vec.Ones(5), 1.3, Options{Tol: 1e-8}); err != nil {
+		t.Errorf("omega=1.3 (over-relaxed SOR) should work: %v", err)
+	}
+}
+
+func TestChebyshevConvergesWithSpectralBounds(t *testing.T) {
+	// L + tau*I on a path has eigenvalues in [tau, 4+tau].
+	tau := 0.5
+	a := spdSystem(t, 50, tau)
+	rng := rand.New(rand.NewSource(10))
+	b := randomRHS(50, rng)
+	res, err := Chebyshev(CSROp{M: a}, b, tau, 4+tau, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("Chebyshev: %v", err)
+	}
+	if r := ResidualNorm(CSROp{M: a}, res.X, b); r > 1e-7 {
+		t.Errorf("Chebyshev residual %g", r)
+	}
+}
+
+func TestChebyshevRejectsBadBounds(t *testing.T) {
+	a := spdSystem(t, 5, 1)
+	cases := []struct{ lo, hi float64 }{{0, 1}, {-1, 1}, {2, 1}, {1, 1}}
+	for _, c := range cases {
+		if _, err := Chebyshev(CSROp{M: a}, vec.Ones(5), c.lo, c.hi, Options{}); err == nil {
+			t.Errorf("bounds [%g,%g] should be rejected", c.lo, c.hi)
+		}
+	}
+}
+
+func TestSolversAgree(t *testing.T) {
+	// CG, Jacobi, Gauss-Seidel, and Chebyshev must agree on the same
+	// well-conditioned system.
+	tau := 1.5
+	a := spdSystem(t, 30, tau)
+	rng := rand.New(rand.NewSource(11))
+	b := randomRHS(30, rng)
+
+	cg, err := CG(CSROp{M: a}, b, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	jc, err := Jacobi(a, b, 1.0, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("Jacobi: %v", err)
+	}
+	gs, err := GaussSeidel(a, b, 1.0, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("GaussSeidel: %v", err)
+	}
+	ch, err := Chebyshev(CSROp{M: a}, b, tau, 4+tau, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("Chebyshev: %v", err)
+	}
+	for _, pair := range []struct {
+		name string
+		x    []float64
+	}{{"jacobi", jc.X}, {"gauss-seidel", gs.X}, {"chebyshev", ch.X}} {
+		if d := vec.MaxAbsDiff(cg.X, pair.x); d > 1e-8 {
+			t.Errorf("CG vs %s differ by %g", pair.name, d)
+		}
+	}
+}
+
+func TestDiagonalExtraction(t *testing.T) {
+	entries := []mat.Triplet{
+		{Row: 0, Col: 0, Val: 2},
+		{Row: 0, Col: 1, Val: -1},
+		{Row: 1, Col: 0, Val: -1},
+		{Row: 2, Col: 2, Val: 5},
+	}
+	a, err := mat.NewCSR(3, 3, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagonal(a)
+	want := []float64{2, 0, 5}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("diag[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+// TestCGPropertySolvesRandomSPD is a property-based test: for random
+// diagonally-shifted graph Laplacians and random right-hand sides, CG
+// returns a vector whose residual meets the tolerance.
+func TestCGPropertySolvesRandomSPD(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g, err := gen.ErdosRenyi(n, 0.3, rng)
+		if err != nil {
+			return false
+		}
+		l := spectral.Laplacian(g)
+		tau := 0.1 + rng.Float64()*2
+		op := ShiftedOp{A: CSROp{M: l}, Shift: tau}
+		b := randomRHS(n, rng)
+		res, err := CG(op, b, Options{Tol: 1e-9})
+		if err != nil {
+			return false
+		}
+		return ResidualNorm(op, res.X, b) <= 1e-9*vec.Norm2(b)*10+1e-10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCGPropertyLinearity: the solve map b -> x is linear, another way of
+// saying CG computes A^{-1} and not something seed-dependent.
+func TestCGPropertyLinearity(t *testing.T) {
+	a := spdSystem(t, 25, 1.0)
+	op := CSROp{M: a}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b1 := randomRHS(25, rng)
+		b2 := randomRHS(25, rng)
+		c := rng.NormFloat64()
+		sum := make([]float64, 25)
+		for i := range sum {
+			sum[i] = b1[i] + c*b2[i]
+		}
+		x1, err1 := CG(op, b1, Options{Tol: 1e-12})
+		x2, err2 := CG(op, b2, Options{Tol: 1e-12})
+		xs, err3 := CG(op, sum, Options{Tol: 1e-12})
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range sum {
+			if math.Abs(xs.X[i]-(x1.X[i]+c*x2.X[i])) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+package linsolve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/vec"
+)
+
+// Jacobi solves A x = b with the (damped) Jacobi iteration
+//
+//	x_{k+1} = x_k + omega * D^{-1} (b - A x_k),
+//
+// where D is the diagonal of A. It requires the explicit matrix because it
+// needs the diagonal. omega in (0,1] damps the update; omega=1 is the
+// classical iteration.
+func Jacobi(a *mat.CSR, b []float64, omega float64, opt Options) (*Result, error) {
+	if a.Rows != a.ColsN {
+		return nil, fmt.Errorf("linsolve: Jacobi needs square matrix, got %dx%d", a.Rows, a.ColsN)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linsolve: Jacobi rhs length %d != dim %d", len(b), a.Rows)
+	}
+	if omega <= 0 || omega > 1 {
+		return nil, fmt.Errorf("linsolve: Jacobi damping omega=%g out of (0,1]", omega)
+	}
+	n := a.Rows
+	opt = opt.withDefaults(n, true)
+
+	diag := Diagonal(a)
+	for i, d := range diag {
+		if d == 0 {
+			return nil, fmt.Errorf("linsolve: Jacobi zero diagonal at row %d", i)
+		}
+	}
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		return &Result{X: x, Converged: true}, nil
+	}
+	tol := opt.Tol * normB
+
+	ax := make([]float64, n)
+	res := math.Inf(1)
+	iter := 0
+	for ; iter < opt.MaxIter; iter++ {
+		ax = a.MulVec(x, ax)
+		s := 0.0
+		for i := range x {
+			r := b[i] - ax[i]
+			s += r * r
+			x[i] += omega * r / diag[i]
+		}
+		res = math.Sqrt(s)
+		if res <= tol {
+			iter++
+			break
+		}
+	}
+	// The recorded residual is for the pre-update iterate; recompute once.
+	res = ResidualNorm(CSROp{M: a}, x, b)
+	out := &Result{X: x, Iterations: iter, Residual: res, Converged: res <= tol}
+	if !out.Converged {
+		return out, fmt.Errorf("linsolve: Jacobi stopped after %d iterations with residual %.3e (tol %.3e): %w",
+			iter, res, tol, ErrNoConvergence)
+	}
+	return out, nil
+}
+
+// GaussSeidel solves A x = b with the forward Gauss-Seidel sweep (SOR when
+// omega != 1). Convergence is guaranteed for symmetric positive definite A
+// with omega in (0,2).
+func GaussSeidel(a *mat.CSR, b []float64, omega float64, opt Options) (*Result, error) {
+	if a.Rows != a.ColsN {
+		return nil, fmt.Errorf("linsolve: GaussSeidel needs square matrix, got %dx%d", a.Rows, a.ColsN)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linsolve: GaussSeidel rhs length %d != dim %d", len(b), a.Rows)
+	}
+	if omega <= 0 || omega >= 2 {
+		return nil, fmt.Errorf("linsolve: SOR relaxation omega=%g out of (0,2)", omega)
+	}
+	n := a.Rows
+	opt = opt.withDefaults(n, true)
+
+	diag := Diagonal(a)
+	for i, d := range diag {
+		if d == 0 {
+			return nil, fmt.Errorf("linsolve: GaussSeidel zero diagonal at row %d", i)
+		}
+	}
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		return &Result{X: x, Converged: true}, nil
+	}
+	tol := opt.Tol * normB
+
+	op := CSROp{M: a}
+	res := math.Inf(1)
+	iter := 0
+	for ; iter < opt.MaxIter; iter++ {
+		for i := 0; i < n; i++ {
+			cols, vals := a.RowNNZ(i)
+			sum := 0.0
+			for k, j := range cols {
+				if j != i {
+					sum += vals[k] * x[j]
+				}
+			}
+			xi := (b[i] - sum) / diag[i]
+			x[i] += omega * (xi - x[i])
+		}
+		res = ResidualNorm(op, x, b)
+		if res <= tol {
+			iter++
+			break
+		}
+	}
+	out := &Result{X: x, Iterations: iter, Residual: res, Converged: res <= tol}
+	if !out.Converged {
+		return out, fmt.Errorf("linsolve: GaussSeidel stopped after %d iterations with residual %.3e (tol %.3e): %w",
+			iter, res, tol, ErrNoConvergence)
+	}
+	return out, nil
+}
+
+// Chebyshev solves A x = b with the Chebyshev semi-iteration given bounds
+// 0 < lmin <= lambda(A) <= lmax on the operator spectrum. It needs only
+// matvecs and no inner products, which is why it is attractive in
+// communication-bound (distributed) settings.
+func Chebyshev(a Operator, b []float64, lmin, lmax float64, opt Options) (*Result, error) {
+	n := a.Dim()
+	if len(b) != n {
+		return nil, fmt.Errorf("linsolve: Chebyshev rhs length %d != dim %d", len(b), n)
+	}
+	if !(lmin > 0) || !(lmax > lmin) {
+		return nil, fmt.Errorf("linsolve: Chebyshev needs 0 < lmin < lmax, got [%g, %g]", lmin, lmax)
+	}
+	opt = opt.withDefaults(n, false)
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		return &Result{X: x, Converged: true}, nil
+	}
+	tol := opt.Tol * normB
+
+	theta := (lmax + lmin) / 2
+	delta := (lmax - lmin) / 2
+
+	r := make([]float64, n)
+	ax := a.Apply(x, nil)
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	p := make([]float64, n)
+	var alpha, beta float64
+	res := vec.Norm2(r)
+	iter := 0
+	for ; iter < opt.MaxIter && res > tol; iter++ {
+		switch iter {
+		case 0:
+			copy(p, r)
+			alpha = 1 / theta
+		case 1:
+			beta = 0.5 * (delta * alpha) * (delta * alpha)
+			alpha = 1 / (theta - beta/alpha)
+			for i := range p {
+				p[i] = r[i] + beta*p[i]
+			}
+		default:
+			beta = (delta * alpha / 2) * (delta * alpha / 2)
+			alpha = 1 / (theta - beta/alpha)
+			for i := range p {
+				p[i] = r[i] + beta*p[i]
+			}
+		}
+		vec.Axpy(alpha, p, x)
+		ax = a.Apply(x, ax)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		res = vec.Norm2(r)
+	}
+	out := &Result{X: x, Iterations: iter, Residual: res, Converged: res <= tol}
+	if !out.Converged {
+		return out, fmt.Errorf("linsolve: Chebyshev stopped after %d iterations with residual %.3e (tol %.3e): %w",
+			iter, res, tol, ErrNoConvergence)
+	}
+	return out, nil
+}
+
+// Diagonal extracts the diagonal of a square CSR matrix.
+func Diagonal(a *mat.CSR) []float64 {
+	n := a.Rows
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols, vals := a.RowNNZ(i)
+		for k, j := range cols {
+			if j == i {
+				d[i] = vals[k]
+				break
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,171 @@
+package local
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// NibbleResult reports a truncated-random-walk computation.
+type NibbleResult struct {
+	// Dist is the truncated walk distribution after the final step.
+	Dist SparseVec
+	// Best is the best sweep cut seen over all steps (the Spielman–Teng
+	// procedure sweeps at every step), nil if no valid cut appeared.
+	Best *partition.SweepResult
+	// Steps is the number of walk steps performed.
+	Steps int
+	// MaxSupport is the largest support size reached, the locality
+	// measure: it is bounded by the truncation threshold, not by n.
+	MaxSupport int
+}
+
+// Nibble runs the Spielman–Teng truncated lazy random walk [39]: evolve
+// the seed distribution with W = (I + AD^{-1})/2, and after every step
+// zero out ("truncate") every entry with q(u) < eps·deg(u). The
+// truncation keeps the support — and hence the work — small and
+// independent of n; §3.3 identifies it as the implicit regularizer, "a
+// bias analogous to early stopping".
+func Nibble(g *graph.Graph, seeds []int, eps float64, steps int) (*NibbleResult, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("local: nibble eps=%v must be positive", eps)
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("local: nibble steps=%d must be >= 1", steps)
+	}
+	if len(seeds) == 0 {
+		return nil, errors.New("local: nibble needs a nonempty seed set")
+	}
+	q := make(SparseVec)
+	w := 1 / float64(len(seeds))
+	for _, u := range seeds {
+		if u < 0 || u >= g.N() {
+			return nil, fmt.Errorf("local: seed %d out of range [0,%d)", u, g.N())
+		}
+		q[u] += w
+	}
+	res := &NibbleResult{}
+	var bestPhi = math.Inf(1)
+	for step := 1; step <= steps; step++ {
+		next := make(SparseVec, len(q)*2)
+		for u, mass := range q {
+			du := g.Degree(u)
+			if du == 0 {
+				next[u] += mass
+				continue
+			}
+			next[u] += mass / 2
+			nbrs, ws := g.Neighbors(u)
+			for i, v := range nbrs {
+				next[v] += mass / 2 * ws[i] / du
+			}
+		}
+		// Truncate: the regularization step.
+		for u, mass := range next {
+			if mass < eps*g.Degree(u) {
+				delete(next, u)
+			}
+		}
+		q = next
+		if len(q) == 0 {
+			break
+		}
+		if len(q) > res.MaxSupport {
+			res.MaxSupport = len(q)
+		}
+		res.Steps = step
+		if sw, err := SweepCut(g, q); err == nil && sw.Conductance < bestPhi {
+			bestPhi = sw.Conductance
+			res.Best = sw
+		}
+	}
+	res.Dist = q
+	return res, nil
+}
+
+// HeatKernelResult reports a truncated heat-kernel computation.
+type HeatKernelResult struct {
+	Dist       SparseVec // approximation to e^{-t(I-W)}·s on its support
+	Terms      int       // Taylor terms applied
+	MaxSupport int
+}
+
+// HeatKernelLocal approximates Chung's heat-kernel PageRank [15]
+// exp(−t(I−W))·s with a truncated Taylor expansion over the lazy walk W,
+// zeroing entries below eps·deg(u) after every term — the same
+// truncation-as-regularization design as Nibble, applied to the heat
+// dynamics. The number of terms K is chosen so the series tail is below
+// eps (K grows like t + log(1/eps), independent of n).
+func HeatKernelLocal(g *graph.Graph, seeds []int, t, eps float64) (*HeatKernelResult, error) {
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("local: heat kernel t=%v must be positive and finite", t)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("local: heat kernel eps=%v must be positive", eps)
+	}
+	if len(seeds) == 0 {
+		return nil, errors.New("local: heat kernel needs a nonempty seed set")
+	}
+	seed := make(SparseVec)
+	w := 1 / float64(len(seeds))
+	for _, u := range seeds {
+		if u < 0 || u >= g.N() {
+			return nil, fmt.Errorf("local: seed %d out of range [0,%d)", u, g.N())
+		}
+		seed[u] += w
+	}
+	// Choose K: tail Σ_{k>K} e^{-t} t^k/k! < eps/2.
+	k := 1
+	tail := 1 - math.Exp(-t)
+	term := math.Exp(-t)
+	for tail > eps/2 && k < 10000 {
+		term *= t / float64(k)
+		tail -= term
+		k++
+	}
+	res := &HeatKernelResult{}
+	out := make(SparseVec, len(seed))
+	cur := make(SparseVec, len(seed))
+	for u, m := range seed {
+		cur[u] = m
+		out[u] = math.Exp(-t) * m
+	}
+	weight := math.Exp(-t)
+	for kk := 1; kk <= k; kk++ {
+		next := make(SparseVec, len(cur)*2)
+		for u, mass := range cur {
+			du := g.Degree(u)
+			if du == 0 {
+				next[u] += mass
+				continue
+			}
+			next[u] += mass / 2
+			nbrs, ws := g.Neighbors(u)
+			for i, v := range nbrs {
+				next[v] += mass / 2 * ws[i] / du
+			}
+		}
+		for u, mass := range next {
+			if mass < eps*g.Degree(u) {
+				delete(next, u)
+			}
+		}
+		cur = next
+		weight *= t / float64(kk)
+		for u, mass := range cur {
+			out[u] += weight * mass
+		}
+		if len(cur) > res.MaxSupport {
+			res.MaxSupport = len(cur)
+		}
+		res.Terms = kk
+		if len(cur) == 0 {
+			break
+		}
+	}
+	res.Dist = out
+	return res, nil
+}

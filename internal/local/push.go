@@ -1,0 +1,230 @@
+// Package local implements the locally-biased partitioning algorithms of
+// §3.3, both the "operational approach" — the Andersen–Chung–Lang push
+// algorithm for approximate Personalized PageRank, the Spielman–Teng
+// Nibble truncated random walk, and Chung's heat-kernel variant — and the
+// "optimization approach", the Mahoney–Orecchia–Vishnoi (MOV)
+// locally-biased spectral program.
+//
+// The operational algorithms use sparse (map-based) vectors and touch
+// only the nodes their truncation thresholds allow: their work is
+// independent of the size of the graph, which is exactly the §3.3 claim
+// that the experiments measure. The truncation-to-zero is the implicit
+// regularizer.
+package local
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// SparseVec is a sparse nonnegative vector over graph nodes.
+type SparseVec map[int]float64
+
+// Sum returns the total mass of the vector.
+func (v SparseVec) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Support returns the nodes with nonzero value, sorted ascending.
+func (v SparseVec) Support() []int {
+	out := make([]int, 0, len(v))
+	for u := range v {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PushResult reports an approximate Personalized PageRank computation.
+type PushResult struct {
+	P SparseVec // the approximation: p ≈ pr_α(s), supported on few nodes
+	R SparseVec // the residual; the invariant p + pr_α(r) = pr_α(s) holds
+	// Pushes counts push operations; the ACL bound says
+	// Σ_u deg(u) over pushes ≤ 1/(ε·α), independent of n.
+	Pushes int
+	// WorkVolume is Σ deg(u) over all pushes, the true cost measure.
+	WorkVolume float64
+}
+
+// ApproxPageRank runs the Andersen–Chung–Lang push algorithm [1]: compute
+// an ε-approximate Personalized PageRank vector with teleportation α in
+// work O(1/(εα)) independent of the graph size. The lazy-walk convention
+// of [1] is used: pr = α·s + (1−α)·pr·W with W = (I + AD^{-1})/2.
+//
+// Each push takes the residual at one node, banks an α fraction into p,
+// keeps half of the rest at the node and spreads the other half over its
+// neighbors — the "concentrate computational effort on the part of the
+// vector where most of the nonnegligible changes will take place" step
+// that §3.3 quotes; residuals below ε·deg(u) are never pushed, which is
+// the implicit regularization by truncation.
+func ApproxPageRank(g *graph.Graph, seeds []int, alpha, eps float64) (*PushResult, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("local: push alpha=%v outside (0,1)", alpha)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("local: push eps=%v must be positive", eps)
+	}
+	if len(seeds) == 0 {
+		return nil, errors.New("local: push needs a nonempty seed set")
+	}
+	p := make(SparseVec)
+	r := make(SparseVec)
+	w := 1 / float64(len(seeds))
+	for _, u := range seeds {
+		if u < 0 || u >= g.N() {
+			return nil, fmt.Errorf("local: seed %d out of range [0,%d)", u, g.N())
+		}
+		r[u] += w
+	}
+	// Work queue of nodes that may violate r(u) < ε·deg(u), seeded in
+	// sorted order so runs are deterministic.
+	queue := make([]int, 0, len(seeds))
+	inQueue := make(map[int]bool)
+	for _, u := range r.Support() {
+		queue = append(queue, u)
+		inQueue[u] = true
+	}
+	res := &PushResult{P: p, R: r}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		du := g.Degree(u)
+		if du == 0 {
+			// Isolated node: its residual can only go to p.
+			p[u] += r[u]
+			delete(r, u)
+			continue
+		}
+		if r[u] < eps*du {
+			continue
+		}
+		ru := r[u]
+		p[u] += alpha * ru
+		keep := (1 - alpha) * ru / 2
+		r[u] = keep
+		if keep < eps*du && keep > 0 {
+			// stays below threshold; leave it
+		} else if keep >= eps*du && !inQueue[u] {
+			queue = append(queue, u)
+			inQueue[u] = true
+		}
+		spread := (1 - alpha) * ru / 2
+		nbrs, ws := g.Neighbors(u)
+		for i, v := range nbrs {
+			r[v] += spread * ws[i] / du
+			if r[v] >= eps*g.Degree(v) && !inQueue[v] {
+				queue = append(queue, v)
+				inQueue[v] = true
+			}
+		}
+		res.Pushes++
+		res.WorkVolume += du
+	}
+	return res, nil
+}
+
+// DegreeNormalized returns the degree-normalized profile p(u)/deg(u) over
+// the support, the quantity whose sweep realizes the local Cheeger
+// guarantee. Zero-degree nodes are skipped.
+func DegreeNormalized(g *graph.Graph, p SparseVec) SparseVec {
+	out := make(SparseVec, len(p))
+	for u, x := range p {
+		if d := g.Degree(u); d > 0 {
+			out[u] = x / d
+		}
+	}
+	return out
+}
+
+// SweepOrder returns the support of v ordered by decreasing value
+// (ties by node id).
+func SweepOrder(v SparseVec) []int {
+	order := v.Support()
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := v[order[a]], v[order[b]]
+		if va != vb {
+			return va > vb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// SweepCut performs the local sweep: order the support of p by
+// p(u)/deg(u) and return the best-conductance prefix. The cost depends
+// only on the support size and its boundary, not on n.
+func SweepCut(g *graph.Graph, p SparseVec) (*partition.SweepResult, error) {
+	if len(p) == 0 {
+		return nil, errors.New("local: sweep over empty vector")
+	}
+	order := SweepOrder(DegreeNormalized(g, p))
+	if len(order) == 0 {
+		return nil, errors.New("local: sweep support has only zero-degree nodes")
+	}
+	return partition.SweepCutOrdered(g, order, len(order))
+}
+
+// ExactPageRankDense computes the exact PPR vector with the same lazy
+// convention as ApproxPageRank by dense iteration, used to validate the
+// push invariant. O(m·iterations); for tests and small graphs.
+func ExactPageRankDense(g *graph.Graph, seed []float64, alpha float64, tol float64, maxIter int) ([]float64, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("local: alpha=%v outside (0,1)", alpha)
+	}
+	if len(seed) != g.N() {
+		return nil, fmt.Errorf("local: seed length %d != %d nodes", len(seed), g.N())
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	n := g.N()
+	x := make([]float64, n)
+	copy(x, seed)
+	y := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		// y = α s + (1−α) W x, W = (I + A D^{-1})/2.
+		for i := range y {
+			y[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			if x[u] == 0 {
+				continue
+			}
+			du := g.Degree(u)
+			if du == 0 {
+				y[u] += x[u]
+				continue
+			}
+			y[u] += x[u] / 2
+			nbrs, ws := g.Neighbors(u)
+			for i, v := range nbrs {
+				y[v] += x[u] / 2 * ws[i] / du
+			}
+		}
+		var diff float64
+		for i := range y {
+			y[i] = alpha*seed[i] + (1-alpha)*y[i]
+			if d := math.Abs(y[i] - x[i]); d > diff {
+				diff = d
+			}
+		}
+		x, y = y, x
+		if diff < tol {
+			return x, nil
+		}
+	}
+	return x, fmt.Errorf("local: exact PPR did not converge in %d iterations", maxIter)
+}

@@ -1,0 +1,359 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomSymmetric(n int, rng *rand.Rand) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestDenseMulVec(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(0, 2, 3)
+	m.Set(1, 0, 4)
+	m.Set(1, 1, 5)
+	m.Set(1, 2, 6)
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestDenseMulMat(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := Identity(2)
+	c := a.MulMat(b)
+	if MaxAbsDiff(a, c) != 0 {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestTraceProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSymmetric(5, rng)
+	b := randomSymmetric(5, rng)
+	want := a.MulMat(b).Trace()
+	got := TraceProduct(a, b)
+	if !almostEq(got, want, 1e-10) {
+		t.Fatalf("TraceProduct = %v, want %v", got, want)
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	m := NewDense(3, 3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 2)
+	e, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if !almostEq(e.Values[i], w, 1e-12) {
+			t.Errorf("value[%d] = %v, want %v", i, e.Values[i], w)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := NewDense(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	e, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e.Values[0], 1, 1e-12) || !almostEq(e.Values[1], 3, 1e-12) {
+		t.Fatalf("values = %v, want [1 3]", e.Values)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		a := randomSymmetric(n, rng)
+		e, err := SymEigen(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := e.Reconstruct(func(x float64) float64 { return x })
+		if d := MaxAbsDiff(a, rec); d > 1e-9 {
+			t.Errorf("n=%d: reconstruction error %v", n, d)
+		}
+		// Orthonormality of eigenvectors.
+		vtv := e.Vectors.Transpose().MulMat(e.Vectors)
+		if d := MaxAbsDiff(vtv, Identity(n)); d > 1e-9 {
+			t.Errorf("n=%d: VᵀV differs from I by %v", n, d)
+		}
+	}
+}
+
+func TestSymEigenSortedAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSymmetric(12, rng)
+	e, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] < e.Values[i-1] {
+			t.Fatalf("values not ascending: %v", e.Values)
+		}
+	}
+}
+
+func TestExpmIdentityScale(t *testing.T) {
+	// exp(0) = I; exp(diag(a)) = diag(e^a).
+	z := NewDense(3, 3)
+	ez, err := Expm(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(ez, Identity(3)); d > 1e-12 {
+		t.Fatalf("exp(0) differs from I by %v", d)
+	}
+	dm := NewDense(2, 2)
+	dm.Set(0, 0, 1)
+	dm.Set(1, 1, 2)
+	ed, err := Expm(dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ed.At(0, 0), math.E, 1e-10) || !almostEq(ed.At(1, 1), math.E*math.E, 1e-9) {
+		t.Fatalf("exp(diag(1,2)) = %v", ed.Data)
+	}
+}
+
+func TestExpmAdditivity(t *testing.T) {
+	// For commuting matrices (same matrix): exp(A)·exp(A) = exp(2A).
+	rng := rand.New(rand.NewSource(11))
+	a := randomSymmetric(6, rng)
+	a.Scale(0.3)
+	ea, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := a.Clone()
+	a2.Scale(2)
+	e2a, err := Expm(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(ea.MulMat(ea), e2a); d > 1e-8 {
+		t.Fatalf("exp(A)² differs from exp(2A) by %v", d)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	// A = LLᵀ with known solution.
+	a := NewDense(3, 3)
+	vals := [][]float64{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	want := []float64{1, -2, 3}
+	b := a.MulVec(want)
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSPDRejectsIndefinite(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := SolveSPD(a, []float64{1, 1}); err == nil {
+		t.Fatal("SolveSPD accepted an indefinite matrix")
+	}
+}
+
+func TestInverseSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := randomSymmetric(6, rng)
+	// A = BᵀB + I is SPD.
+	a := b.Transpose().MulMat(b)
+	for i := 0; i < 6; i++ {
+		a.Add(i, i, 1)
+	}
+	inv, err := InverseSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(a.MulMat(inv), Identity(6)); d > 1e-8 {
+		t.Fatalf("A·A⁻¹ differs from I by %v", d)
+	}
+}
+
+func TestCSRBasics(t *testing.T) {
+	m, err := NewCSR(3, 3, []Triplet{
+		{0, 1, 2}, {1, 0, 2}, {2, 2, 5}, {0, 1, 1}, // duplicate sums to 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 3 {
+		t.Fatalf("At(0,1) = %v, want 3 (duplicates summed)", m.At(0, 1))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatalf("At(0,0) = %v, want 0", m.At(0, 0))
+	}
+	y := m.MulVec([]float64{1, 1, 1}, nil)
+	if y[0] != 3 || y[1] != 2 || y[2] != 5 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestCSRZeroSumDropped(t *testing.T) {
+	m, err := NewCSR(2, 2, []Triplet{{0, 0, 1}, {0, 0, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 0 {
+		t.Fatalf("cancelled entry not dropped, NNZ = %d", m.NNZ())
+	}
+}
+
+func TestCSROutOfRange(t *testing.T) {
+	if _, err := NewCSR(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Fatal("out-of-range triplet accepted")
+	}
+}
+
+func TestCSRScaleRowsCols(t *testing.T) {
+	m, err := NewCSR(2, 2, []Triplet{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.ScaleRows([]float64{2, 10})
+	if r.At(0, 1) != 4 || r.At(1, 1) != 30 {
+		t.Fatalf("ScaleRows wrong: %v", r.Vals)
+	}
+	c := m.ScaleCols([]float64{2, 10})
+	if c.At(0, 0) != 2 || c.At(0, 1) != 20 {
+		t.Fatalf("ScaleCols wrong: %v", c.Vals)
+	}
+	// Original untouched.
+	if m.At(0, 0) != 1 {
+		t.Fatal("ScaleRows mutated receiver")
+	}
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	trips := []Triplet{{0, 1, 1}, {1, 0, 1}, {2, 2, 4}, {1, 2, -1}}
+	m, err := NewCSR(3, 3, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Dense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if d.At(i, j) != m.At(i, j) {
+				t.Fatalf("Dense mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// Property: CSR MulVec agrees with Dense MulVec.
+func TestPropCSRMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		var trips []Triplet
+		for k := 0; k < rng.Intn(3*n); k++ {
+			trips = append(trips, Triplet{rng.Intn(n), rng.Intn(n), rng.NormFloat64()})
+		}
+		m, err := NewCSR(n, n, trips)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := m.MulVec(x, nil)
+		y2 := m.Dense().MulVec(x)
+		for i := range y1 {
+			if !almostEq(y1[i], y2[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eigenvalue sum equals trace for random symmetric matrices.
+func TestPropEigenvalueSumIsTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a := randomSymmetric(n, rng)
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range e.Values {
+			sum += v
+		}
+		return almostEq(sum, a.Trace(), 1e-8*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOuter(t *testing.T) {
+	m := Outer([]float64{1, 2}, []float64{3, 4, 5})
+	if m.Rows != 2 || m.Cols != 3 || m.At(1, 2) != 10 || m.At(0, 0) != 3 {
+		t.Fatalf("Outer wrong: %+v", m)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 4)
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize = %v", m.Data)
+	}
+}

@@ -1,0 +1,468 @@
+package ncp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/partition"
+)
+
+// SpectralConfig parameterizes the spectral/local profile (the blue
+// "LocalSpectral" method of Fig. 1).
+type SpectralConfig struct {
+	// Seeds is the number of random seed nodes per scale (default 20).
+	Seeds int
+	// Alphas are the PPR teleportation values to sweep (default a
+	// geometric grid from 0.2 down to 0.001, one scale per target size).
+	Alphas []float64
+	// EpsFactor scales the push tolerance: eps = EpsFactor/targetVolume
+	// with targetVolume ≈ vol(V)·alpha heuristics; default 0.1.
+	EpsFactor float64
+	// MaxClusterFrac caps cluster volume at this fraction of vol(V)
+	// (default 0.5: conductance's smaller side).
+	MaxClusterFrac float64
+}
+
+func (c *SpectralConfig) withDefaults() SpectralConfig {
+	out := *c
+	if out.Seeds <= 0 {
+		out.Seeds = 20
+	}
+	if len(out.Alphas) == 0 {
+		out.Alphas = []float64{0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001}
+	}
+	if out.EpsFactor <= 0 {
+		out.EpsFactor = 0.1
+	}
+	if out.MaxClusterFrac <= 0 || out.MaxClusterFrac > 0.5 {
+		out.MaxClusterFrac = 0.5
+	}
+	return out
+}
+
+// SpectralProfile samples clusters at many scales with the
+// Andersen–Chung–Lang push algorithm and local sweep cuts: for each
+// (seed, α) pair it computes an approximate PPR vector, sweeps it, and
+// records every prefix that is a valid cluster. This is the
+// "LocalSpectral" (blue) algorithm of Figure 1.
+func SpectralProfile(g *graph.Graph, cfg SpectralConfig, rng *rand.Rand) (*Profile, error) {
+	c := (&cfg).withDefaults()
+	if g.N() < 4 {
+		return nil, errors.New("ncp: graph too small for a profile")
+	}
+	prof := &Profile{Method: "spectral"}
+	maxVol := c.MaxClusterFrac * g.Volume()
+	for _, alpha := range c.Alphas {
+		// Push tolerance tuned so the support reaches volume ≈ O(1/eps):
+		// smaller alpha → larger clusters → smaller eps. Floored at
+		// 10/vol(G): support volume ≤ 1/eps = vol/10 covers every cluster
+		// size the profile evaluates, and keeps the ACL work bound
+		// 1/(eps·alpha) ≤ vol/(10·alpha) instead of letting it blow up
+		// quadratically at the small-alpha scales.
+		eps := c.EpsFactor * alpha / math.Max(1, g.Volume()/100)
+		if floor := 10 / g.Volume(); eps < floor {
+			eps = floor
+		}
+		// On small graphs the floor can exceed the push threshold scale
+		// and produce empty supports; alpha/4 always yields useful ones.
+		if cap := alpha / 4; eps > cap {
+			eps = cap
+		}
+		if eps <= 0 {
+			eps = 1e-8
+		}
+		for s := 0; s < c.Seeds; s++ {
+			seed := rng.Intn(g.N())
+			res, err := local.ApproxPageRank(g, []int{seed}, alpha, eps)
+			if err != nil {
+				return nil, fmt.Errorf("ncp: spectral profile push: %w", err)
+			}
+			if len(res.P) < 2 {
+				continue
+			}
+			order := local.SweepOrder(local.DegreeNormalized(g, res.P))
+			collectSweepClusters(g, order, maxVol, prof, "spectral")
+		}
+	}
+	if len(prof.Clusters) == 0 {
+		return nil, errors.New("ncp: spectral profile produced no clusters")
+	}
+	return prof, nil
+}
+
+// collectSweepClusters walks the sweep order and records every prefix
+// that improves the best conductance seen so far at its size bucket (a
+// cheap way to keep the scatter informative without storing all n
+// prefixes).
+func collectSweepClusters(g *graph.Graph, order []int, maxVol float64, prof *Profile, method string) {
+	inS := make([]bool, g.N())
+	var cut, volS float64
+	volume := g.Volume()
+	bestAtBucket := map[int]float64{}
+	for k, u := range order {
+		nbrs, ws := g.Neighbors(u)
+		for i, v := range nbrs {
+			if inS[v] {
+				cut -= ws[i]
+			} else {
+				cut += ws[i]
+			}
+		}
+		inS[u] = true
+		volS += g.Degree(u)
+		if volS > maxVol || k+1 >= g.N() {
+			break
+		}
+		denom := math.Min(volS, volume-volS)
+		if denom <= 0 {
+			continue
+		}
+		phi := cut / denom
+		b := bucketOf(k + 1)
+		if cur, ok := bestAtBucket[b]; !ok || phi < cur {
+			bestAtBucket[b] = phi
+			nodes := make([]int, k+1)
+			copy(nodes, order[:k+1])
+			prof.Clusters = append(prof.Clusters, Cluster{Nodes: nodes, Conductance: phi, Method: method})
+		}
+	}
+}
+
+// FlowConfig parameterizes the flow-based profile (the red "Metis+MQI"
+// method of Fig. 1).
+type FlowConfig struct {
+	// MinSize stops the recursion when a piece has fewer nodes
+	// (default 4).
+	MinSize int
+	// MaxDepth caps the recursion depth (default 40).
+	MaxDepth int
+	// BallSeeds is the number of BFS-ball seed sets per size scale that
+	// are improved with MQI, in addition to the recursive bisection —
+	// the [28] practice of running the flow improver at every target
+	// size rather than only on bisection pieces (default 12; 0 keeps the
+	// default, use -1 to disable).
+	BallSeeds int
+	// Multilevel options for each bisection.
+	Multilevel partition.MultilevelOptions
+}
+
+func (c *FlowConfig) withDefaults() FlowConfig {
+	out := *c
+	if out.MinSize < 2 {
+		out.MinSize = 4
+	}
+	if out.MaxDepth <= 0 {
+		out.MaxDepth = 40
+	}
+	if out.BallSeeds == 0 {
+		out.BallSeeds = 12
+	}
+	return out
+}
+
+// FlowProfile samples clusters at all scales with the Metis+MQI
+// pipeline: recursively bisect the graph with the multilevel
+// partitioner, improve the smaller side of every bisection with MQI, and
+// record the improved sets. This is the flow-based (red) algorithm of
+// Figure 1: it optimizes raw conductance aggressively and is expected to
+// win on Fig. 1(a) while producing less "nice" clusters on 1(b)–1(c).
+func FlowProfile(g *graph.Graph, cfg FlowConfig, rng *rand.Rand) (*Profile, error) {
+	c := (&cfg).withDefaults()
+	if g.N() < 4 {
+		return nil, errors.New("ncp: graph too small for a profile")
+	}
+	prof := &Profile{Method: "flow"}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	if err := flowRecurse(g, all, 0, c, rng, prof); err != nil {
+		return nil, err
+	}
+	if c.BallSeeds > 0 {
+		flowBallSeeds(g, c, rng, prof)
+	}
+	flowUnions(g, prof)
+	if len(prof.Clusters) == 0 {
+		return nil, errors.New("ncp: flow profile produced no clusters")
+	}
+	return prof, nil
+}
+
+// flowUnions records greedy disjoint unions of the best flow clusters:
+// sort by conductance, add each cluster whose nodes are disjoint from the
+// union so far, and record every intermediate union. This is the flow
+// analogue of what the spectral sweep does implicitly (its prefixes are
+// unions of early whiskers), and it is how [27, 28] explain the NCP
+// minimum beyond the best-whisker scale: unions of whiskers. Without it
+// the flow method is structurally barred from the disconnected sets that
+// realize the minimum at mid sizes.
+func flowUnions(g *graph.Graph, prof *Profile) {
+	base := append([]Cluster(nil), prof.Clusters...)
+	sort.Slice(base, func(i, j int) bool { return base[i].Conductance < base[j].Conductance })
+	// Greedy unions under a grid of member-size caps: the cap keeps large
+	// low-φ clusters from swallowing the union budget, so every size
+	// scale gets union entries built from the best clusters *below* it.
+	for cap := 8; cap <= g.N(); cap *= 4 {
+		flowUnionPass(g, base, cap, prof)
+	}
+	flowUnionPass(g, base, g.N()+1, prof)
+}
+
+// flowUnionPass runs one greedy disjoint-union accumulation over clusters
+// of size < cap, recording every intermediate union of ≥ 2 members.
+func flowUnionPass(g *graph.Graph, base []Cluster, cap int, prof *Profile) {
+	inU := make([]bool, g.N())
+	var union []int
+	var cut, volU float64
+	volume := g.Volume()
+	taken := 0
+	for _, c := range base {
+		if len(c.Nodes) >= cap {
+			continue
+		}
+		disjoint := true
+		var volC float64
+		for _, u := range c.Nodes {
+			if inU[u] {
+				disjoint = false
+				break
+			}
+			volC += g.Degree(u)
+		}
+		// Skip (rather than stop at) clusters that overlap the union or
+		// would push it past half the volume: the next-best smaller
+		// cluster may still fit.
+		if !disjoint || volU+volC > volume/2 {
+			continue
+		}
+		for _, u := range c.Nodes {
+			nbrs, ws := g.Neighbors(u)
+			for i, v := range nbrs {
+				if inU[v] {
+					cut -= ws[i]
+				} else {
+					cut += ws[i]
+				}
+			}
+			inU[u] = true
+		}
+		volU += volC
+		union = append(union, c.Nodes...)
+		taken++
+		if taken >= 2 { // singleton unions duplicate the base clusters
+			denom := math.Min(volU, volume-volU)
+			if denom > 0 {
+				nodes := append([]int(nil), union...)
+				prof.Clusters = append(prof.Clusters, Cluster{
+					Nodes: nodes, Conductance: cut / denom, Method: "flow",
+				})
+			}
+		}
+	}
+}
+
+// flowBallSeeds grows BFS balls to a geometric grid of target sizes and
+// improves each with the Andersen–Lang Improve flow procedure, populating
+// the small and middle scales that recursive bisection visits only once
+// per level. Improve (rather than MQI) is used because a BFS ball rarely
+// *contains* the best nearby cut — Improve may grow past the ball, MQI
+// may not. Each improved set is additionally polished with MQI on its
+// smaller side. Failures (e.g. a ball exceeding half the volume) skip
+// that seed; sampling is best-effort.
+func flowBallSeeds(g *graph.Graph, c FlowConfig, rng *rand.Rand, prof *Profile) {
+	halfVol := g.Volume() / 2
+	record := func(set []int, phi float64) {
+		if len(set) == 0 || len(set) == g.N() || math.IsInf(phi, 1) {
+			return
+		}
+		prof.Clusters = append(prof.Clusters, Cluster{Nodes: set, Conductance: phi, Method: "flow"})
+	}
+	for size := c.MinSize; size <= g.N()/2; size *= 2 {
+		for s := 0; s < c.BallSeeds; s++ {
+			ball := bfsBall(g, rng.Intn(g.N()), size)
+			if len(ball) < 2 {
+				continue
+			}
+			if g.VolumeOf(g.Membership(ball)) > halfVol {
+				continue
+			}
+			imp, err := flow.Improve(g, ball)
+			if err != nil {
+				continue
+			}
+			record(imp.Set, imp.Conductance)
+			if g.VolumeOf(g.Membership(imp.Set)) <= halfVol {
+				if mqi, err := flow.MQI(g, imp.Set); err == nil {
+					record(mqi.Set, mqi.Conductance)
+				}
+			}
+		}
+	}
+}
+
+// bfsBall returns the first `size` nodes in BFS order from src (breadth
+// ties in adjacency order).
+func bfsBall(g *graph.Graph, src, size int) []int {
+	visited := make([]bool, g.N())
+	visited[src] = true
+	out := []int{src}
+	queue := []int{src}
+	for len(queue) > 0 && len(out) < size {
+		u := queue[0]
+		queue = queue[1:]
+		nbrs, _ := g.Neighbors(u)
+		for _, v := range nbrs {
+			if !visited[v] {
+				visited[v] = true
+				out = append(out, v)
+				queue = append(queue, v)
+				if len(out) == size {
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func flowRecurse(g *graph.Graph, nodes []int, depth int, c FlowConfig, rng *rand.Rand, prof *Profile) error {
+	if len(nodes) < c.MinSize || depth > c.MaxDepth {
+		return nil
+	}
+	sub, mapping, err := g.Subgraph(nodes)
+	if err != nil {
+		return fmt.Errorf("ncp: flow profile subgraph: %w", err)
+	}
+	if sub.M() == 0 {
+		return nil
+	}
+	opts := c.Multilevel
+	opts.Seed = rng.Int63() | 1
+	bi, err := partition.MultilevelBisect(sub, opts)
+	if err != nil {
+		return fmt.Errorf("ncp: flow profile bisect: %w", err)
+	}
+	var sideA, sideB []int
+	for i, in := range bi.InS {
+		if in {
+			sideA = append(sideA, mapping[i])
+		} else {
+			sideB = append(sideB, mapping[i])
+		}
+	}
+	if len(sideA) == 0 || len(sideB) == 0 {
+		return nil
+	}
+	// Record both sides (as clusters of the *host* graph), improving the
+	// smaller-volume side with MQI.
+	for _, side := range [][]int{sideA, sideB} {
+		if len(side) == 0 || len(side) == g.N() {
+			continue
+		}
+		inHost := g.Membership(side)
+		phi := g.Conductance(inHost)
+		if !math.IsInf(phi, 1) {
+			prof.Clusters = append(prof.Clusters, Cluster{Nodes: side, Conductance: phi, Method: "flow"})
+		}
+		if g.VolumeOf(inHost) <= g.Volume()/2 {
+			if mqi, err := flow.MQI(g, side); err == nil {
+				prof.Clusters = append(prof.Clusters, Cluster{
+					Nodes: mqi.Set, Conductance: mqi.Conductance, Method: "flow",
+				})
+			}
+		}
+	}
+	if err := flowRecurse(g, sideA, depth+1, c, rng, prof); err != nil {
+		return err
+	}
+	return flowRecurse(g, sideB, depth+1, c, rng, prof)
+}
+
+// EvaluateProfile computes Measures for every cluster in the profile
+// whose size lies in [minSize, maxSize]. Duplicate clusters at the same
+// (size, conductance) are evaluated once.
+func EvaluateProfile(g *graph.Graph, p *Profile, minSize, maxSize int) ([]*Measures, error) {
+	return EvaluateProfileCapped(g, p, minSize, maxSize, 0)
+}
+
+// EvaluateProfileCapped is EvaluateProfile with a per-size-bucket budget:
+// when perBucket > 0, at most that many clusters are evaluated per
+// power-of-two size bucket, preferring the lowest-conductance ones (the
+// envelope Figure 1 reads) and keeping the rest of the budget in cluster
+// order for scatter diversity. Evaluation cost on large profiles is
+// dominated by per-cluster BFS, so the cap is what makes full-size
+// Figure 1 runs tractable.
+func EvaluateProfileCapped(g *graph.Graph, p *Profile, minSize, maxSize, perBucket int) ([]*Measures, error) {
+	type key struct {
+		size int
+		phi  float64
+	}
+	seen := map[key]bool{}
+	var candidates []Cluster
+	for _, c := range p.Clusters {
+		if len(c.Nodes) < minSize || len(c.Nodes) > maxSize {
+			continue
+		}
+		k := key{len(c.Nodes), math.Round(c.Conductance * 1e12)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		candidates = append(candidates, c)
+	}
+	if perBucket > 0 {
+		// Keep the perBucket/2 best-φ clusters per bucket plus every
+		// other cluster in arrival order up to the budget.
+		byBucket := map[int][]int{}
+		for i, c := range candidates {
+			byBucket[bucketOf(len(c.Nodes))] = append(byBucket[bucketOf(len(c.Nodes))], i)
+		}
+		keep := make(map[int]bool)
+		for _, idx := range byBucket {
+			ordered := append([]int(nil), idx...)
+			sort.Slice(ordered, func(a, b int) bool {
+				return candidates[ordered[a]].Conductance < candidates[ordered[b]].Conductance
+			})
+			half := perBucket / 2
+			if half < 1 {
+				half = 1
+			}
+			for i := 0; i < len(ordered) && i < half; i++ {
+				keep[ordered[i]] = true
+			}
+			budget := perBucket - half
+			for _, i := range idx {
+				if budget == 0 {
+					break
+				}
+				if !keep[i] {
+					keep[i] = true
+					budget--
+				}
+			}
+		}
+		var pruned []Cluster
+		for i, c := range candidates {
+			if keep[i] {
+				pruned = append(pruned, c)
+			}
+		}
+		candidates = pruned
+	}
+	var out []*Measures
+	for _, c := range candidates {
+		m, err := Evaluate(g, c.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("ncp: evaluating %d-node cluster: %w", len(c.Nodes), err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/spectral"
+	"repro/internal/vec"
+)
+
+// SpectralEmbedding computes the k-dimensional spectral embedding of g:
+// row i holds node i's coordinates on the k leading nontrivial
+// generalized eigenvectors of the normalized Laplacian (the D^{-1/2}v
+// coordinates whose sweep realizes Cheeger). It is the multi-eigenvector
+// generalization of the Fiedler embedding — the standard substrate for
+// k-way spectral clustering and for the "eigenvector-based analytics"
+// Section 3.3 wants to run at scale.
+func SpectralEmbedding(g *graph.Graph, k int) ([][]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: embedding dimension %d must be positive", k)
+	}
+	if k >= g.N() {
+		return nil, fmt.Errorf("partition: embedding dimension %d must be below n=%d", k, g.N())
+	}
+	if !g.IsConnected() {
+		return nil, errors.New("partition: spectral embedding needs a connected graph")
+	}
+	lap := spectral.NormalizedLaplacian(g)
+	// One eigenpair per Lanczos run, deflating everything found so far: a
+	// single-vector Krylov space cannot resolve eigenvalue multiplicity
+	// (planted structures like caveman graphs have degenerate cave
+	// modes), but sequential deflation recovers each copy.
+	deflate := [][]float64{spectral.TrivialEigvec(g)}
+	vectors := make([][]float64, 0, k)
+	for j := 0; j < k; j++ {
+		res, err := spectral.LanczosSmallest(lap, 1, spectral.LanczosOptions{
+			Deflate: deflate,
+			Seed:    int64(j) + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("partition: embedding eigensolve %d/%d: %w", j+1, k, err)
+		}
+		if len(res.Vectors) < 1 {
+			return nil, fmt.Errorf("partition: eigensolver returned no vector at %d/%d", j+1, k)
+		}
+		vectors = append(vectors, res.Vectors[0])
+		deflate = append(deflate, res.Vectors[0])
+	}
+	deg := g.Degrees()
+	coords := make([][]float64, g.N())
+	for i := range coords {
+		coords[i] = make([]float64, k)
+	}
+	for j := 0; j < k; j++ {
+		// Generalized eigenvector coordinates y = D^{-1/2}x.
+		y := vec.ScaleByDegree(vectors[j], deg, -0.5)
+		for i := range coords {
+			coords[i][j] = y[i]
+		}
+	}
+	return coords, nil
+}
+
+// KMeans runs Lloyd's algorithm on the points with k-means++-style
+// seeding from rng, returning a cluster label per point. It is the
+// rounding step of k-way spectral clustering; deterministic given rng.
+func KMeans(points [][]float64, k int, maxIter int, rng *rand.Rand) ([]int, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("partition: kmeans on empty point set")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("partition: kmeans k=%d out of range [1,%d]", k, n)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("partition: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	dist2 := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+
+	// k-means++ seeding: first center uniform, then proportional to the
+	// squared distance to the nearest chosen center.
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), points[rng.Intn(n)]...))
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = dist2(points[i], centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, d := range minD {
+			total += d
+		}
+		var next int
+		if total == 0 {
+			next = rng.Intn(n) // all points coincide with a center
+		} else {
+			x := rng.Float64() * total
+			for i, d := range minD {
+				x -= d
+				if x <= 0 {
+					next = i
+					break
+				}
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[next]...))
+		for i := range minD {
+			if d := dist2(points[i], centers[len(centers)-1]); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+
+	labels := make([]int, n)
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := dist2(p, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for c := range centers {
+			counts[c] = 0
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j := range p {
+				centers[c][j] += p[j]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Empty cluster: re-seed at the point farthest from its
+				// center, the standard Lloyd repair.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := dist2(p, centers[labels[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centers[c], points[far])
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return labels, nil
+}
+
+// KWayResult is the outcome of k-way spectral clustering.
+type KWayResult struct {
+	// Labels assigns each node a cluster in [0, k).
+	Labels []int
+	// Phis holds the conductance of each cluster.
+	Phis []float64
+	// MaxPhi is the worst cluster conductance (the k-way quality score).
+	MaxPhi float64
+}
+
+// SpectralKWay partitions g into k clusters by embedding the nodes on the
+// k leading nontrivial generalized eigenvectors and clustering the
+// embedded points with k-means. Compared with RecursiveBisect (cut-driven,
+// flow-refinable) this is the "geometry-first" k-way method: it inherits
+// the spectral method's regularization artifacts — compact, round
+// clusters — rather than optimizing conductance directly.
+func SpectralKWay(g *graph.Graph, k int, rng *rand.Rand) (*KWayResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("partition: k=%d must be at least 2", k)
+	}
+	coords, err := SpectralEmbedding(g, k)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := KMeans(coords, k, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &KWayResult{Labels: labels, Phis: make([]float64, k)}
+	for c := 0; c < k; c++ {
+		inS := make([]bool, g.N())
+		any := false
+		for u, l := range labels {
+			if l == c {
+				inS[u] = true
+				any = true
+			}
+		}
+		if !any {
+			res.Phis[c] = math.NaN()
+			continue
+		}
+		res.Phis[c] = g.Conductance(inS)
+		if res.Phis[c] > res.MaxPhi {
+			res.MaxPhi = res.Phis[c]
+		}
+	}
+	return res, nil
+}

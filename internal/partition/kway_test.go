@@ -1,0 +1,205 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestSpectralEmbeddingDimensionsAndValidation(t *testing.T) {
+	g := gen.Caveman(3, 6)
+	coords, err := SpectralEmbedding(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != g.N() || len(coords[0]) != 3 {
+		t.Fatalf("embedding is %dx%d, want %dx3", len(coords), len(coords[0]), g.N())
+	}
+	if _, err := SpectralEmbedding(g, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := SpectralEmbedding(g, g.N()); err == nil {
+		t.Error("k=n should error")
+	}
+}
+
+func TestSpectralEmbeddingSeparatesCaves(t *testing.T) {
+	// On a caveman graph the first embedding coordinates are near-constant
+	// within each cave: intra-cave distances must be far smaller than
+	// inter-cave ones.
+	g := gen.Caveman(3, 8)
+	coords, err := SpectralEmbedding(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := func(a, b int) float64 {
+		var s float64
+		for j := range coords[a] {
+			d := coords[a][j] - coords[b][j]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	intra := dist(1, 2) + dist(9, 10) + dist(17, 18)
+	inter := dist(1, 9) + dist(9, 17) + dist(1, 17)
+	if intra*3 > inter {
+		t.Errorf("embedding does not separate caves: intra %g vs inter %g", intra, inter)
+	}
+}
+
+func TestKMeansRecoversWellSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var points [][]float64
+	var want []int
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for c, ctr := range centers {
+		for i := 0; i < 20; i++ {
+			points = append(points, []float64{
+				ctr[0] + rng.NormFloat64()*0.2,
+				ctr[1] + rng.NormFloat64()*0.2,
+			})
+			want = append(want, c)
+		}
+	}
+	labels, err := KMeans(points, 3, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels are a permutation of the planted ones: check pairwise
+	// co-membership instead of raw labels.
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			same := labels[i] == labels[j]
+			if same != (want[i] == want[j]) {
+				t.Fatalf("points %d,%d co-membership wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := KMeans(nil, 2, 0, rng); err == nil {
+		t.Error("empty points should error")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 3, 0, rng); err == nil {
+		t.Error("k > n should error")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, 1, 0, rng); err == nil {
+		t.Error("ragged points should error")
+	}
+}
+
+func TestKMeansDegenerateIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	labels, err := KMeans(pts, 2, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 4 {
+		t.Fatal("wrong label count")
+	}
+}
+
+func TestSpectralKWayRecoversCaveman(t *testing.T) {
+	g := gen.Caveman(4, 8)
+	rng := rand.New(rand.NewSource(4))
+	res, err := SpectralKWay(g, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cave must be label-pure.
+	for cave := 0; cave < 4; cave++ {
+		label := res.Labels[cave*8]
+		for u := cave * 8; u < (cave+1)*8; u++ {
+			if res.Labels[u] != label {
+				t.Fatalf("cave %d split across clusters", cave)
+			}
+		}
+	}
+	// Caveman caves connect to the ring through rewired edges; each cave
+	// cluster has conductance well under the clique scale.
+	if res.MaxPhi > 0.2 {
+		t.Errorf("max cluster conductance %g too high for planted caves", res.MaxPhi)
+	}
+}
+
+func TestSpectralKWayValidation(t *testing.T) {
+	g := gen.Caveman(3, 5)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := SpectralKWay(g, 1, rng); err == nil {
+		t.Error("k=1 should error")
+	}
+}
+
+// TestSpectralKWayPropertyPartition: labels always form a full partition
+// with every label in range and no empty cluster reported as finite φ.
+func TestSpectralKWayPropertyPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		g := gen.Caveman(k, 5+rng.Intn(5))
+		res, err := SpectralKWay(g, k, rng)
+		if err != nil {
+			return false
+		}
+		if len(res.Labels) != g.N() {
+			return false
+		}
+		for _, l := range res.Labels {
+			if l < 0 || l >= k {
+				return false
+			}
+		}
+		for _, phi := range res.Phis {
+			if !math.IsNaN(phi) && (phi < 0 || phi > 1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpectralKWayVsRecursiveBisect(t *testing.T) {
+	// The two k-way methods must both recover planted structure; the
+	// flow-refinable recursive bisection may differ in labels but not in
+	// quality class.
+	g := gen.Caveman(4, 8)
+	rng := rand.New(rand.NewSource(6))
+	spec, err := SpectralKWay(g, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := RecursiveBisect(g, 4, MultilevelOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPhiRB := 0.0
+	for c := 0; c < 4; c++ {
+		inS := make([]bool, g.N())
+		any := false
+		for u, l := range labels {
+			if l == c {
+				inS[u] = true
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		if phi := g.Conductance(inS); phi > maxPhiRB {
+			maxPhiRB = phi
+		}
+	}
+	if spec.MaxPhi > 3*maxPhiRB+0.05 && maxPhiRB > 0 {
+		t.Errorf("spectral k-way φ=%.3f far worse than recursive bisect φ=%.3f", spec.MaxPhi, maxPhiRB)
+	}
+}

@@ -1,0 +1,220 @@
+// Package plot renders scatter plots as fixed-width ASCII, so the
+// reproduction's figures can be inspected in a terminal and diffed in CI
+// without any graphics dependency. Log-log axes match the paper's
+// Figure 1 presentation.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named point set drawn with a single glyph.
+type Series struct {
+	Name   string
+	Glyph  byte
+	Xs, Ys []float64
+}
+
+// Scatter describes a scatter plot.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area in characters (defaults 72×22).
+	Width, Height int
+	// LogX / LogY select logarithmic axes; non-positive values are
+	// dropped from log axes.
+	LogX, LogY bool
+	Series     []Series
+}
+
+// Render draws the plot. Overlapping points from different series show
+// the glyph of the later series; a '*' marks cells where both of the
+// first two series land, which is the visually interesting case in the
+// two-method comparisons this repository draws.
+func (s *Scatter) Render() (string, error) {
+	if len(s.Series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 22
+	}
+
+	tx := finiteTransform
+	ty := finiteTransform
+	if s.LogX {
+		tx = logTransform
+	}
+	if s.LogY {
+		ty = logTransform
+	}
+
+	// Data ranges after transform.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, ser := range s.Series {
+		if len(ser.Xs) != len(ser.Ys) {
+			return "", fmt.Errorf("plot: series %q has %d xs but %d ys", ser.Name, len(ser.Xs), len(ser.Ys))
+		}
+		for i := range ser.Xs {
+			x, okx := tx(ser.Xs[i])
+			y, oky := ty(ser.Ys[i])
+			if !okx || !oky {
+				continue
+			}
+			total++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if total == 0 {
+		return "", errors.New("plot: no drawable points (all dropped by log axes?)")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	// grid[r][c]: 0 = empty, else glyph; track first-two-series overlap.
+	grid := make([][]byte, h)
+	owner := make([][]int, h)
+	for r := range grid {
+		grid[r] = make([]byte, w)
+		owner[r] = make([]int, w)
+		for c := range owner[r] {
+			owner[r][c] = -1
+		}
+	}
+	for si, ser := range s.Series {
+		glyph := ser.Glyph
+		if glyph == 0 {
+			glyph = "ox+#%@"[si%6]
+		}
+		for i := range ser.Xs {
+			x, okx := tx(ser.Xs[i])
+			y, oky := ty(ser.Ys[i])
+			if !okx || !oky {
+				continue
+			}
+			c := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+			r := h - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+			if owner[r][c] >= 0 && owner[r][c] != si && owner[r][c] < 2 && si < 2 {
+				grid[r][c] = '*'
+			} else if grid[r][c] == 0 || grid[r][c] != '*' {
+				grid[r][c] = glyph
+				owner[r][c] = si
+			}
+		}
+	}
+
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	yTop := axisLabel(maxY, s.LogY)
+	yBot := axisLabel(minY, s.LogY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", margin, yTop)
+		case h - 1:
+			fmt.Fprintf(&b, "%*s |", margin, yBot)
+		default:
+			fmt.Fprintf(&b, "%*s |", margin, "")
+		}
+		for c := 0; c < w; c++ {
+			ch := grid[r][c]
+			if ch == 0 {
+				ch = ' '
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", margin, "", strings.Repeat("-", w))
+	xl := axisLabel(minX, s.LogX)
+	xr := axisLabel(maxX, s.LogX)
+	pad := w - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s\n", margin, "", xl, strings.Repeat(" ", pad), xr)
+	if s.XLabel != "" || s.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s    y: %s\n", margin, "", s.XLabel, s.YLabel)
+	}
+	var legend []string
+	for si, ser := range s.Series {
+		glyph := ser.Glyph
+		if glyph == 0 {
+			glyph = "ox+#%@"[si%6]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", glyph, ser.Name))
+	}
+	fmt.Fprintf(&b, "%*s  legend: %s (* overlap)\n", margin, "", strings.Join(legend, "   "))
+	return b.String(), nil
+}
+
+// finiteTransform drops NaN and ±Inf values (e.g. infinite niceness
+// ratios for internally disconnected clusters).
+func finiteTransform(v float64) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
+}
+
+func logTransform(v float64) (float64, bool) {
+	if v <= 0 || math.IsInf(v, 1) || math.IsNaN(v) {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// axisLabel formats an axis endpoint; on log axes the value passed in is
+// already log10, so it is exponentiated back for display.
+func axisLabel(v float64, isLog bool) string {
+	if isLog {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// WriteTSV writes all series as tab-separated (series, x, y) rows sorted
+// by series then x, the machine-readable companion of Render.
+func WriteTSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series\tx\ty"); err != nil {
+		return err
+	}
+	for _, ser := range series {
+		if len(ser.Xs) != len(ser.Ys) {
+			return fmt.Errorf("plot: series %q has %d xs but %d ys", ser.Name, len(ser.Xs), len(ser.Ys))
+		}
+		idx := make([]int, len(ser.Xs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return ser.Xs[idx[a]] < ser.Xs[idx[b]] })
+		for _, i := range idx {
+			if _, err := fmt.Fprintf(w, "%s\t%g\t%g\n", ser.Name, ser.Xs[i], ser.Ys[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "spectral", Glyph: 's', Xs: []float64{10, 100, 1000}, Ys: []float64{0.5, 0.2, 0.1}},
+		{Name: "flow", Glyph: 'f', Xs: []float64{10, 100, 1000}, Ys: []float64{0.4, 0.1, 0.05}},
+	}
+}
+
+func TestRenderContainsGlyphsAndLegend(t *testing.T) {
+	s := &Scatter{Title: "panel", Series: twoSeries(), LogX: true, LogY: true}
+	out, err := s.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"panel", "s spectral", "f flow", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.ContainsAny(out, "sf") {
+		t.Error("no data glyphs rendered")
+	}
+}
+
+func TestRenderLinearAxes(t *testing.T) {
+	s := &Scatter{Series: []Series{{Name: "a", Xs: []float64{0, 1, 2}, Ys: []float64{0, 1, 4}}}}
+	out, err := s.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o a") {
+		t.Error("default glyph 'o' not used")
+	}
+}
+
+func TestRenderDropsNonPositiveOnLogAxes(t *testing.T) {
+	s := &Scatter{
+		LogY:   true,
+		Series: []Series{{Name: "a", Xs: []float64{1, 2}, Ys: []float64{-1, 0}}},
+	}
+	if _, err := s.Render(); err == nil {
+		t.Error("all-points-dropped should error, not render an empty plot")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (&Scatter{}).Render(); err == nil {
+		t.Error("no series should error")
+	}
+	s := &Scatter{Series: []Series{{Name: "bad", Xs: []float64{1}, Ys: []float64{1, 2}}}}
+	if _, err := s.Render(); err == nil {
+		t.Error("mismatched xs/ys should error")
+	}
+}
+
+func TestRenderSinglePointDegenerateRange(t *testing.T) {
+	s := &Scatter{Series: []Series{{Name: "pt", Xs: []float64{5}, Ys: []float64{5}}}}
+	out, err := s.Render()
+	if err != nil {
+		t.Fatalf("degenerate range should render: %v", err)
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestRenderOverlapMarker(t *testing.T) {
+	s := &Scatter{
+		Width: 10, Height: 5,
+		Series: []Series{
+			{Name: "a", Glyph: 'a', Xs: []float64{1, 9}, Ys: []float64{1, 9}},
+			{Name: "b", Glyph: 'b', Xs: []float64{1, 5}, Ys: []float64{1, 5}},
+		},
+	}
+	out, err := s.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("overlapping first-two-series cell should render '*'")
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTSV(&b, twoSeries()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "series\tx\ty" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 7 {
+		t.Errorf("got %d lines, want 7 (header + 6 rows)", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "spectral\t10\t") {
+		t.Errorf("rows not sorted by x within series: %q", lines[1])
+	}
+}
+
+func TestWriteTSVMismatch(t *testing.T) {
+	var b strings.Builder
+	err := WriteTSV(&b, []Series{{Name: "bad", Xs: []float64{1}, Ys: nil}})
+	if err == nil {
+		t.Error("mismatched series should error")
+	}
+}

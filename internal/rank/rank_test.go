@@ -1,0 +1,288 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/vec"
+)
+
+func TestOrderSortsDescendingWithStableTies(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.5, 0.3}
+	got := Order(scores)
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPageRankIsDistribution(t *testing.T) {
+	g := gen.Dumbbell(5, 3)
+	s, err := PageRank(g, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vec.Sum(s)-1) > 1e-9 {
+		t.Errorf("PageRank sums to %g", vec.Sum(s))
+	}
+	for i, x := range s {
+		if x <= 0 {
+			t.Errorf("node %d has nonpositive PageRank %g", i, x)
+		}
+	}
+}
+
+func TestPageRankStarCenterWins(t *testing.T) {
+	g := gen.Star(20) // node 0 is the hub
+	s, err := PageRank(g, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Order(s)[0] != 0 {
+		t.Errorf("star hub should rank first, got node %d", Order(s)[0])
+	}
+}
+
+func TestEigenvectorCentralityOnStar(t *testing.T) {
+	g := gen.Star(12)
+	s, err := Eigenvector(g, 20000, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Order(s)[0] != 0 {
+		t.Errorf("star hub should have top eigenvector centrality, got %d", Order(s)[0])
+	}
+	// All leaves are symmetric: their scores must agree.
+	for i := 2; i < 12; i++ {
+		if math.Abs(s[i]-s[1]) > 1e-6 {
+			t.Errorf("leaf %d score %g != leaf 1 score %g", i, s[i], s[1])
+		}
+	}
+}
+
+func TestKatzInterpolatesDegreeToEigenvector(t *testing.T) {
+	// On a lollipop, tiny beta ranks like degree; the adjacency spectral
+	// radius of a k-clique is ~k-1, so beta must stay below 1/(k-1).
+	g := gen.Lollipop(8, 6)
+	kz, err := Katz(g, 0.01, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := Degree(g)
+	tau, err := KendallTau(kz, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.9 {
+		t.Errorf("small-beta Katz should track degree, tau=%g", tau)
+	}
+}
+
+func TestKatzDivergesBeyondSpectralRadius(t *testing.T) {
+	g := gen.Complete(10) // λ_max = 9
+	if _, err := Katz(g, 0.5, 2000, 1e-10); err == nil {
+		t.Error("Katz with beta≫1/λ_max should fail, not silently return")
+	}
+}
+
+func TestKatzValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := Katz(g, -1, 0, 0); err == nil {
+		t.Error("negative beta should error")
+	}
+}
+
+func TestKendallTauExtremes(t *testing.T) {
+	a := []float64{4, 3, 2, 1}
+	tau, err := KendallTau(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-1) > 1e-12 {
+		t.Errorf("tau(a,a) = %g, want 1", tau)
+	}
+	rev := []float64{1, 2, 3, 4}
+	tau, err = KendallTau(a, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau+1) > 1e-12 {
+		t.Errorf("tau(a,reverse) = %g, want -1", tau)
+	}
+}
+
+func TestKendallTauHandlesTies(t *testing.T) {
+	a := []float64{1, 1, 2, 3}
+	b := []float64{1, 2, 3, 4}
+	tau, err := KendallTau(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 || tau > 1 {
+		t.Errorf("tau with ties = %g, want in (0,1]", tau)
+	}
+	if _, err := KendallTau([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("constant ranking should be rejected")
+	}
+	if _, err := KendallTau([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should be rejected")
+	}
+}
+
+// TestKendallTauPropertySymmetricBounded: tau is symmetric and in [-1,1]
+// for random score vectors.
+func TestKendallTauPropertySymmetricBounded(t *testing.T) {
+	prop := func(s int64) bool {
+		rng := rand.New(rand.NewSource(s))
+		n := 3 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		t1, err1 := KendallTau(a, b)
+		t2, err2 := KendallTau(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(t1-t2) < 1e-12 && t1 >= -1-1e-12 && t1 <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []float64{10, 9, 8, 1, 2}
+	b := []float64{10, 9, 1, 8, 2}
+	got, err := TopKOverlap(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// top-3(a) = {0,1,2}; top-3(b) = {0,1,3}: overlap 2/3.
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("overlap = %g, want 2/3", got)
+	}
+	if _, err := TopKOverlap(a, b, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := TopKOverlap(a, b, 6); err == nil {
+		t.Error("k>n should error")
+	}
+}
+
+func TestPerturbEdgesPreservesEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := gen.ErdosRenyi(40, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := PerturbEdges(g, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.M() != g.M() {
+		t.Errorf("perturbed graph has %d edges, original %d", noisy.M(), g.M())
+	}
+	if noisy.N() != g.N() {
+		t.Errorf("node count changed: %d vs %d", noisy.N(), g.N())
+	}
+}
+
+func TestPerturbEdgesFracZeroIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.Cycle(12)
+	noisy, err := PerturbEdges(g, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	g.Edges(func(u, v int, w float64) {
+		if _, ok := noisy.HasEdge(u, v); !ok {
+			same = false
+		}
+	})
+	if !same {
+		t.Error("frac=0 must not change any edge")
+	}
+}
+
+func TestPerturbEdgesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.Cycle(12)
+	if _, err := PerturbEdges(g, -0.1, rng); err == nil {
+		t.Error("negative frac should error")
+	}
+	if _, err := PerturbEdges(g, 1.5, rng); err == nil {
+		t.Error("frac>1 should error")
+	}
+}
+
+func TestStabilityRegularizedMethodsAreMoreStable(t *testing.T) {
+	// The package's headline claim: on a power-law-ish graph, converged
+	// PageRank with a healthy teleport is at least as rank-stable under
+	// edge noise as the exact extremal eigenvector, and degree (maximal
+	// regularization toward local structure) is the most stable of all.
+	rng := rand.New(rand.NewSource(7))
+	w := gen.PowerLawWeights(150, 2.5, 2, 30, rng)
+	g, err := gen.ChungLu(w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.LargestComponent()
+	g2, _, err := g.Subgraph(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	panel := []Method{
+		{Name: "eigenvector", Score: func(gg *graph.Graph) ([]float64, error) { return Eigenvector(gg, 50000, 1e-10) }},
+		{Name: "pagerank(0.15)", Score: func(gg *graph.Graph) ([]float64, error) { return PageRank(gg, 0.15) }},
+		{Name: "degree", Score: func(gg *graph.Graph) ([]float64, error) { return Degree(gg), nil }},
+	}
+	res, err := Stability(g2, panel, StabilityOptions{Frac: 0.05, Trials: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]StabilityResult{}
+	for _, r := range res {
+		byName[r.Method] = r
+	}
+	if byName["pagerank(0.15)"].MeanTau < byName["eigenvector"].MeanTau-0.05 {
+		t.Errorf("PageRank tau %g markedly below eigenvector tau %g; regularization should stabilize",
+			byName["pagerank(0.15)"].MeanTau, byName["eigenvector"].MeanTau)
+	}
+	for _, r := range res {
+		if r.MeanTau < -1 || r.MeanTau > 1 {
+			t.Errorf("method %s tau out of range: %g", r.Method, r.MeanTau)
+		}
+		if r.Trials != 5 {
+			t.Errorf("method %s ran %d trials, want 5", r.Method, r.Trials)
+		}
+	}
+}
+
+func TestStandardMethodsAllRun(t *testing.T) {
+	// A lollipop rather than a dumbbell: the dumbbell's mirror symmetry
+	// makes its top adjacency eigenpair nearly degenerate, so the *exact*
+	// eigenvector method is ill-posed on it (which is the paper's point,
+	// but not what this smoke test is for).
+	g := gen.Lollipop(8, 5)
+	for _, m := range StandardMethods() {
+		s, err := m.Score(g)
+		if err != nil {
+			t.Errorf("method %s failed: %v", m.Name, err)
+			continue
+		}
+		if len(s) != g.N() {
+			t.Errorf("method %s returned %d scores for %d nodes", m.Name, len(s), g.N())
+		}
+	}
+}

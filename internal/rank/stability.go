@@ -1,0 +1,188 @@
+package rank
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// PerturbEdges returns a noisy copy of g in which approximately frac of
+// the edges have been rewired: each selected edge (u,v) is replaced by
+// (u,v') for a uniformly random v' that keeps the graph simple. Rewiring
+// preserves the edge count (and roughly the degree sequence) so that
+// stability comparisons measure sensitivity to *structure*, not to size.
+func PerturbEdges(g *graph.Graph, frac float64, rng *rand.Rand) (*graph.Graph, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("rank: perturbation fraction %v outside [0,1]", frac)
+	}
+	n := g.N()
+	if n < 3 {
+		return nil, errors.New("rank: graph too small to rewire")
+	}
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	present := make(map[int64]bool)
+	key := func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)*int64(n) + int64(v)
+	}
+	g.Edges(func(u, v int, w float64) {
+		edges = append(edges, edge{u, v, w})
+		present[key(u, v)] = true
+	})
+	if len(edges) == 0 {
+		return nil, errors.New("rank: graph has no edges to perturb")
+	}
+
+	for i := range edges {
+		if rng.Float64() >= frac {
+			continue
+		}
+		e := &edges[i]
+		// Try a few times to find a simple replacement endpoint; keep the
+		// original edge if the graph is too dense around u.
+		for attempt := 0; attempt < 16; attempt++ {
+			vNew := rng.Intn(n)
+			if vNew == e.u || vNew == e.v || present[key(e.u, vNew)] {
+				continue
+			}
+			delete(present, key(e.u, e.v))
+			present[key(e.u, vNew)] = true
+			e.v = vNew
+			break
+		}
+	}
+
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddWeightedEdge(e.u, e.v, e.w)
+	}
+	return b.Build()
+}
+
+// Method is a ranking method under study: it maps a graph to a score
+// vector.
+type Method struct {
+	Name  string
+	Score func(g *graph.Graph) ([]float64, error)
+}
+
+// StabilityResult summarizes one method's robustness over perturbation
+// trials.
+type StabilityResult struct {
+	Method string
+	// MeanTau is the average Kendall τ between the ranking on the clean
+	// graph and on each perturbed copy. Higher = more stable.
+	MeanTau float64
+	// MeanTopK is the average top-k overlap fraction.
+	MeanTopK float64
+	// Trials is the number of perturbed copies evaluated.
+	Trials int
+}
+
+// StabilityOptions configures the experiment.
+type StabilityOptions struct {
+	// Frac is the fraction of edges rewired per trial. Defaults to 0.05.
+	Frac float64
+	// Trials is the number of perturbed copies. Defaults to 10.
+	Trials int
+	// TopK for the overlap metric. Defaults to n/10 (at least 1).
+	TopK int
+}
+
+// Stability measures, for each method, how much its ranking moves under
+// random edge rewiring. This is the operational face of regularization:
+// the paper's thesis predicts that the more aggressive the approximation
+// (larger teleport γ, earlier stopping), the higher the stability — at
+// the cost of fidelity to the exact extremal eigenvector.
+func Stability(g *graph.Graph, methods []Method, opt StabilityOptions, rng *rand.Rand) ([]StabilityResult, error) {
+	if len(methods) == 0 {
+		return nil, errors.New("rank: no methods given")
+	}
+	if opt.Frac == 0 {
+		opt.Frac = 0.05
+	}
+	if opt.Trials == 0 {
+		opt.Trials = 10
+	}
+	if opt.TopK == 0 {
+		opt.TopK = g.N() / 10
+		if opt.TopK < 1 {
+			opt.TopK = 1
+		}
+	}
+
+	clean := make([][]float64, len(methods))
+	for i, m := range methods {
+		s, err := m.Score(g)
+		if err != nil {
+			return nil, fmt.Errorf("rank: method %s on clean graph: %w", m.Name, err)
+		}
+		clean[i] = s
+	}
+
+	results := make([]StabilityResult, len(methods))
+	for i, m := range methods {
+		results[i].Method = m.Name
+	}
+	for trial := 0; trial < opt.Trials; trial++ {
+		noisy, err := PerturbEdges(g, opt.Frac, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range methods {
+			s, err := m.Score(noisy)
+			if err != nil {
+				return nil, fmt.Errorf("rank: method %s on perturbed graph (trial %d): %w", m.Name, trial, err)
+			}
+			tau, err := KendallTau(clean[i], s)
+			if err != nil {
+				return nil, err
+			}
+			overlap, err := TopKOverlap(clean[i], s, opt.TopK)
+			if err != nil {
+				return nil, err
+			}
+			results[i].MeanTau += tau
+			results[i].MeanTopK += overlap
+			results[i].Trials++
+		}
+	}
+	for i := range results {
+		if results[i].Trials > 0 {
+			results[i].MeanTau /= float64(results[i].Trials)
+			results[i].MeanTopK /= float64(results[i].Trials)
+		}
+	}
+	return results, nil
+}
+
+// StandardMethods returns the ranking-method panel the stability
+// experiment and example use: degree, Katz, exact eigenvector centrality,
+// converged PageRank at two teleports, and early-stopped PageRank.
+func StandardMethods() []Method {
+	return []Method{
+		{Name: "degree", Score: func(g *graph.Graph) ([]float64, error) {
+			return Degree(g), nil
+		}},
+		{Name: "eigenvector", Score: func(g *graph.Graph) ([]float64, error) {
+			return Eigenvector(g, 50000, 1e-10)
+		}},
+		{Name: "pagerank(0.01)", Score: func(g *graph.Graph) ([]float64, error) {
+			return PageRank(g, 0.01)
+		}},
+		{Name: "pagerank(0.15)", Score: func(g *graph.Graph) ([]float64, error) {
+			return PageRank(g, 0.15)
+		}},
+		{Name: "pagerank-10-steps", Score: func(g *graph.Graph) ([]float64, error) {
+			return PageRankSteps(g, 0.15, 10)
+		}},
+	}
+}

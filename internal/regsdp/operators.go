@@ -1,0 +1,147 @@
+package regsdp
+
+import (
+	"fmt"
+	"math"
+)
+
+// The functions in this file construct the density operators that the
+// three diffusion dynamics of §3.1 compute, expressed in the same
+// spectral coordinates as the SDP solutions, so that the equivalence
+// "approximation algorithm output = regularized SDP optimum" can be
+// checked as an exact identity of weight vectors.
+
+// HeatKernelOperator returns the trace-normalized projection of
+// exp(−t·𝓛) onto the nontrivial eigenspace: weights ∝ exp(−t·λᵢ). It is
+// the operator the Heat Kernel dynamics apply to the seed, and the
+// Entropy-SDP optimum at η = t (Mahoney–Orecchia Theorem 1, first case).
+func HeatKernelOperator(s *Spectrum, t float64) (*Solution, error) {
+	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("regsdp: heat-kernel time t=%v must be positive and finite", t)
+	}
+	lams := s.NontrivialValues()
+	w := make([]float64, len(lams))
+	lo := lams[0]
+	var z float64
+	for i, lam := range lams {
+		w[i] = math.Exp(-t * (lam - lo))
+		z += w[i]
+	}
+	for i := range w {
+		w[i] /= z
+	}
+	return &Solution{Spectrum: s, Weights: w, Dual: math.NaN()}, nil
+}
+
+// PageRankOperator returns the trace-normalized projected PageRank
+// resolvent of Eq. (2): in the symmetric coordinates,
+// γ(I − (1−γ)𝓜)^{-1} = γ(γI + (1−γ)𝓛)^{-1}, so weights
+// ∝ 1/(λᵢ + γ/(1−γ)). It equals the LogDet-SDP optimum whose dual
+// variable is ν = γ/(1−γ) (Mahoney–Orecchia Theorem 1, second case).
+func PageRankOperator(s *Spectrum, gamma float64) (*Solution, error) {
+	if gamma <= 0 || gamma >= 1 {
+		return nil, fmt.Errorf("regsdp: PageRank gamma=%v must lie in (0,1)", gamma)
+	}
+	mu := gamma / (1 - gamma)
+	lams := s.NontrivialValues()
+	w := make([]float64, len(lams))
+	var z float64
+	for i, lam := range lams {
+		w[i] = 1 / (lam + mu)
+		z += w[i]
+	}
+	for i := range w {
+		w[i] /= z
+	}
+	return &Solution{Spectrum: s, Weights: w, Dual: mu}, nil
+}
+
+// EtaForPageRank returns the η for which the LogDet-regularized SDP's
+// optimum is exactly PageRankOperator(γ): from the KKT conditions
+// X = (η(𝓛 + νI))^{-1} with ν = γ/(1−γ), the trace constraint forces
+// η = Σᵢ 1/(λᵢ + ν).
+func EtaForPageRank(s *Spectrum, gamma float64) (float64, error) {
+	if gamma <= 0 || gamma >= 1 {
+		return 0, fmt.Errorf("regsdp: PageRank gamma=%v must lie in (0,1)", gamma)
+	}
+	mu := gamma / (1 - gamma)
+	var eta float64
+	for _, lam := range s.NontrivialValues() {
+		eta += 1 / (lam + mu)
+	}
+	return eta, nil
+}
+
+// LazyWalkOperator returns the trace-normalized projected k-step lazy
+// walk operator: in symmetric coordinates W_α = αI + (1−α)𝓜 =
+// I − (1−α)𝓛, so weights ∝ (1 − (1−α)λᵢ)ᵏ. For α ≥ 1/2 the weights are
+// nonnegative (λ ≤ 2). It equals the PNorm-SDP optimum with
+// p = 1 + 1/k (Mahoney–Orecchia Theorem 1, third case).
+func LazyWalkOperator(s *Spectrum, alpha float64, k int) (*Solution, error) {
+	if alpha < 0.5 || alpha >= 1 {
+		return nil, fmt.Errorf("regsdp: lazy-walk alpha=%v must lie in [0.5, 1) to keep the operator PSD", alpha)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("regsdp: lazy-walk step count k=%d must be >= 1", k)
+	}
+	lams := s.NontrivialValues()
+	w := make([]float64, len(lams))
+	var z float64
+	for i, lam := range lams {
+		base := 1 - (1-alpha)*lam
+		if base < 0 {
+			base = 0
+		}
+		w[i] = math.Pow(base, float64(k))
+		z += w[i]
+	}
+	if z == 0 {
+		return nil, fmt.Errorf("regsdp: lazy-walk operator vanished on the nontrivial spectrum (alpha=%v, k=%d)", alpha, k)
+	}
+	for i := range w {
+		w[i] /= z
+	}
+	return &Solution{Spectrum: s, Weights: w, Dual: math.NaN()}, nil
+}
+
+// EtaForLazyWalk returns the (η, p) for which the PNorm-regularized SDP
+// optimum equals LazyWalkOperator(α, k): p = 1 + 1/k and, writing the
+// KKT weights wᵢ = (η(μ − λᵢ))ᵏ with μ = 1/(1−α), the trace constraint
+// pins η = c·(1−α) where c normalizes Σᵢ (1 − (1−α)λᵢ)ᵏ·cᵏ = 1, i.e.
+// c = Z^{-1/k} with Z = Σᵢ (1 − (1−α)λᵢ)₊ᵏ.
+func EtaForLazyWalk(s *Spectrum, alpha float64, k int) (eta, p float64, err error) {
+	if alpha < 0.5 || alpha >= 1 {
+		return 0, 0, fmt.Errorf("regsdp: lazy-walk alpha=%v must lie in [0.5, 1)", alpha)
+	}
+	if k < 1 {
+		return 0, 0, fmt.Errorf("regsdp: lazy-walk k=%d must be >= 1", k)
+	}
+	var z float64
+	for _, lam := range s.NontrivialValues() {
+		base := 1 - (1-alpha)*lam
+		if base > 0 {
+			z += math.Pow(base, float64(k))
+		}
+	}
+	if z == 0 {
+		return 0, 0, fmt.Errorf("regsdp: lazy-walk spectrum vanished (alpha=%v, k=%d)", alpha, k)
+	}
+	c := math.Pow(z, -1/float64(k))
+	return c * (1 - alpha), 1 + 1/float64(k), nil
+}
+
+// MaxWeightDiff returns the ℓ∞ distance between the spectral weights of
+// two solutions over the same spectrum — the equivalence metric used by
+// the §3.1 experiments.
+func MaxWeightDiff(a, b *Solution) float64 {
+	if a.Spectrum != b.Spectrum || len(a.Weights) != len(b.Weights) {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := range a.Weights {
+		if v := math.Abs(a.Weights[i] - b.Weights[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}

@@ -1,0 +1,269 @@
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/vec"
+)
+
+// LanczosOptions configures the Lanczos eigensolver. The zero value uses
+// sensible defaults.
+type LanczosOptions struct {
+	// MaxDim caps the Krylov subspace dimension (default min(n, 300)).
+	MaxDim int
+	// Tol is the residual tolerance for declaring a Ritz pair converged
+	// (default 1e-10).
+	Tol float64
+	// Seed seeds the random start vector (0 → 1).
+	Seed int64
+	// Deflate lists unit vectors kept out of the Krylov subspace.
+	Deflate [][]float64
+}
+
+// LanczosResult carries the k requested extreme Ritz pairs.
+type LanczosResult struct {
+	Values  []float64   // ascending
+	Vectors [][]float64 // unit Ritz vectors, Vectors[i] pairs with Values[i]
+	Dim     int         // Krylov dimension used
+}
+
+// LanczosSmallest computes the k smallest eigenpairs of the symmetric CSR
+// matrix m with the Lanczos method using full reorthogonalization, the
+// more sophisticated cousin of the Power Method that footnote 15 of the
+// paper mentions ("Lanczos algorithms look at a subspace of vectors
+// generated during the iteration").
+func LanczosSmallest(m *mat.CSR, k int, opt LanczosOptions) (*LanczosResult, error) {
+	if m.Rows != m.ColsN {
+		return nil, fmt.Errorf("spectral: Lanczos requires square matrix, got %dx%d", m.Rows, m.ColsN)
+	}
+	n := m.Rows
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("spectral: Lanczos k=%d outside [1,%d]", k, n)
+	}
+	maxDim := opt.MaxDim
+	if maxDim <= 0 {
+		maxDim = 300
+	}
+	if maxDim > n {
+		maxDim = n
+	}
+	if maxDim < k {
+		maxDim = k
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Krylov basis with full reorthogonalization.
+	basis := make([][]float64, 0, maxDim)
+	alpha := make([]float64, 0, maxDim)
+	beta := make([]float64, 0, maxDim) // beta[j] couples basis[j] and basis[j+1]
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	for _, u := range opt.Deflate {
+		vec.ProjectOut(v, u)
+	}
+	if vec.Normalize(v) == 0 {
+		return nil, errors.New("spectral: Lanczos start vector lies in deflated subspace")
+	}
+	basis = append(basis, v)
+
+	w := make([]float64, n)
+	for j := 0; j < maxDim; j++ {
+		w = m.MulVec(basis[j], w)
+		for _, u := range opt.Deflate {
+			vec.ProjectOut(w, u)
+		}
+		a := vec.Dot(basis[j], w)
+		alpha = append(alpha, a)
+		vec.Axpy(-a, basis[j], w)
+		if j > 0 {
+			vec.Axpy(-beta[j-1], basis[j-1], w)
+		}
+		// Full reorthogonalization (twice for stability).
+		for pass := 0; pass < 2; pass++ {
+			for _, b := range basis {
+				vec.ProjectOut(w, b)
+			}
+		}
+		bnorm := vec.Norm2(w)
+		if j+1 >= maxDim {
+			break
+		}
+		if bnorm < 1e-14 {
+			// Invariant subspace found; restart with a fresh random vector
+			// orthogonal to the current basis, or stop if enough pairs.
+			if len(basis) >= k {
+				break
+			}
+			nv := make([]float64, n)
+			for i := range nv {
+				nv[i] = rng.NormFloat64()
+			}
+			for _, u := range opt.Deflate {
+				vec.ProjectOut(nv, u)
+			}
+			for _, b := range basis {
+				vec.ProjectOut(nv, b)
+			}
+			if vec.Normalize(nv) == 0 {
+				break
+			}
+			beta = append(beta, 0)
+			basis = append(basis, nv)
+			continue
+		}
+		nv := vec.Clone(w)
+		vec.Scale(1/bnorm, nv)
+		beta = append(beta, bnorm)
+		basis = append(basis, nv)
+
+		// Convergence test every few steps once the subspace can hold k
+		// pairs: check the k smallest Ritz residuals |beta_j * s_last|.
+		if len(basis) >= k+2 && j%5 == 0 {
+			vals, vecsT, err := symTridiagEigen(alpha, beta[:len(alpha)-1])
+			if err == nil && ritzConverged(vals, vecsT, bnorm, k, tol) {
+				return assembleRitz(basis[:len(alpha)], vals, vecsT, k, m)
+			}
+		}
+	}
+	vals, vecsT, err := symTridiagEigen(alpha, beta[:len(alpha)-1])
+	if err != nil {
+		return nil, fmt.Errorf("spectral: Lanczos tridiagonal solve: %w", err)
+	}
+	return assembleRitz(basis[:len(alpha)], vals, vecsT, k, m)
+}
+
+func ritzConverged(vals []float64, vecsT *mat.Dense, lastBeta float64, k int, tol float64) bool {
+	dim := len(vals)
+	for i := 0; i < k && i < dim; i++ {
+		res := math.Abs(lastBeta * vecsT.At(dim-1, i))
+		if res > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func assembleRitz(basis [][]float64, vals []float64, vecsT *mat.Dense, k int, m *mat.CSR) (*LanczosResult, error) {
+	dim := len(vals)
+	if k > dim {
+		k = dim
+	}
+	n := len(basis[0])
+	out := &LanczosResult{Dim: dim}
+	for i := 0; i < k; i++ {
+		x := make([]float64, n)
+		for j := 0; j < dim; j++ {
+			vec.Axpy(vecsT.At(j, i), basis[j], x)
+		}
+		vec.Normalize(x)
+		out.Values = append(out.Values, vals[i])
+		out.Vectors = append(out.Vectors, x)
+	}
+	return out, nil
+}
+
+// symTridiagEigen computes all eigenpairs of the symmetric tridiagonal
+// matrix with diagonal d and off-diagonal e (len(e) = len(d)-1) using the
+// implicit QL algorithm with Wilkinson shifts. Returns ascending values
+// and the eigenvector matrix (columns).
+func symTridiagEigen(d, e []float64) ([]float64, *mat.Dense, error) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) {
+		return nil, nil, fmt.Errorf("spectral: tridiagonal sizes d=%d e=%d", n, len(e))
+	}
+	if n == 0 {
+		return nil, mat.NewDense(0, 0), nil
+	}
+	dd := append([]float64(nil), d...)
+	ee := make([]float64, n)
+	copy(ee, e)
+	z := mat.Identity(n)
+
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter > 200 {
+				return nil, nil, fmt.Errorf("spectral: tridiagonal QL failed to converge at index %d", l)
+			}
+			var mIdx int
+			for mIdx = l; mIdx < n-1; mIdx++ {
+				dsum := math.Abs(dd[mIdx]) + math.Abs(dd[mIdx+1])
+				if math.Abs(ee[mIdx]) <= 1e-16*dsum {
+					break
+				}
+			}
+			if mIdx == l {
+				break
+			}
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[mIdx] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := mIdx - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[mIdx] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				for kk := 0; kk < n; kk++ {
+					f := z.At(kk, i+1)
+					z.Set(kk, i+1, s*z.At(kk, i)+c*f)
+					z.Set(kk, i, c*z.At(kk, i)-s*f)
+				}
+			}
+			if r == 0 && mIdx-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[mIdx] = 0
+		}
+	}
+	// Sort ascending, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is the Krylov dim, small
+		j := i
+		for j > 0 && dd[idx[j-1]] > dd[idx[j]] {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	vals := make([]float64, n)
+	vecs := mat.NewDense(n, n)
+	for newCol, oldCol := range idx {
+		vals[newCol] = dd[oldCol]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, newCol, z.At(i, oldCol))
+		}
+	}
+	return vals, vecs, nil
+}

@@ -1,0 +1,305 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// DynamicGraph is a mutable adjacency-list multigraph supporting edge
+// insertion and deletion, the substrate for incremental PageRank on a
+// dynamically-evolving network (paper reference [6]). It intentionally
+// does not share the immutable CSR representation in internal/graph:
+// evolving social networks need O(1) amortized updates, not a frozen
+// row-pointer array, and keeping the two types separate keeps the static
+// analysis code honest about which algorithms assume a fixed graph.
+type DynamicGraph struct {
+	n   int
+	adj []map[int]float64
+	m   int // number of edges
+}
+
+// NewDynamicGraph returns an empty dynamic graph on n nodes.
+func NewDynamicGraph(n int) (*DynamicGraph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("stream: negative node count %d", n)
+	}
+	adj := make([]map[int]float64, n)
+	for i := range adj {
+		adj[i] = make(map[int]float64)
+	}
+	return &DynamicGraph{n: n, adj: adj}, nil
+}
+
+// N returns the number of nodes.
+func (g *DynamicGraph) N() int { return g.n }
+
+// M returns the number of distinct undirected edges currently present.
+func (g *DynamicGraph) M() int { return g.m }
+
+// Degree returns the weighted degree of u.
+func (g *DynamicGraph) Degree(u int) float64 {
+	var d float64
+	for _, w := range g.adj[u] {
+		d += w
+	}
+	return d
+}
+
+// HasEdge reports whether the undirected edge (u,v) is present.
+func (g *DynamicGraph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// AddEdge inserts the undirected edge (u,v) with weight w, summing weights
+// for repeated insertions.
+func (g *DynamicGraph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("stream: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("stream: self-loop at %d", u)
+	}
+	if w <= 0 {
+		return fmt.Errorf("stream: non-positive edge weight %g", w)
+	}
+	if _, ok := g.adj[u][v]; !ok {
+		g.m++
+	}
+	g.adj[u][v] += w
+	g.adj[v][u] += w
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (u,v) entirely.
+func (g *DynamicGraph) RemoveEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("stream: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if _, ok := g.adj[u][v]; !ok {
+		return fmt.Errorf("stream: edge (%d,%d) not present", u, v)
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.m--
+	return nil
+}
+
+// sampleNeighbor draws a neighbor of u with probability proportional to
+// edge weight, or (-1, false) if u is isolated. Map iteration order is
+// randomized by the runtime, so for reproducibility the neighbors are
+// sorted before the draw.
+func (g *DynamicGraph) sampleNeighbor(u int, rng *rand.Rand) (int, bool) {
+	if len(g.adj[u]) == 0 {
+		return -1, false
+	}
+	nbrs := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		nbrs = append(nbrs, v)
+	}
+	sort.Ints(nbrs)
+	total := 0.0
+	for _, v := range nbrs {
+		total += g.adj[u][v]
+	}
+	x := rng.Float64() * total
+	for _, v := range nbrs {
+		x -= g.adj[u][v]
+		if x <= 0 {
+			return v, true
+		}
+	}
+	return nbrs[len(nbrs)-1], true
+}
+
+// IncrementalPPR maintains an approximate Personalized PageRank vector for
+// a fixed seed on a DynamicGraph across edge insertions and deletions,
+// after Bahmani–Chowdhury–Goel (reference [6]). It stores R Monte Carlo
+// walk paths from the seed; when an edge incident to node u changes, only
+// the walk suffixes that pass through u are redrawn — in expectation
+// O(R·π(u)) work per update rather than a full recomputation.
+//
+// The estimator is the visit-count identity
+//
+//	pr_γ(v) = γ · E[ number of visits to v before a Geometric(γ) stop ],
+//
+// averaged over the walk reservoir.
+type IncrementalPPR struct {
+	g     *DynamicGraph
+	seed  int
+	gamma float64
+	rng   *rand.Rand
+
+	walks [][]int32 // walks[i] is the node sequence of walk i (starts at seed)
+	// visits[u] maps walk id -> first index at which the walk visits u;
+	// only the first visit matters for resampling (the suffix redraw from
+	// there re-randomizes everything after it).
+	visits []map[int32]int32
+
+	resampled int // total suffix redraws, for observability
+}
+
+// NewIncrementalPPR builds the reservoir of walkCount walks from seed on
+// the current state of g.
+func NewIncrementalPPR(g *DynamicGraph, seed int, gamma float64, walkCount int, rng *rand.Rand) (*IncrementalPPR, error) {
+	if g == nil {
+		return nil, errors.New("stream: nil graph")
+	}
+	if seed < 0 || seed >= g.n {
+		return nil, fmt.Errorf("stream: seed %d out of range [0,%d)", seed, g.n)
+	}
+	if gamma <= 0 || gamma >= 1 {
+		return nil, fmt.Errorf("stream: gamma=%v outside (0,1)", gamma)
+	}
+	if walkCount <= 0 {
+		return nil, fmt.Errorf("stream: walk count %d must be positive", walkCount)
+	}
+	p := &IncrementalPPR{
+		g: g, seed: seed, gamma: gamma, rng: rng,
+		walks:  make([][]int32, walkCount),
+		visits: make([]map[int32]int32, g.n),
+	}
+	for u := range p.visits {
+		p.visits[u] = make(map[int32]int32)
+	}
+	for i := range p.walks {
+		p.walks[i] = p.drawWalk(int32(p.seed))
+		p.indexWalk(int32(i))
+	}
+	return p, nil
+}
+
+// drawWalk simulates a Geometric(gamma)-length lazy-stopping walk starting
+// at from (inclusive) on the current graph.
+func (p *IncrementalPPR) drawWalk(from int32) []int32 {
+	path := []int32{from}
+	cur := int(from)
+	for p.rng.Float64() >= p.gamma {
+		nxt, ok := p.g.sampleNeighbor(cur, p.rng)
+		if !ok {
+			break // dangling: walk is stranded, treated as stopped
+		}
+		cur = nxt
+		path = append(path, int32(cur))
+	}
+	return path
+}
+
+func (p *IncrementalPPR) indexWalk(id int32) {
+	for idx, u := range p.walks[id] {
+		if _, seen := p.visits[u][id]; !seen {
+			p.visits[u][id] = int32(idx)
+		}
+	}
+}
+
+func (p *IncrementalPPR) unindexWalk(id int32) {
+	for _, u := range p.walks[id] {
+		delete(p.visits[u], id)
+	}
+}
+
+// resampleThrough redraws, for every walk visiting node u, the suffix
+// starting at its first visit to u. Redrawing from the first visit makes
+// the whole walk distributed as a fresh walk on the current graph
+// conditioned on its (unchanged) prefix, which is the Bahmani et al.
+// correctness argument.
+func (p *IncrementalPPR) resampleThrough(u int) {
+	ids := make([]int32, 0, len(p.visits[u]))
+	for id := range p.visits[u] {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		at := p.visits[u][id]
+		p.unindexWalk(id)
+		prefix := p.walks[id][:at]
+		// The suffix redraw includes the stop lottery from the visit on:
+		// continue the walk from u as if it had just arrived there.
+		suffix := p.drawWalk(int32(u))
+		p.walks[id] = append(append([]int32(nil), prefix...), suffix...)
+		p.indexWalk(id)
+		p.resampled++
+	}
+}
+
+// AddEdge inserts an edge and repairs the reservoir.
+func (p *IncrementalPPR) AddEdge(u, v int, w float64) error {
+	if err := p.g.AddEdge(u, v, w); err != nil {
+		return err
+	}
+	p.resampleThrough(u)
+	p.resampleThrough(v)
+	return nil
+}
+
+// RemoveEdge deletes an edge and repairs the reservoir.
+func (p *IncrementalPPR) RemoveEdge(u, v int) error {
+	if err := p.g.RemoveEdge(u, v); err != nil {
+		return err
+	}
+	p.resampleThrough(u)
+	p.resampleThrough(v)
+	return nil
+}
+
+// Resampled reports the cumulative number of suffix redraws, the cost
+// measure that reference [6] bounds.
+func (p *IncrementalPPR) Resampled() int { return p.resampled }
+
+// Estimate returns the current Personalized PageRank estimate as a dense
+// distribution over nodes (sums to ~1).
+func (p *IncrementalPPR) Estimate() []float64 {
+	scores := make([]float64, p.g.n)
+	var totalVisits float64
+	for _, walk := range p.walks {
+		totalVisits += float64(len(walk))
+	}
+	if totalVisits == 0 {
+		return scores
+	}
+	// Visit-count estimator: pr(v) = γ·E[#visits to v]. Normalizing by
+	// total visits instead of multiplying by γ/R gives the same vector up
+	// to the simplex projection and is exact as R→∞ because
+	// E[walk length] = 1/γ.
+	for _, walk := range p.walks {
+		for _, u := range walk {
+			scores[u] += 1 / totalVisits
+		}
+	}
+	return scores
+}
+
+// Walks exposes the reservoir size.
+func (p *IncrementalPPR) Walks() int { return len(p.walks) }
+
+// CheckInvariant verifies that every stored walk is a valid path in the
+// current graph starting at the seed, and that the visit index matches
+// the walks. Tests and failure-injection harnesses call it after update
+// storms.
+func (p *IncrementalPPR) CheckInvariant() error {
+	for id, walk := range p.walks {
+		if len(walk) == 0 || walk[0] != int32(p.seed) {
+			return fmt.Errorf("stream: walk %d does not start at seed", id)
+		}
+		for k := 0; k+1 < len(walk); k++ {
+			if !p.g.HasEdge(int(walk[k]), int(walk[k+1])) {
+				return fmt.Errorf("stream: walk %d uses missing edge (%d,%d)", id, walk[k], walk[k+1])
+			}
+		}
+	}
+	for u := range p.visits {
+		for id, at := range p.visits[u] {
+			w := p.walks[id]
+			if int(at) >= len(w) || w[at] != int32(u) {
+				return fmt.Errorf("stream: stale visit index for node %d walk %d", u, id)
+			}
+		}
+	}
+	return nil
+}

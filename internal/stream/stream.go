@@ -1,0 +1,235 @@
+// Package stream implements the database-environment diffusion primitives
+// that Section 3.3 of the paper points to as the operational, interactive
+// approach already adopted in practice:
+//
+//   - PageRank estimation over a graph stream, after Das Sarma, Gollapudi
+//     and Panigrahy (PODS 2008, paper reference [37]): the graph is only
+//     available as repeated passes over an arbitrarily-ordered edge list,
+//     and random walks are advanced one step per pass.
+//   - Incremental Personalized PageRank on a dynamically-evolving graph,
+//     after Bahmani, Chowdhury and Goel (VLDB 2010, reference [6]): a
+//     reservoir of Monte Carlo walk paths is maintained and only the
+//     affected suffixes are redrawn when an edge arrives or departs.
+//   - Batch Personalized PageRank for many sources with a worker pool,
+//     after Bahmani, Chakrabarti and Xin (SIGMOD 2011, reference [5]);
+//     goroutines over node shards stand in for MapReduce workers (the
+//     substitution is recorded in DESIGN.md).
+//
+// All three compute approximations whose error is controlled by a budget
+// (number of walks, reservoir size, push tolerance) rather than by a
+// convergence criterion — which is exactly the regime in which the paper
+// argues approximation acts as regularization.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Edge is one undirected edge observation in a stream.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// EdgeStream yields the edges of a graph in a fixed but arbitrary order,
+// one full pass at a time. Implementations must return every edge exactly
+// once per pass.
+type EdgeStream interface {
+	// Pass calls fn for every edge in the stream once.
+	Pass(fn func(Edge)) error
+	// Nodes returns the number of nodes in the streamed graph.
+	Nodes() int
+}
+
+// SliceStream is an EdgeStream over an in-memory edge slice. It is the
+// reference implementation used by tests and examples; any source that can
+// replay its edges (a log file, a table scan) satisfies EdgeStream the
+// same way.
+type SliceStream struct {
+	N     int
+	Edges []Edge
+}
+
+// Pass replays the edge slice.
+func (s *SliceStream) Pass(fn func(Edge)) error {
+	for _, e := range s.Edges {
+		fn(e)
+	}
+	return nil
+}
+
+// Nodes returns the node count.
+func (s *SliceStream) Nodes() int { return s.N }
+
+// StreamOf converts a built graph into a SliceStream, shuffling the edge
+// order with rng (a stream has no useful order) unless rng is nil.
+func StreamOf(g *graph.Graph, rng *rand.Rand) *SliceStream {
+	var edges []Edge
+	g.Edges(func(u, v int, w float64) {
+		edges = append(edges, Edge{U: u, V: v, W: w})
+	})
+	if rng != nil {
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	}
+	return &SliceStream{N: g.N(), Edges: edges}
+}
+
+// PageRankOptions configures the streaming estimator.
+type PageRankOptions struct {
+	// Walks is the number of Monte Carlo walks (per seed for personalized,
+	// total for global). More walks reduce variance; the standard error of
+	// each coordinate scales as 1/sqrt(Walks). Defaults to 4096.
+	Walks int
+	// Gamma is the teleportation parameter of Eq. (2) in the paper: at
+	// each step a walk stops with probability Gamma. Defaults to 0.15.
+	Gamma float64
+	// MaxSteps caps walk lengths (and therefore stream passes). Walks
+	// still active at the cap are terminated where they stand, biasing
+	// long-range mass slightly toward the seed — the same early-stopping
+	// regularization the paper discusses. Defaults to 64.
+	MaxSteps int
+	// Seeds, when nonempty, makes the estimate a Personalized PageRank
+	// from the uniform distribution over Seeds. When empty the walks start
+	// uniformly at random over all nodes (global PageRank).
+	Seeds []int
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.Walks == 0 {
+		o.Walks = 4096
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.15
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 64
+	}
+	return o
+}
+
+// PageRankResult is the output of StreamPageRank.
+type PageRankResult struct {
+	// Scores is the estimated PageRank distribution (sums to 1).
+	Scores []float64
+	// Passes is the number of passes made over the edge stream.
+	Passes int
+	// WalksCapped counts walks that hit MaxSteps before teleporting.
+	WalksCapped int
+}
+
+// StreamPageRank estimates the PageRank distribution of a streamed graph
+// with Monte Carlo walks advanced in lockstep: every pass over the stream
+// advances every active walk by one step, using per-walk reservoir
+// sampling over the incident edges seen during the pass. A walk stops with
+// probability gamma per step; the empirical distribution of walk
+// endpoints is the estimator (endpoint form of the Monte Carlo PageRank
+// identity: pr_γ(v) = Pr[geometric-length walk ends at v]).
+//
+// The pass structure — not the walk structure — is the point: the graph is
+// never random-access, matching the stream model of reference [37].
+func StreamPageRank(s EdgeStream, opt PageRankOptions, rng *rand.Rand) (*PageRankResult, error) {
+	n := s.Nodes()
+	if n <= 0 {
+		return nil, errors.New("stream: empty graph")
+	}
+	opt = opt.withDefaults()
+	if opt.Gamma <= 0 || opt.Gamma >= 1 {
+		return nil, fmt.Errorf("stream: gamma=%v outside (0,1)", opt.Gamma)
+	}
+	if opt.Walks <= 0 {
+		return nil, fmt.Errorf("stream: walks=%d must be positive", opt.Walks)
+	}
+	for _, u := range opt.Seeds {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("stream: seed %d out of range [0,%d)", u, n)
+		}
+	}
+
+	// pos[i] is walk i's current node; done[i] marks teleported walks.
+	pos := make([]int32, opt.Walks)
+	done := make([]bool, opt.Walks)
+	for i := range pos {
+		if len(opt.Seeds) > 0 {
+			pos[i] = int32(opt.Seeds[rng.Intn(len(opt.Seeds))])
+		} else {
+			pos[i] = int32(rng.Intn(n))
+		}
+	}
+
+	// walksAt[v] lists active walk ids currently at node v; rebuilt once
+	// per pass. Reservoir state per active walk: total incident edge
+	// weight seen so far and the currently-chosen next node, giving each
+	// neighbor probability proportional to its edge weight (the natural
+	// random-walk kernel M = AD^{-1}).
+	walksAt := make([][]int32, n)
+	totW := make([]float64, opt.Walks)
+	next := make([]int32, opt.Walks)
+
+	passes := 0
+	active := opt.Walks
+	for step := 0; step < opt.MaxSteps && active > 0; step++ {
+		// Teleport lottery happens before the move so that a walk's
+		// length is Geometric(gamma) in steps taken.
+		for i := range pos {
+			if !done[i] && rng.Float64() < opt.Gamma {
+				done[i] = true
+				active--
+			}
+		}
+		if active == 0 {
+			break
+		}
+		for v := range walksAt {
+			walksAt[v] = walksAt[v][:0]
+		}
+		for i := range pos {
+			if !done[i] {
+				walksAt[pos[i]] = append(walksAt[pos[i]], int32(i))
+				totW[i] = 0
+				next[i] = pos[i] // dangling fallback: stay put
+			}
+		}
+		err := s.Pass(func(e Edge) {
+			if e.W <= 0 {
+				return
+			}
+			// An undirected edge is incident to walks at both endpoints.
+			for _, w := range walksAt[e.U] {
+				totW[w] += e.W
+				if rng.Float64() < e.W/totW[w] {
+					next[w] = int32(e.V)
+				}
+			}
+			for _, w := range walksAt[e.V] {
+				totW[w] += e.W
+				if rng.Float64() < e.W/totW[w] {
+					next[w] = int32(e.U)
+				}
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stream: pass %d: %w", passes, err)
+		}
+		passes++
+		for i := range pos {
+			if !done[i] {
+				pos[i] = next[i]
+			}
+		}
+	}
+
+	capped := 0
+	scores := make([]float64, n)
+	w := 1 / float64(opt.Walks)
+	for i := range pos {
+		if !done[i] {
+			capped++
+		}
+		scores[pos[i]] += w
+	}
+	return &PageRankResult{Scores: scores, Passes: passes, WalksCapped: capped}, nil
+}

@@ -1,0 +1,461 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/internal/vec"
+)
+
+func TestStreamOfReplaysAllEdges(t *testing.T) {
+	g := gen.Cycle(10)
+	s := StreamOf(g, rand.New(rand.NewSource(1)))
+	count := 0
+	if err := s.Pass(func(Edge) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != g.M() {
+		t.Errorf("stream yielded %d edges, graph has %d", count, g.M())
+	}
+	if s.Nodes() != 10 {
+		t.Errorf("Nodes() = %d, want 10", s.Nodes())
+	}
+}
+
+func TestStreamPageRankMatchesExactOnSmallGraph(t *testing.T) {
+	// Global PageRank on a small dumbbell vs the exact dense solve. The
+	// Monte Carlo error at 60k walks is well under the separation between
+	// clique nodes and path nodes.
+	g := gen.Dumbbell(6, 3)
+	rng := rand.New(rand.NewSource(42))
+	s := StreamOf(g, rng)
+	gamma := 0.2
+	res, err := StreamPageRank(s, PageRankOptions{Walks: 60000, Gamma: gamma, MaxSteps: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vec.Sum(res.Scores)-1) > 1e-9 {
+		t.Errorf("scores sum to %g, want 1", vec.Sum(res.Scores))
+	}
+
+	// Exact: gamma*(I-(1-gamma)M)^{-1} applied to the uniform seed.
+	n := g.N()
+	seed := make([]float64, n)
+	for i := range seed {
+		seed[i] = 1 / float64(n)
+	}
+	exact, err := diffusion.PageRank(g, seed, gamma, diffusion.PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(res.Scores[i]-exact[i]) > 0.01 {
+			t.Errorf("node %d: stream %g vs exact %g", i, res.Scores[i], exact[i])
+		}
+	}
+}
+
+func TestStreamPageRankPersonalized(t *testing.T) {
+	// Seeded walks: mass should concentrate near the seed's clique on a
+	// dumbbell, and match the exact PPR ordering of the top nodes.
+	g := gen.Dumbbell(8, 6)
+	rng := rand.New(rand.NewSource(7))
+	s := StreamOf(g, rng)
+	gamma := 0.25
+	res, err := StreamPageRank(s, PageRankOptions{Walks: 40000, Gamma: gamma, MaxSteps: 200, Seeds: []int{0}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]float64, g.N())
+	seed[0] = 1
+	exact, err := diffusion.PageRank(g, seed, gamma, diffusion.PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seed's own clique (nodes 0..7) must hold most of the mass in
+	// both vectors.
+	var mcMass, exMass float64
+	for i := 0; i < 8; i++ {
+		mcMass += res.Scores[i]
+		exMass += exact[i]
+	}
+	if math.Abs(mcMass-exMass) > 0.03 {
+		t.Errorf("clique mass: stream %g vs exact %g", mcMass, exMass)
+	}
+}
+
+func TestStreamPageRankPassBudget(t *testing.T) {
+	g := gen.Cycle(20)
+	rng := rand.New(rand.NewSource(3))
+	s := StreamOf(g, rng)
+	res, err := StreamPageRank(s, PageRankOptions{Walks: 100, Gamma: 0.1, MaxSteps: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes > 5 {
+		t.Errorf("made %d passes, cap was 5", res.Passes)
+	}
+	if res.WalksCapped == 0 {
+		t.Error("with MaxSteps=5 and gamma=0.1 some walks should be capped")
+	}
+}
+
+func TestStreamPageRankValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	rng := rand.New(rand.NewSource(1))
+	s := StreamOf(g, rng)
+	if _, err := StreamPageRank(s, PageRankOptions{Gamma: 1.5}, rng); err == nil {
+		t.Error("gamma > 1 should error")
+	}
+	if _, err := StreamPageRank(s, PageRankOptions{Walks: -1}, rng); err == nil {
+		t.Error("negative walks should error")
+	}
+	if _, err := StreamPageRank(s, PageRankOptions{Seeds: []int{9}}, rng); err == nil {
+		t.Error("out-of-range seed should error")
+	}
+	empty := &SliceStream{N: 0}
+	if _, err := StreamPageRank(empty, PageRankOptions{}, rng); err == nil {
+		t.Error("empty graph should error")
+	}
+}
+
+func TestStreamPageRankPropagatesPassError(t *testing.T) {
+	s := &failingStream{n: 4}
+	rng := rand.New(rand.NewSource(1))
+	_, err := StreamPageRank(s, PageRankOptions{Walks: 8, Gamma: 0.2}, rng)
+	if err == nil || !errors.Is(err, errStreamBroken) {
+		t.Errorf("expected wrapped stream error, got %v", err)
+	}
+}
+
+var errStreamBroken = errors.New("stream broke")
+
+type failingStream struct{ n int }
+
+func (f *failingStream) Pass(func(Edge)) error { return errStreamBroken }
+func (f *failingStream) Nodes() int            { return f.n }
+
+func TestDynamicGraphBasics(t *testing.T) {
+	g, err := NewDynamicGraph(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || !g.HasEdge(1, 0) || g.Degree(1) != 3 {
+		t.Errorf("unexpected state: M=%d deg(1)=%g", g.M(), g.Degree(1))
+	}
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.HasEdge(0, 1) {
+		t.Error("remove failed")
+	}
+	if err := g.RemoveEdge(0, 1); err == nil {
+		t.Error("double-remove should error")
+	}
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop should error")
+	}
+	if err := g.AddEdge(0, 9, 1); err == nil {
+		t.Error("out-of-range should error")
+	}
+	if err := g.AddEdge(0, 1, -2); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := NewDynamicGraph(-1); err == nil {
+		t.Error("negative n should error")
+	}
+}
+
+// buildBoth constructs the same random graph as a static graph.Graph and a
+// DynamicGraph.
+func buildBoth(t *testing.T, n int, p float64, seed int64) (*graph.Graph, []Edge) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gen.ErdosRenyi(n, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []Edge
+	g.Edges(func(u, v int, w float64) { edges = append(edges, Edge{U: u, V: v, W: w}) })
+	return g, edges
+}
+
+func TestIncrementalPPRMatchesExactAfterBuild(t *testing.T) {
+	// Build a graph edge by edge through the incremental maintainer, then
+	// compare the estimate against the exact dense PPR of the final graph.
+	g, edges := buildBoth(t, 24, 0.25, 5)
+	dg, err := NewDynamicGraph(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	// Start from an empty graph: seed vertex only.
+	ppr, err := NewIncrementalPPR(dg, 0, 0.2, 8000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := ppr.AddEdge(e.U, e.V, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ppr.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after build: %v", err)
+	}
+
+	seed := make([]float64, 24)
+	seed[0] = 1
+	exact, err := diffusion.PageRank(g, seed, 0.2, diffusion.PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := ppr.Estimate()
+	if math.Abs(vec.Sum(est)-1) > 1e-9 {
+		t.Errorf("estimate sums to %g", vec.Sum(est))
+	}
+	for i := range exact {
+		if math.Abs(est[i]-exact[i]) > 0.02 {
+			t.Errorf("node %d: incremental %g vs exact %g", i, est[i], exact[i])
+		}
+	}
+	if ppr.Resampled() == 0 {
+		t.Error("edge insertions should have triggered resampling")
+	}
+}
+
+func TestIncrementalPPRSurvivesDeletions(t *testing.T) {
+	_, edges := buildBoth(t, 16, 0.4, 6)
+	dg, err := NewDynamicGraph(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	ppr, err := NewIncrementalPPR(dg, 2, 0.25, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := ppr.AddEdge(e.U, e.V, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a third of the edges again.
+	for i, e := range edges {
+		if i%3 == 0 {
+			if err := ppr.RemoveEdge(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ppr.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after deletions: %v", err)
+	}
+}
+
+func TestIncrementalPPRValidation(t *testing.T) {
+	dg, err := NewDynamicGraph(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewIncrementalPPR(nil, 0, 0.2, 10, rng); err == nil {
+		t.Error("nil graph should error")
+	}
+	if _, err := NewIncrementalPPR(dg, 9, 0.2, 10, rng); err == nil {
+		t.Error("bad seed should error")
+	}
+	if _, err := NewIncrementalPPR(dg, 0, 0, 10, rng); err == nil {
+		t.Error("gamma=0 should error")
+	}
+	if _, err := NewIncrementalPPR(dg, 0, 0.2, 0, rng); err == nil {
+		t.Error("zero walks should error")
+	}
+}
+
+// TestIncrementalPPRPropertyInvariant: random update storms (interleaved
+// inserts and deletes) never break the reservoir invariant.
+func TestIncrementalPPRPropertyInvariant(t *testing.T) {
+	prop := func(s int64) bool {
+		rng := rand.New(rand.NewSource(s))
+		n := 6 + rng.Intn(10)
+		dg, err := NewDynamicGraph(n)
+		if err != nil {
+			return false
+		}
+		ppr, err := NewIncrementalPPR(dg, rng.Intn(n), 0.3, 50, rng)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 60; step++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if dg.HasEdge(u, v) && rng.Float64() < 0.4 {
+				if err := ppr.RemoveEdge(u, v); err != nil {
+					return false
+				}
+			} else if !dg.HasEdge(u, v) {
+				if err := ppr.AddEdge(u, v, 1); err != nil {
+					return false
+				}
+			}
+		}
+		return ppr.CheckInvariant() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchPPRMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := gen.ErdosRenyi(60, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int{0, 5, 10, 15, 20, 25, 30}
+	opt := BatchPPROptions{Alpha: 0.2, Eps: 1e-4, Workers: 4}
+	batch, err := BatchPersonalizedPageRank(g, sources, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		seq, err := local.ApproxPageRank(g, []int{s}, opt.Alpha, opt.Eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch.Vectors[i]) != len(seq.P) {
+			t.Fatalf("source %d: support %d vs %d", s, len(batch.Vectors[i]), len(seq.P))
+		}
+		for u, val := range seq.P {
+			if batch.Vectors[i][u] != val {
+				t.Errorf("source %d node %d: batch %g vs sequential %g", s, u, batch.Vectors[i][u], val)
+			}
+		}
+	}
+	if batch.TotalWork <= 0 {
+		t.Error("TotalWork should be positive")
+	}
+}
+
+func TestBatchPPRWorkerCountsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := gen.ErdosRenyi(40, 0.15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	one, err := BatchPersonalizedPageRank(g, sources, BatchPPROptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := BatchPersonalizedPageRank(g, sources, BatchPPROptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sources {
+		for u, val := range one.Vectors[i] {
+			if many.Vectors[i][u] != val {
+				t.Fatalf("worker-count nondeterminism at source %d node %d", sources[i], u)
+			}
+		}
+	}
+}
+
+func TestBatchPPRValidation(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := BatchPersonalizedPageRank(g, nil, BatchPPROptions{}); err == nil {
+		t.Error("no sources should error")
+	}
+	if _, err := BatchPersonalizedPageRank(g, []int{7}, BatchPPROptions{}); err == nil {
+		t.Error("out-of-range source should error")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	v := local.SparseVec{3: 0.5, 1: 0.2, 7: 0.5, 2: 0.1}
+	got := TopK(v, 3)
+	want := []int{3, 7, 1} // 0.5 tie broken by id, then 0.2
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if len(TopK(v, 10)) != 4 {
+		t.Error("k beyond support should clamp")
+	}
+}
+
+// TestStreamPageRankPropertyDistribution: scores always form a probability
+// distribution whatever the options.
+func TestStreamPageRankPropertyDistribution(t *testing.T) {
+	prop := func(s int64) bool {
+		rng := rand.New(rand.NewSource(s))
+		n := 5 + rng.Intn(20)
+		g, err := gen.ErdosRenyi(n, 0.3, rng)
+		if err != nil {
+			return true
+		}
+		st := StreamOf(g, rng)
+		res, err := StreamPageRank(st, PageRankOptions{
+			Walks:    200,
+			Gamma:    0.05 + rng.Float64()*0.9,
+			MaxSteps: 1 + rng.Intn(30),
+		}, rng)
+		if err != nil {
+			return false
+		}
+		sum := vec.Sum(res.Scores)
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		for _, x := range res.Scores {
+			if x < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamVsDiffusionAgreement: the streaming estimator and the in-memory
+// PageRank iteration approximate the same vector.
+func TestStreamVsDiffusionAgreement(t *testing.T) {
+	g := gen.RingOfCliques(5, 6)
+	rng := rand.New(rand.NewSource(12))
+	s := StreamOf(g, rng)
+	gamma := 0.2
+	mc, err := StreamPageRank(s, PageRankOptions{Walks: 50000, Gamma: gamma, MaxSteps: 300}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	seed := make([]float64, n)
+	for i := range seed {
+		seed[i] = 1 / float64(n)
+	}
+	iterative, err := diffusion.PageRank(g, seed, gamma, diffusion.PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.Norm1(vec.Sub(mc.Scores, iterative)); d > 0.08 {
+		t.Errorf("L1 distance between stream and iterative PageRank: %g", d)
+	}
+}

@@ -1,0 +1,230 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1(x); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := NormInf(x); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+}
+
+func TestNorm2OverflowSafe(t *testing.T) {
+	x := []float64{1e300, 1e300}
+	got := Norm2(x)
+	want := 1e300 * math.Sqrt2
+	if math.IsInf(got, 0) || !almostEq(got/want, 1, 1e-12) {
+		t.Fatalf("Norm2 overflowed: got %v, want %v", got, want)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	n := Normalize(x)
+	if !almostEq(n, 5, 1e-12) {
+		t.Fatalf("Normalize returned %v, want 5", n)
+	}
+	if !almostEq(Norm2(x), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v, want 1", Norm2(x))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Fatal("Normalize of zero vector should return 0")
+	}
+}
+
+func TestBasisAndOnes(t *testing.T) {
+	e := Basis(4, 2)
+	if Sum(e) != 1 || e[2] != 1 {
+		t.Fatalf("Basis(4,2) = %v", e)
+	}
+	if Sum(Ones(5)) != 5 {
+		t.Fatal("Ones(5) does not sum to 5")
+	}
+}
+
+func TestProjectOut(t *testing.T) {
+	u := []float64{1, 0, 0}
+	x := []float64{3, 4, 5}
+	ProjectOut(x, u)
+	if x[0] != 0 || x[1] != 4 || x[2] != 5 {
+		t.Fatalf("ProjectOut = %v", x)
+	}
+}
+
+func TestScaleByDegree(t *testing.T) {
+	x := []float64{2, 3, 5}
+	deg := []float64{4, 9, 0}
+	z := ScaleByDegree(x, deg, -0.5)
+	if !almostEq(z[0], 1, 1e-12) || !almostEq(z[1], 1, 1e-12) || z[2] != 0 {
+		t.Fatalf("ScaleByDegree = %v", z)
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	x := []float64{3, -1, 7, 7, -1}
+	if ArgMax(x) != 2 {
+		t.Errorf("ArgMax = %d, want 2", ArgMax(x))
+	}
+	if ArgMin(x) != 1 {
+		t.Errorf("ArgMin = %d, want 1", ArgMin(x))
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Error("ArgMax/ArgMin of empty should be -1")
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2}) {
+		t.Error("finite vector flagged non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("Inf not detected")
+	}
+}
+
+// Property: Cauchy–Schwarz |<x,y>| <= ||x|| ||y||.
+func TestPropCauchySchwarz(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		x, y := xs[:n], ys[:n]
+		for _, v := range append(append([]float64{}, x...), y...) {
+			if math.IsNaN(v) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		lhs := math.Abs(Dot(x, y))
+		rhs := Norm2(x) * Norm2(y)
+		return lhs <= rhs*(1+1e-9)+1e-300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Norm2 via Add.
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		x, y := xs[:n], ys[:n]
+		for _, v := range append(append([]float64{}, x...), y...) {
+			if math.IsNaN(v) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		return Norm2(Add(x, y)) <= Norm2(x)+Norm2(y)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist2(x, y) == Norm2(x - y).
+func TestPropDist2MatchesSub(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		x, y := xs[:n], ys[:n]
+		for i := 0; i < n; i++ {
+			if math.IsNaN(x[i]) || math.IsNaN(y[i]) || math.Abs(x[i]) > 1e150 || math.Abs(y[i]) > 1e150 {
+				return true
+			}
+		}
+		a, b := Dist2(x, y), Norm2(Sub(x, y))
+		if a == 0 && b == 0 {
+			return true
+		}
+		return almostEq(a/b, 1, 1e-12) || math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulHadamard(t *testing.T) {
+	z := Mul([]float64{1, 2, 3}, []float64{4, 5, 6})
+	want := []float64{4, 10, 18}
+	for i := range z {
+		if z[i] != want[i] {
+			t.Fatalf("Mul[%d] = %v, want %v", i, z[i], want[i])
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 5}, []float64{2, 3}); got != 2 {
+		t.Fatalf("MaxAbsDiff = %v, want 2", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := []float64{1, 2}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Fill(x, 7)
+	if x[0] != 7 || x[2] != 7 {
+		t.Fatalf("Fill = %v", x)
+	}
+	Zero(x)
+	if Sum(x) != 0 {
+		t.Fatalf("Zero = %v", x)
+	}
+}
