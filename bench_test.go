@@ -11,6 +11,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -554,6 +555,91 @@ func BenchmarkAblationRankStability(b *testing.B) {
 	}
 	for _, r := range res {
 		b.Logf("stability: %-16s mean tau %.4f, top-k overlap %.3f", r.Method, r.MeanTau, r.MeanTopK)
+	}
+}
+
+// ---- parallel NCP profile engine (serial vs. worker-pool fan-out) ----
+
+var ncpBench struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+// ncpBenchGraph builds the parallel-NCP benchmark substrate: a stochastic
+// Kronecker (R-MAT) graph with ≥ 100k edges, the scale where the profile
+// engines' fan-out across cores is worth measuring.
+func ncpBenchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	ncpBench.once.Do(func() {
+		rng := rand.New(rand.NewSource(1))
+		g, err := gen.Kronecker(gen.KroneckerConfig{Levels: 14, Edges: 150000}, rng)
+		if err != nil {
+			panic(fmt.Sprintf("bench fixture kronecker graph: %v", err))
+		}
+		ncpBench.g = g
+	})
+	if ncpBench.g.M() < 100000 {
+		b.Fatalf("benchmark graph has m=%d edges, want >= 100k", ncpBench.g.M())
+	}
+	return ncpBench.g
+}
+
+func ncpBenchWorkerGrid() []int {
+	grid := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		if n > 4 {
+			grid = append(grid, 4)
+		}
+		grid = append(grid, n)
+	}
+	return grid
+}
+
+// BenchmarkNCPSpectralProfileWorkers compares the serial spectral profile
+// (workers=1) against the par.ForEach fan-out over all (α, seed) sweeps.
+// The profiles are identical across worker counts (the determinism test
+// in internal/ncp asserts it); on a ≥ 4-core machine the parallel run
+// should win roughly linearly, since the sweeps are independent.
+func BenchmarkNCPSpectralProfileWorkers(b *testing.B) {
+	g := ncpBenchGraph(b)
+	for _, workers := range ncpBenchWorkerGrid() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var clusters int
+			for i := 0; i < b.N; i++ {
+				prof, err := ncp.SpectralProfile(g, ncp.SpectralConfig{
+					Seeds: 32, Workers: workers, BaseSeed: 7,
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clusters = len(prof.Clusters)
+			}
+			b.Logf("spectral workers=%d: %d clusters on n=%d m=%d", workers, clusters, g.N(), g.M())
+		})
+	}
+}
+
+// BenchmarkNCPFlowProfileWorkers compares the serial flow profile against
+// the limiter-bounded parallel bisection recursion plus the ball-seed
+// fan-out. The shallow depth keeps one iteration tractable; the root
+// bisection is inherently serial, so the speedup here is bounded by the
+// ball-seed and subtree shares of the runtime (Amdahl), not linear.
+func BenchmarkNCPFlowProfileWorkers(b *testing.B) {
+	g := ncpBenchGraph(b)
+	for _, workers := range ncpBenchWorkerGrid() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var clusters int
+			for i := 0; i < b.N; i++ {
+				prof, err := ncp.FlowProfile(g, ncp.FlowConfig{
+					BallSeeds: 2, MaxDepth: 3, Workers: workers, BaseSeed: 7,
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clusters = len(prof.Clusters)
+			}
+			b.Logf("flow workers=%d: %d clusters on n=%d m=%d", workers, clusters, g.N(), g.M())
+		})
 	}
 }
 

@@ -35,16 +35,7 @@ func main() {
 	)
 	flag.Parse()
 
-	r := os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		r = f
-	}
-	g, err := graph.ReadEdgeList(r)
+	g, err := graph.ReadEdgeListFile(*in)
 	if err != nil {
 		fatal(err)
 	}

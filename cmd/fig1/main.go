@@ -27,9 +27,10 @@ func main() {
 	tsv := flag.String("tsv", "", "prefix for TSV output files (empty = none)")
 	width := flag.Int("width", 72, "plot width in characters")
 	height := flag.Int("height", 20, "plot height in characters")
+	workers := flag.Int("workers", 0, "NCP profile worker count (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
-	res, err := experiments.Fig1(experiments.Fig1Config{N: *n, Seed: *seed, FwdProb: *fwd})
+	res, err := experiments.Fig1(experiments.Fig1Config{N: *n, Seed: *seed, FwdProb: *fwd, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

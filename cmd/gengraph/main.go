@@ -55,18 +55,27 @@ func main() {
 		os.Exit(1)
 	}
 	w := os.Stdout
+	var file *os.File
 	if *out != "" {
-		file, err := os.Create(*out)
+		file, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 			os.Exit(1)
 		}
-		defer file.Close()
 		w = file
 	}
 	if err := g.WriteEdgeList(w); err != nil {
 		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 		os.Exit(1)
+	}
+	// Close the output file explicitly: an edge list that fails to flush
+	// must fail the command, not vanish silently as a deferred Close
+	// error would.
+	if file != nil {
+		if err := file.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d volume=%g connected=%v\n",
 		*family, g.N(), g.M(), g.Volume(), g.IsConnected())

@@ -27,19 +27,11 @@ func main() {
 		minSize = flag.Int("minsize", 8, "min cluster size for niceness evaluation")
 		maxSize = flag.Int("maxsize", 1024, "max cluster size for niceness evaluation")
 		seed    = flag.Int64("seed", 1, "RNG seed")
+		workers = flag.Int("workers", 0, "profile worker count (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
-	r := os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		r = f
-	}
-	g, err := graph.ReadEdgeList(r)
+	g, err := graph.ReadEdgeListFile(*in)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,14 +55,14 @@ func main() {
 		}
 	}
 	if *method == "spectral" || *method == "both" {
-		prof, err := ncp.SpectralProfile(g, ncp.SpectralConfig{Seeds: *seeds}, rng)
+		prof, err := ncp.SpectralProfile(g, ncp.SpectralConfig{Seeds: *seeds, Workers: *workers}, rng)
 		if err != nil {
 			fatal(err)
 		}
 		report("spectral (LocalSpectral)", prof)
 	}
 	if *method == "flow" || *method == "both" {
-		prof, err := ncp.FlowProfile(g, ncp.FlowConfig{}, rng)
+		prof, err := ncp.FlowProfile(g, ncp.FlowConfig{Workers: *workers}, rng)
 		if err != nil {
 			fatal(err)
 		}

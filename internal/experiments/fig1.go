@@ -24,6 +24,10 @@ type Fig1Config struct {
 	// (defaults 8 and 2048, Fig. 1's 10^1–10^4 decade span scaled to the
 	// synthetic network).
 	MinSize, MaxSize int
+	// Workers is the worker count for the NCP profile engines (default
+	// runtime.NumCPU(); 1 runs serially). The result is identical
+	// whatever the worker count.
+	Workers int
 }
 
 func (c *Fig1Config) withDefaults() Fig1Config {
@@ -89,11 +93,11 @@ func Fig1(cfg Fig1Config) (*Fig1Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 generator: %w", err)
 	}
-	spProf, err := ncp.SpectralProfile(g, ncp.SpectralConfig{Seeds: c.SpectralSeeds}, rng)
+	spProf, err := ncp.SpectralProfile(g, ncp.SpectralConfig{Seeds: c.SpectralSeeds, Workers: c.Workers}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 spectral profile: %w", err)
 	}
-	flProf, err := ncp.FlowProfile(g, ncp.FlowConfig{}, rng)
+	flProf, err := ncp.FlowProfile(g, ncp.FlowConfig{Workers: c.Workers}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 flow profile: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -35,6 +36,28 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 		return fmt.Errorf("graph: flush: %w", err)
 	}
 	return nil
+}
+
+// ReadEdgeListFile reads an edge list from path, or from stdin when path
+// is empty — the shared input convention of the cmd/ CLIs. The file's
+// Close error is checked, not deferred away.
+func ReadEdgeListFile(path string) (*Graph, error) {
+	if path == "" {
+		return ReadEdgeList(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ReadEdgeList(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("graph: close %s: %w", path, err)
+	}
+	return g, nil
 }
 
 // ReadEdgeList parses the format produced by WriteEdgeList. Lines starting

@@ -1,0 +1,31 @@
+package ncp
+
+import "math"
+
+// pushEps returns the ACL push tolerance for one α scale of the spectral
+// profile. The base heuristic scales epsFactor·α down by graph volume so
+// the push support reaches volume ≈ O(1/eps); it is then clamped to
+// [10/vol, α/4]:
+//
+//   - The 10/vol floor keeps the support volume ≤ 1/eps = vol/10, which
+//     covers every cluster size the profile evaluates while bounding the
+//     ACL work 1/(eps·α) by vol/(10·α) instead of letting it blow up
+//     quadratically at the small-α scales.
+//   - The α/4 cap matters on small graphs, where the floor can exceed the
+//     push threshold scale and produce empty supports; α/4 always yields
+//     useful ones.
+//
+// The final positivity guard covers degenerate volumes (empty graphs).
+func pushEps(alpha, volume, epsFactor float64) float64 {
+	eps := epsFactor * alpha / math.Max(1, volume/100)
+	if floor := 10 / volume; eps < floor {
+		eps = floor
+	}
+	if cap := alpha / 4; eps > cap {
+		eps = cap
+	}
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	return eps
+}

@@ -1,0 +1,118 @@
+package ncp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestPushEpsBranches(t *testing.T) {
+	// Base branch: eps = 2·0.2/(1000/100) = 0.04 lies strictly between
+	// the floor 10/1000 = 0.01 and the cap 0.2/4 = 0.05, so neither
+	// clamp binds.
+	if got, want := pushEps(0.2, 1000, 2), 0.04; got != want {
+		t.Errorf("base branch: pushEps = %g, want %g", got, want)
+	}
+	// Floor branch: tiny alpha on a huge graph drives the base value
+	// below 10/vol, which must win.
+	vol := 1e6
+	if got, want := pushEps(0.001, vol, 0.1), 10/vol; got != want {
+		t.Errorf("floor branch: pushEps = %g, want 10/vol = %g", got, want)
+	}
+	// Cap branch: on a small graph the floor 10/vol exceeds alpha/4 and
+	// the cap must win (otherwise pushes return empty supports).
+	if got, want := pushEps(0.05, 60, 0.1), 0.05/4; got != want {
+		t.Errorf("cap branch: pushEps = %g, want alpha/4 = %g", got, want)
+	}
+	// The cap is applied after the floor: both binding → cap wins.
+	if got := pushEps(0.01, 50, 0.1); got != 0.01/4 {
+		t.Errorf("floor-then-cap: pushEps = %g, want %g", got, 0.01/4)
+	}
+	// Degenerate volume must still yield a positive tolerance.
+	if got := pushEps(0.1, 0, 0.1); got <= 0 {
+		t.Errorf("degenerate volume: pushEps = %g, want > 0", got)
+	}
+}
+
+// The acceptance property of the parallel NCP engine: with a fixed base
+// seed the profiles are identical whatever the worker count.
+func TestSpectralProfileDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 600, FwdProb: 0.35, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Profile {
+		prof, err := SpectralProfile(g, SpectralConfig{
+			Seeds: 6, Alphas: []float64{0.2, 0.05, 0.01},
+			Workers: workers, BaseSeed: 99,
+		}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return prof
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("spectral profile differs between workers=1 (%d clusters) and workers=%d (%d clusters)",
+				len(want.Clusters), workers, len(got.Clusters))
+		}
+	}
+}
+
+func TestFlowProfileDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 400, FwdProb: 0.35, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Profile {
+		prof, err := FlowProfile(g, FlowConfig{Workers: workers, BaseSeed: 77}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return prof
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("flow profile differs between workers=1 (%d clusters) and workers=%d (%d clusters)",
+				len(want.Clusters), workers, len(got.Clusters))
+		}
+	}
+}
+
+// With BaseSeed unset the profiles draw it from the rng argument, so two
+// runs from equal rng states must agree (the pre-parallelism contract).
+func TestProfilesSeedFromRNGWhenBaseUnset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 300, FwdProb: 0.35, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp1, err := SpectralProfile(g, SpectralConfig{Seeds: 4, Alphas: []float64{0.1}}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := SpectralProfile(g, SpectralConfig{Seeds: 4, Alphas: []float64{0.1}}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp1, sp2) {
+		t.Fatal("equal rng states produced different spectral profiles")
+	}
+	fl1, err := FlowProfile(g, FlowConfig{}, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl2, err := FlowProfile(g, FlowConfig{}, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fl1, fl2) {
+		t.Fatal("equal rng states produced different flow profiles")
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/local"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -27,6 +29,15 @@ type SpectralConfig struct {
 	// MaxClusterFrac caps cluster volume at this fraction of vol(V)
 	// (default 0.5: conductance's smaller side).
 	MaxClusterFrac float64
+	// Workers is the number of concurrent (α, seed) sweep workers
+	// (default runtime.NumCPU(); 1 runs serially). The profile is
+	// identical whatever the worker count.
+	Workers int
+	// BaseSeed drives the per-task RNGs: task (α-index i, seed-index s)
+	// uses par.TaskSeed(BaseSeed, i, s), so the sampled clusters depend
+	// only on BaseSeed, not on scheduling. When 0, one value is drawn
+	// from the rng argument of SpectralProfile.
+	BaseSeed int64
 }
 
 func (c *SpectralConfig) withDefaults() SpectralConfig {
@@ -51,44 +62,51 @@ func (c *SpectralConfig) withDefaults() SpectralConfig {
 // (seed, α) pair it computes an approximate PPR vector, sweeps it, and
 // records every prefix that is a valid cluster. This is the
 // "LocalSpectral" (blue) algorithm of Figure 1.
+//
+// The (α, seed) sweeps are independent, so they are fanned across
+// cfg.Workers goroutines; each task derives its own RNG from
+// cfg.BaseSeed (drawn from rng when unset), so the result is
+// deterministic and independent of the worker count.
 func SpectralProfile(g *graph.Graph, cfg SpectralConfig, rng *rand.Rand) (*Profile, error) {
 	c := (&cfg).withDefaults()
 	if g.N() < 4 {
 		return nil, errors.New("ncp: graph too small for a profile")
 	}
-	prof := &Profile{Method: "spectral"}
+	base := c.BaseSeed
+	if base == 0 {
+		base = rng.Int63()
+	}
 	maxVol := c.MaxClusterFrac * g.Volume()
-	for _, alpha := range c.Alphas {
-		// Push tolerance tuned so the support reaches volume ≈ O(1/eps):
-		// smaller alpha → larger clusters → smaller eps. Floored at
-		// 10/vol(G): support volume ≤ 1/eps = vol/10 covers every cluster
-		// size the profile evaluates, and keeps the ACL work bound
-		// 1/(eps·alpha) ≤ vol/(10·alpha) instead of letting it blow up
-		// quadratically at the small-alpha scales.
-		eps := c.EpsFactor * alpha / math.Max(1, g.Volume()/100)
-		if floor := 10 / g.Volume(); eps < floor {
-			eps = floor
+	// One task per (α, seed) pair; each task appends only to its own
+	// slot, and the slots are concatenated in task order afterwards, so
+	// the assembled profile is the same for any worker count.
+	tasks := len(c.Alphas) * c.Seeds
+	perTask := make([][]Cluster, tasks)
+	err := par.ForEach(c.Workers, tasks, func(t int) error {
+		ai, si := t/c.Seeds, t%c.Seeds
+		alpha := c.Alphas[ai]
+		eps := pushEps(alpha, g.Volume(), c.EpsFactor)
+		trng := rand.New(rand.NewSource(par.TaskSeed(base, ai, si)))
+		seed := trng.Intn(g.N())
+		res, err := local.ApproxPageRank(g, []int{seed}, alpha, eps)
+		if err != nil {
+			return fmt.Errorf("ncp: spectral profile push: %w", err)
 		}
-		// On small graphs the floor can exceed the push threshold scale
-		// and produce empty supports; alpha/4 always yields useful ones.
-		if cap := alpha / 4; eps > cap {
-			eps = cap
+		if len(res.P) < 2 {
+			return nil
 		}
-		if eps <= 0 {
-			eps = 1e-8
-		}
-		for s := 0; s < c.Seeds; s++ {
-			seed := rng.Intn(g.N())
-			res, err := local.ApproxPageRank(g, []int{seed}, alpha, eps)
-			if err != nil {
-				return nil, fmt.Errorf("ncp: spectral profile push: %w", err)
-			}
-			if len(res.P) < 2 {
-				continue
-			}
-			order := local.SweepOrder(local.DegreeNormalized(g, res.P))
-			collectSweepClusters(g, order, maxVol, prof, "spectral")
-		}
+		order := local.SweepOrder(local.DegreeNormalized(g, res.P))
+		sub := &Profile{}
+		collectSweepClusters(g, order, maxVol, sub, "spectral")
+		perTask[t] = sub.Clusters
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profile{Method: "spectral"}
+	for _, cs := range perTask {
+		prof.Clusters = append(prof.Clusters, cs...)
 	}
 	if len(prof.Clusters) == 0 {
 		return nil, errors.New("ncp: spectral profile produced no clusters")
@@ -150,6 +168,17 @@ type FlowConfig struct {
 	BallSeeds int
 	// Multilevel options for each bisection.
 	Multilevel partition.MultilevelOptions
+	// Workers is the number of concurrent workers shared by the
+	// bisection recursion and the ball-seed sweeps (default
+	// runtime.NumCPU(); 1 runs serially). The profile is identical
+	// whatever the worker count.
+	Workers int
+	// BaseSeed drives the per-task RNGs: bisection seeds follow the
+	// recursion-tree path and ball-seed tasks use their (scale, seed)
+	// coordinates, so the sampled clusters depend only on BaseSeed, not
+	// on scheduling. When 0, one value is drawn from the rng argument of
+	// FlowProfile.
+	BaseSeed int64
 }
 
 func (c *FlowConfig) withDefaults() FlowConfig {
@@ -172,21 +201,37 @@ func (c *FlowConfig) withDefaults() FlowConfig {
 // record the improved sets. This is the flow-based (red) algorithm of
 // Figure 1: it optimizes raw conductance aggressively and is expected to
 // win on Fig. 1(a) while producing less "nice" clusters on 1(b)–1(c).
+//
+// The two independent branches of every bisection run concurrently
+// under a cfg.Workers-bounded budget, and the ball-seed improvement
+// sweeps fan out the same way; per-task seeds are derived from
+// cfg.BaseSeed (drawn from rng when unset) and clusters are merged in a
+// fixed pre-order, so the result is deterministic and independent of the
+// worker count.
 func FlowProfile(g *graph.Graph, cfg FlowConfig, rng *rand.Rand) (*Profile, error) {
 	c := (&cfg).withDefaults()
 	if g.N() < 4 {
 		return nil, errors.New("ncp: graph too small for a profile")
+	}
+	base := c.BaseSeed
+	if base == 0 {
+		base = rng.Int63()
 	}
 	prof := &Profile{Method: "flow"}
 	all := make([]int, g.N())
 	for i := range all {
 		all[i] = i
 	}
-	if err := flowRecurse(g, all, 0, c, rng, prof); err != nil {
+	lim := par.NewLimiter(c.Workers)
+	clusters, err := flowRecurse(g, all, 0, c, par.TaskSeed(base, 0), lim)
+	if err != nil {
 		return nil, err
 	}
+	prof.Clusters = clusters
 	if c.BallSeeds > 0 {
-		flowBallSeeds(g, c, rng, prof)
+		if err := flowBallSeeds(g, c, base, prof); err != nil {
+			return nil, err
+		}
 	}
 	flowUnions(g, prof)
 	if len(prof.Clusters) == 0 {
@@ -205,7 +250,7 @@ func FlowProfile(g *graph.Graph, cfg FlowConfig, rng *rand.Rand) (*Profile, erro
 // realize the minimum at mid sizes.
 func flowUnions(g *graph.Graph, prof *Profile) {
 	base := append([]Cluster(nil), prof.Clusters...)
-	sort.Slice(base, func(i, j int) bool { return base[i].Conductance < base[j].Conductance })
+	sort.SliceStable(base, func(i, j int) bool { return base[i].Conductance < base[j].Conductance })
 	// Greedy unions under a grid of member-size caps: the cap keeps large
 	// low-φ clusters from swallowing the union budget, so every size
 	// scale gets union entries built from the best clusters *below* it.
@@ -276,35 +321,56 @@ func flowUnionPass(g *graph.Graph, base []Cluster, cap int, prof *Profile) {
 // may not. Each improved set is additionally polished with MQI on its
 // smaller side. Failures (e.g. a ball exceeding half the volume) skip
 // that seed; sampling is best-effort.
-func flowBallSeeds(g *graph.Graph, c FlowConfig, rng *rand.Rand, prof *Profile) {
+//
+// The (scale, seed) tasks are independent and fan out across c.Workers
+// goroutines; task (i, s) seeds its RNG with par.TaskSeed(base, 1, i, s)
+// (the leading 1 separates the ball-seed stream from the recursion's)
+// and writes to its own slot, merged in task order.
+func flowBallSeeds(g *graph.Graph, c FlowConfig, base int64, prof *Profile) error {
 	halfVol := g.Volume() / 2
-	record := func(set []int, phi float64) {
-		if len(set) == 0 || len(set) == g.N() || math.IsInf(phi, 1) {
-			return
-		}
-		prof.Clusters = append(prof.Clusters, Cluster{Nodes: set, Conductance: phi, Method: "flow"})
-	}
+	var sizes []int
 	for size := c.MinSize; size <= g.N()/2; size *= 2 {
-		for s := 0; s < c.BallSeeds; s++ {
-			ball := bfsBall(g, rng.Intn(g.N()), size)
-			if len(ball) < 2 {
-				continue
+		sizes = append(sizes, size)
+	}
+	tasks := len(sizes) * c.BallSeeds
+	perTask := make([][]Cluster, tasks)
+	err := par.ForEach(c.Workers, tasks, func(t int) error {
+		si, s := t/c.BallSeeds, t%c.BallSeeds
+		trng := rand.New(rand.NewSource(par.TaskSeed(base, 1, si, s)))
+		var out []Cluster
+		record := func(set []int, phi float64) {
+			if len(set) == 0 || len(set) == g.N() || math.IsInf(phi, 1) {
+				return
 			}
-			if g.VolumeOf(g.Membership(ball)) > halfVol {
-				continue
-			}
-			imp, err := flow.Improve(g, ball)
-			if err != nil {
-				continue
-			}
-			record(imp.Set, imp.Conductance)
-			if g.VolumeOf(g.Membership(imp.Set)) <= halfVol {
-				if mqi, err := flow.MQI(g, imp.Set); err == nil {
-					record(mqi.Set, mqi.Conductance)
-				}
+			out = append(out, Cluster{Nodes: set, Conductance: phi, Method: "flow"})
+		}
+		ball := bfsBall(g, trng.Intn(g.N()), sizes[si])
+		if len(ball) < 2 {
+			return nil
+		}
+		if g.VolumeOf(g.Membership(ball)) > halfVol {
+			return nil
+		}
+		imp, err := flow.Improve(g, ball)
+		if err != nil {
+			return nil // best-effort sampling: skip this seed
+		}
+		record(imp.Set, imp.Conductance)
+		if g.VolumeOf(g.Membership(imp.Set)) <= halfVol {
+			if mqi, err := flow.MQI(g, imp.Set); err == nil {
+				record(mqi.Set, mqi.Conductance)
 			}
 		}
+		perTask[t] = out
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	for _, cs := range perTask {
+		prof.Clusters = append(prof.Clusters, cs...)
+	}
+	return nil
 }
 
 // bfsBall returns the first `size` nodes in BFS order from src (breadth
@@ -332,22 +398,30 @@ func bfsBall(g *graph.Graph, src, size int) []int {
 	return out
 }
 
-func flowRecurse(g *graph.Graph, nodes []int, depth int, c FlowConfig, rng *rand.Rand, prof *Profile) error {
+// flowRecurse bisects the induced subgraph on nodes, records both sides
+// (MQI-improved on the smaller-volume side), and recurses. The two
+// branches are independent, so when the limiter has a free slot the
+// first branch runs on its own goroutine; otherwise both run inline.
+// Each recursion node derives its bisection seed from its parent's via
+// the branch index, and the returned clusters are concatenated in fixed
+// pre-order (own, then side A's subtree, then side B's), so the result
+// does not depend on scheduling.
+func flowRecurse(g *graph.Graph, nodes []int, depth int, c FlowConfig, seed int64, lim *par.Limiter) ([]Cluster, error) {
 	if len(nodes) < c.MinSize || depth > c.MaxDepth {
-		return nil
+		return nil, nil
 	}
 	sub, mapping, err := g.Subgraph(nodes)
 	if err != nil {
-		return fmt.Errorf("ncp: flow profile subgraph: %w", err)
+		return nil, fmt.Errorf("ncp: flow profile subgraph: %w", err)
 	}
 	if sub.M() == 0 {
-		return nil
+		return nil, nil
 	}
 	opts := c.Multilevel
-	opts.Seed = rng.Int63() | 1
+	opts.Seed = seed
 	bi, err := partition.MultilevelBisect(sub, opts)
 	if err != nil {
-		return fmt.Errorf("ncp: flow profile bisect: %w", err)
+		return nil, fmt.Errorf("ncp: flow profile bisect: %w", err)
 	}
 	var sideA, sideB []int
 	for i, in := range bi.InS {
@@ -358,10 +432,11 @@ func flowRecurse(g *graph.Graph, nodes []int, depth int, c FlowConfig, rng *rand
 		}
 	}
 	if len(sideA) == 0 || len(sideB) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Record both sides (as clusters of the *host* graph), improving the
 	// smaller-volume side with MQI.
+	var own []Cluster
 	for _, side := range [][]int{sideA, sideB} {
 		if len(side) == 0 || len(side) == g.N() {
 			continue
@@ -369,20 +444,41 @@ func flowRecurse(g *graph.Graph, nodes []int, depth int, c FlowConfig, rng *rand
 		inHost := g.Membership(side)
 		phi := g.Conductance(inHost)
 		if !math.IsInf(phi, 1) {
-			prof.Clusters = append(prof.Clusters, Cluster{Nodes: side, Conductance: phi, Method: "flow"})
+			own = append(own, Cluster{Nodes: side, Conductance: phi, Method: "flow"})
 		}
 		if g.VolumeOf(inHost) <= g.Volume()/2 {
 			if mqi, err := flow.MQI(g, side); err == nil {
-				prof.Clusters = append(prof.Clusters, Cluster{
+				own = append(own, Cluster{
 					Nodes: mqi.Set, Conductance: mqi.Conductance, Method: "flow",
 				})
 			}
 		}
 	}
-	if err := flowRecurse(g, sideA, depth+1, c, rng, prof); err != nil {
-		return err
+	seedA, seedB := par.TaskSeed(seed, 1), par.TaskSeed(seed, 2)
+	var subA, subB []Cluster
+	var errA, errB error
+	if lim.TryAcquire() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer lim.Release()
+			subA, errA = flowRecurse(g, sideA, depth+1, c, seedA, lim)
+		}()
+		subB, errB = flowRecurse(g, sideB, depth+1, c, seedB, lim)
+		wg.Wait()
+	} else {
+		subA, errA = flowRecurse(g, sideA, depth+1, c, seedA, lim)
+		subB, errB = flowRecurse(g, sideB, depth+1, c, seedB, lim)
 	}
-	return flowRecurse(g, sideB, depth+1, c, rng, prof)
+	if errA != nil {
+		return nil, errA
+	}
+	if errB != nil {
+		return nil, errB
+	}
+	own = append(own, subA...)
+	return append(own, subB...), nil
 }
 
 // EvaluateProfile computes Measures for every cluster in the profile

@@ -2,12 +2,11 @@ package stream
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/local"
+	"repro/internal/par"
 )
 
 // BatchPPROptions configures BatchPersonalizedPageRank.
@@ -30,9 +29,7 @@ func (o BatchPPROptions) withDefaults() BatchPPROptions {
 	if o.Eps == 0 {
 		o.Eps = 1e-4
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.NumCPU()
-	}
+	o.Workers = par.Workers(o.Workers)
 	return o
 }
 
@@ -49,8 +46,8 @@ type BatchPPRResult struct {
 
 // BatchPersonalizedPageRank computes approximate Personalized PageRank
 // vectors for many sources concurrently, the all-pairs primitive of
-// reference [5] ("fast personalized PageRank on MapReduce"). A pool of
-// goroutine workers over source shards stands in for the MapReduce
+// reference [5] ("fast personalized PageRank on MapReduce"). The shared
+// par.ForEach pool over source indices stands in for the MapReduce
 // cluster: the per-source computation (one ACL push) is embarrassingly
 // parallel and touches only O(1/(ε·α)) volume, so the aggregate cost is
 // linear in the number of sources, independent of n.
@@ -73,35 +70,17 @@ func BatchPersonalizedPageRank(g *graph.Graph, sources []int, opt BatchPPROption
 		Sources: append([]int(nil), sources...),
 	}
 	work := make([]float64, len(sources))
-	errs := make([]error, len(sources))
-
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				pr, err := local.ApproxPageRank(g, []int{sources[i]}, opt.Alpha, opt.Eps)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				res.Vectors[i] = pr.P
-				work[i] = pr.WorkVolume
-			}
-		}()
-	}
-	for i := range sources {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	for i, err := range errs {
+	err := par.ForEach(opt.Workers, len(sources), func(i int) error {
+		pr, err := local.ApproxPageRank(g, []int{sources[i]}, opt.Alpha, opt.Eps)
 		if err != nil {
-			return nil, fmt.Errorf("stream: source %d: %w", sources[i], err)
+			return fmt.Errorf("stream: source %d: %w", sources[i], err)
 		}
+		res.Vectors[i] = pr.P
+		work[i] = pr.WorkVolume
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, w := range work {
 		res.TotalWork += w
