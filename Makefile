@@ -1,0 +1,33 @@
+# Development targets for the repro repository.
+
+GO ?= go
+
+.PHONY: build test race vet fmt bench graphd
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+graphd:
+	$(GO) build -o graphd ./cmd/graphd
+
+# bench runs every benchmark once (smoke mode: -benchtime 1x) and writes
+# the test2json event stream to BENCH_ncp.json so the performance
+# trajectory accumulates a machine-readable record per commit. Use
+# BENCHTIME=5s for a statistically meaningful local run.
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -json . > BENCH_ncp.json
+	@grep -c '"Action":"output"' BENCH_ncp.json >/dev/null && \
+	  echo "wrote BENCH_ncp.json ($$(wc -c < BENCH_ncp.json) bytes)"

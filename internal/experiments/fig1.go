@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -87,17 +88,24 @@ type Fig1Result struct {
 // wins on conductance (panel a) while spectral yields nicer clusters
 // (panels b and c).
 func Fig1(cfg Fig1Config) (*Fig1Result, error) {
+	return Fig1Ctx(context.Background(), cfg)
+}
+
+// Fig1Ctx is Fig1 with cooperative cancellation: the profile engines
+// stop dispatching work once ctx is done, so a serving layer can abort
+// the experiment mid-run.
+func Fig1Ctx(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
 	c := (&cfg).withDefaults()
 	rng := rand.New(rand.NewSource(c.Seed))
 	g, err := gen.ForestFire(gen.ForestFireConfig{N: c.N, FwdProb: c.FwdProb, Ambs: 1}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 generator: %w", err)
 	}
-	spProf, err := ncp.SpectralProfile(g, ncp.SpectralConfig{Seeds: c.SpectralSeeds, Workers: c.Workers}, rng)
+	spProf, err := ncp.SpectralProfileCtx(ctx, g, ncp.SpectralConfig{Seeds: c.SpectralSeeds, Workers: c.Workers}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 spectral profile: %w", err)
 	}
-	flProf, err := ncp.FlowProfile(g, ncp.FlowConfig{Workers: c.Workers}, rng)
+	flProf, err := ncp.FlowProfileCtx(ctx, g, ncp.FlowConfig{Workers: c.Workers}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 flow profile: %w", err)
 	}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -39,8 +40,9 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 }
 
 // ReadEdgeListFile reads an edge list from path, or from stdin when path
-// is empty — the shared input convention of the cmd/ CLIs. The file's
-// Close error is checked, not deferred away.
+// is empty — the shared input convention of the cmd/ CLIs. Files ending
+// in ".gz" are transparently gunzipped. The file's Close error is
+// checked, not deferred away.
 func ReadEdgeListFile(path string) (*Graph, error) {
 	if path == "" {
 		return ReadEdgeList(os.Stdin)
@@ -49,10 +51,26 @@ func ReadEdgeListFile(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := ReadEdgeList(f)
+	var r io.Reader = f
+	var gz *gzip.Reader
+	if strings.HasSuffix(path, ".gz") {
+		gz, err = gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("graph: gunzip %s: %w", path, err)
+		}
+		r = gz
+	}
+	g, err := ReadEdgeList(r)
 	if err != nil {
 		f.Close()
 		return nil, err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("graph: gunzip %s: %w", path, err)
+		}
 	}
 	if err := f.Close(); err != nil {
 		return nil, fmt.Errorf("graph: close %s: %w", path, err)
@@ -60,9 +78,12 @@ func ReadEdgeListFile(path string) (*Graph, error) {
 	return g, nil
 }
 
-// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
-// with '#' other than the node-count header are treated as comments. If no
-// header is present, the node count is inferred as max node id + 1.
+// ReadEdgeList parses the format produced by WriteEdgeList, tolerating
+// the dialects found in the wild: blank lines and '#'- or '%'-prefixed
+// comment lines anywhere in the file (SNAP and Matrix-Market style),
+// space- or tab-separated columns, and an optional "# nodes <n>" header.
+// If no header is present, the node count is inferred as max node id + 1.
+// Parse errors carry the 1-based line number and the offending line.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -80,12 +101,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if line == "" {
 			continue
 		}
-		if strings.HasPrefix(line, "#") {
+		if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
 			fields := strings.Fields(line)
 			if len(fields) == 3 && fields[1] == "nodes" {
 				v, err := strconv.Atoi(fields[2])
 				if err != nil {
-					return nil, fmt.Errorf("graph: line %d: bad node count %q: %w", lineNo, fields[2], err)
+					return nil, fmt.Errorf("graph: line %d %q: bad node count %q: %w", lineNo, line, fields[2], err)
 				}
 				n = v
 			}
@@ -93,22 +114,25 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 2 && len(fields) != 3 {
-			return nil, fmt.Errorf("graph: line %d: expected 'u v [w]', got %q", lineNo, line)
+			return nil, fmt.Errorf("graph: line %d %q: expected 'u v [w]'", lineNo, line)
 		}
 		u, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad node %q: %w", lineNo, fields[0], err)
+			return nil, fmt.Errorf("graph: line %d %q: bad node %q: %w", lineNo, line, fields[0], err)
 		}
 		v, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad node %q: %w", lineNo, fields[1], err)
+			return nil, fmt.Errorf("graph: line %d %q: bad node %q: %w", lineNo, line, fields[1], err)
 		}
 		w := 1.0
 		if len(fields) == 3 {
 			w, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad weight %q: %w", lineNo, fields[2], err)
+				return nil, fmt.Errorf("graph: line %d %q: bad weight %q: %w", lineNo, line, fields[2], err)
 			}
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d %q: negative node id", lineNo, line)
 		}
 		if u > maxID {
 			maxID = u

@@ -1,9 +1,12 @@
 package ncp
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 )
@@ -114,5 +117,35 @@ func TestProfilesSeedFromRNGWhenBaseUnset(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fl1, fl2) {
 		t.Fatal("equal rng states produced different flow profiles")
+	}
+}
+
+func TestProfilesObserveContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 600, FwdProb: 0.35, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SpectralProfileCtx(ctx, g, SpectralConfig{Workers: 2, BaseSeed: 1}, rng); !errors.Is(err, context.Canceled) {
+		t.Errorf("SpectralProfileCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := FlowProfileCtx(ctx, g, FlowConfig{Workers: 2, BaseSeed: 1}, rng); !errors.Is(err, context.Canceled) {
+		t.Errorf("FlowProfileCtx err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSpectralProfileCtxMidFlightCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 600, FwdProb: 0.35, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(time.Millisecond, cancel)
+	_, err = SpectralProfileCtx(ctx, g, SpectralConfig{Seeds: 200, Workers: 2, BaseSeed: 1}, rng)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-flight cancel: err = %v, want nil or context.Canceled", err)
 	}
 }

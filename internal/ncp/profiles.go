@@ -1,6 +1,7 @@
 package ncp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -68,6 +69,14 @@ func (c *SpectralConfig) withDefaults() SpectralConfig {
 // cfg.BaseSeed (drawn from rng when unset), so the result is
 // deterministic and independent of the worker count.
 func SpectralProfile(g *graph.Graph, cfg SpectralConfig, rng *rand.Rand) (*Profile, error) {
+	return SpectralProfileCtx(context.Background(), g, cfg, rng)
+}
+
+// SpectralProfileCtx is SpectralProfile with cooperative cancellation:
+// when ctx is cancelled or its deadline passes, the sweep stops
+// dispatching (α, seed) tasks and the context's error is returned. This
+// is what makes long NCP jobs cancellable from a serving layer.
+func SpectralProfileCtx(ctx context.Context, g *graph.Graph, cfg SpectralConfig, rng *rand.Rand) (*Profile, error) {
 	c := (&cfg).withDefaults()
 	if g.N() < 4 {
 		return nil, errors.New("ncp: graph too small for a profile")
@@ -82,7 +91,7 @@ func SpectralProfile(g *graph.Graph, cfg SpectralConfig, rng *rand.Rand) (*Profi
 	// the assembled profile is the same for any worker count.
 	tasks := len(c.Alphas) * c.Seeds
 	perTask := make([][]Cluster, tasks)
-	err := par.ForEach(c.Workers, tasks, func(t int) error {
+	err := par.ForEachCtx(ctx, c.Workers, tasks, func(t int) error {
 		ai, si := t/c.Seeds, t%c.Seeds
 		alpha := c.Alphas[ai]
 		eps := pushEps(alpha, g.Volume(), c.EpsFactor)
@@ -209,6 +218,14 @@ func (c *FlowConfig) withDefaults() FlowConfig {
 // fixed pre-order, so the result is deterministic and independent of the
 // worker count.
 func FlowProfile(g *graph.Graph, cfg FlowConfig, rng *rand.Rand) (*Profile, error) {
+	return FlowProfileCtx(context.Background(), g, cfg, rng)
+}
+
+// FlowProfileCtx is FlowProfile with cooperative cancellation: the
+// bisection recursion checks ctx at every node and the ball-seed sweep
+// stops dispatching tasks once ctx is done, returning the context's
+// error.
+func FlowProfileCtx(ctx context.Context, g *graph.Graph, cfg FlowConfig, rng *rand.Rand) (*Profile, error) {
 	c := (&cfg).withDefaults()
 	if g.N() < 4 {
 		return nil, errors.New("ncp: graph too small for a profile")
@@ -223,13 +240,13 @@ func FlowProfile(g *graph.Graph, cfg FlowConfig, rng *rand.Rand) (*Profile, erro
 		all[i] = i
 	}
 	lim := par.NewLimiter(c.Workers)
-	clusters, err := flowRecurse(g, all, 0, c, par.TaskSeed(base, 0), lim)
+	clusters, err := flowRecurse(ctx, g, all, 0, c, par.TaskSeed(base, 0), lim)
 	if err != nil {
 		return nil, err
 	}
 	prof.Clusters = clusters
 	if c.BallSeeds > 0 {
-		if err := flowBallSeeds(g, c, base, prof); err != nil {
+		if err := flowBallSeeds(ctx, g, c, base, prof); err != nil {
 			return nil, err
 		}
 	}
@@ -326,7 +343,7 @@ func flowUnionPass(g *graph.Graph, base []Cluster, cap int, prof *Profile) {
 // goroutines; task (i, s) seeds its RNG with par.TaskSeed(base, 1, i, s)
 // (the leading 1 separates the ball-seed stream from the recursion's)
 // and writes to its own slot, merged in task order.
-func flowBallSeeds(g *graph.Graph, c FlowConfig, base int64, prof *Profile) error {
+func flowBallSeeds(ctx context.Context, g *graph.Graph, c FlowConfig, base int64, prof *Profile) error {
 	halfVol := g.Volume() / 2
 	var sizes []int
 	for size := c.MinSize; size <= g.N()/2; size *= 2 {
@@ -334,7 +351,7 @@ func flowBallSeeds(g *graph.Graph, c FlowConfig, base int64, prof *Profile) erro
 	}
 	tasks := len(sizes) * c.BallSeeds
 	perTask := make([][]Cluster, tasks)
-	err := par.ForEach(c.Workers, tasks, func(t int) error {
+	err := par.ForEachCtx(ctx, c.Workers, tasks, func(t int) error {
 		si, s := t/c.BallSeeds, t%c.BallSeeds
 		trng := rand.New(rand.NewSource(par.TaskSeed(base, 1, si, s)))
 		var out []Cluster
@@ -406,7 +423,10 @@ func bfsBall(g *graph.Graph, src, size int) []int {
 // the branch index, and the returned clusters are concatenated in fixed
 // pre-order (own, then side A's subtree, then side B's), so the result
 // does not depend on scheduling.
-func flowRecurse(g *graph.Graph, nodes []int, depth int, c FlowConfig, seed int64, lim *par.Limiter) ([]Cluster, error) {
+func flowRecurse(ctx context.Context, g *graph.Graph, nodes []int, depth int, c FlowConfig, seed int64, lim *par.Limiter) ([]Cluster, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(nodes) < c.MinSize || depth > c.MaxDepth {
 		return nil, nil
 	}
@@ -463,13 +483,13 @@ func flowRecurse(g *graph.Graph, nodes []int, depth int, c FlowConfig, seed int6
 		go func() {
 			defer wg.Done()
 			defer lim.Release()
-			subA, errA = flowRecurse(g, sideA, depth+1, c, seedA, lim)
+			subA, errA = flowRecurse(ctx, g, sideA, depth+1, c, seedA, lim)
 		}()
-		subB, errB = flowRecurse(g, sideB, depth+1, c, seedB, lim)
+		subB, errB = flowRecurse(ctx, g, sideB, depth+1, c, seedB, lim)
 		wg.Wait()
 	} else {
-		subA, errA = flowRecurse(g, sideA, depth+1, c, seedA, lim)
-		subB, errB = flowRecurse(g, sideB, depth+1, c, seedB, lim)
+		subA, errA = flowRecurse(ctx, g, sideA, depth+1, c, seedA, lim)
+		subB, errB = flowRecurse(ctx, g, sideB, depth+1, c, seedB, lim)
 	}
 	if errA != nil {
 		return nil, errA

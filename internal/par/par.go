@@ -18,6 +18,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,15 +47,34 @@ func Workers(requested int) int {
 // a task that would fail at a lower index therefore always gets to
 // report.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// no further indices are dispatched (tasks already running are allowed to
+// finish) and ctx.Err() is returned unless a task failed first. This is
+// the hook that lets long-running sweeps — NCP profiles, experiment
+// fan-outs, graphd jobs — be cancelled or deadlined mid-flight without
+// each task needing to poll the context itself.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -70,6 +90,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for atomic.LoadInt32(&failed) == 0 {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -83,7 +108,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstError(errs)
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 func firstError(errs []error) error {

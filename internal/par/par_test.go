@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -202,5 +203,56 @@ func TestTaskSeedProperties(t *testing.T) {
 	}
 	if TaskSeed(3, 5) == TaskSeed(4, 5) {
 		t.Fatal("TaskSeed ignores base seed")
+	}
+}
+
+func TestForEachCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEachCtx(ctx, 4, 100, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Fatalf("%d tasks ran after pre-cancelled context", ran)
+	}
+}
+
+func TestForEachCtxStopsDispatching(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		err := ForEachCtx(ctx, workers, 10000, func(i int) error {
+			if atomic.AddInt32(&ran, 1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Tasks already claimed may finish, but dispatch must stop well
+		// short of the full index range.
+		if n := atomic.LoadInt32(&ran); int(n) >= 10000 {
+			t.Fatalf("workers=%d: all %d tasks ran despite cancellation", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxTaskErrorWinsOverLaterCancel(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEachCtx(context.Background(), 3, 50, func(i int) error {
+		if i == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want task error", err)
 	}
 }

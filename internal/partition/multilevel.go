@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -363,6 +364,13 @@ func MetisMQI(g *graph.Graph, opt MultilevelOptions) (*flow.MQIResult, error) {
 // multilevel bisection, splitting the largest remaining part each round.
 // It returns a part label per node.
 func RecursiveBisect(g *graph.Graph, k int, opt MultilevelOptions) ([]int, error) {
+	return RecursiveBisectCtx(context.Background(), g, k, opt)
+}
+
+// RecursiveBisectCtx is RecursiveBisect with cooperative cancellation:
+// ctx is checked before every split, so a long k-way partition driven
+// from a serving layer can be cancelled between bisections.
+func RecursiveBisectCtx(ctx context.Context, g *graph.Graph, k int, opt MultilevelOptions) ([]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k=%d must be >= 1", k)
 	}
@@ -376,6 +384,9 @@ func RecursiveBisect(g *graph.Graph, k int, opt MultilevelOptions) ([]int, error
 	parts := []part{{nodes: allNodes(g.N())}}
 	seed := (&opt).withDefaults().Seed
 	for len(parts) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Split the largest part.
 		idx := 0
 		for i := range parts {

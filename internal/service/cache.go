@@ -1,0 +1,122 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRUCache is a fixed-capacity least-recently-used cache from canonical
+// request keys to marshaled response bytes. Values are stored and
+// returned as raw bytes so repeated hits are byte-identical — the
+// determinism contract graphd's job replay relies on.
+type LRUCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	hits, misses,
+	evictions uint64
+}
+
+type lruItem struct {
+	key string
+	val []byte
+}
+
+// NewLRUCache returns a cache holding at most capacity entries
+// (capacity <= 0 disables caching: every lookup misses, Add is a no-op).
+func NewLRUCache(capacity int) *LRUCache {
+	return &LRUCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key. The returned slice is shared;
+// callers must not mutate it.
+func (c *LRUCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+// Add stores val under key, evicting the least recently used entry when
+// the cache is full.
+func (c *LRUCache) Add(key string, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRUCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss/eviction counters.
+func (c *LRUCache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// flightGroup deduplicates concurrent identical requests: the first
+// caller for a key runs fn, later callers block and share its result.
+// This is a minimal singleflight (x/sync is not vendored here).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Do runs fn once per concurrent set of callers with the same key and
+// returns fn's result to all of them. shared reports whether this caller
+// piggybacked on another's execution.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestConcurrentHammer drives the store, cache, singleflight group and
+// job queue from 32 goroutines at once. Run under -race (CI does) it is
+// the service layer's data-race detector; functionally it asserts that
+// every response is one of the expected statuses and the server survives
+// to answer a final health check.
+func TestConcurrentHammer(t *testing.T) {
+	srv, ts := testServer(t, Config{JobWorkers: 4, JobQueue: 4096, CacheEntries: 64})
+	if err := srv.Store().Put("cave", gen.Caveman(6, 6)); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 32
+	const opsPer = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*opsPer)
+	client := ts.Client()
+
+	post := func(path, body string, okCodes ...int) error {
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		for _, c := range okCodes {
+			if resp.StatusCode == c {
+				return nil
+			}
+		}
+		return fmt.Errorf("POST %s: unexpected status %d", path, resp.StatusCode)
+	}
+	get := func(path string, okCodes ...int) error {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		for _, c := range okCodes {
+			if resp.StatusCode == c {
+				return nil
+			}
+		}
+		return fmt.Errorf("GET %s: unexpected status %d", path, resp.StatusCode)
+	}
+
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			mine := fmt.Sprintf("g%d", gi)
+			for op := 0; op < opsPer; op++ {
+				var err error
+				switch op % 8 {
+				case 0: // query a shared graph: cache + singleflight contention
+					err = post("/v1/graphs/ring/ppr",
+						fmt.Sprintf(`{"seeds":[%d],"alpha":0.1}`, op%64), 200)
+				case 1: // distinct params: cache fill + eviction churn
+					err = post("/v1/graphs/cave/localcluster",
+						fmt.Sprintf(`{"seeds":[%d],"eps":0.0001}`, (gi*opsPer+op)%36), 200)
+				case 2: // private graph create/delete cycle
+					if err = post("/v1/graphs/"+mine, "0 1\n1 2\n", 201, 409); err == nil {
+						err = del(client, ts.URL+"/v1/graphs/"+mine)
+					}
+				case 3: // streaming lifecycle on a private name
+					name := fmt.Sprintf("s%d-%d", gi, op)
+					if err = post("/v1/graphs/"+name+"/stream", `{"nodes":4}`, 201); err == nil {
+						if err = post("/v1/graphs/"+name+"/edges",
+							`{"edges":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":3}]}`, 200); err == nil {
+							err = post("/v1/graphs/"+name+"/seal", "", 200)
+						}
+					}
+				case 4: // tiny NCP jobs: queue + result cache contention
+					err = post("/v1/jobs",
+						fmt.Sprintf(`{"type":"ncp","graph":"ring","params":{"method":"spectral","seeds":2,"base_seed":%d}}`, 1+op%3), 202)
+				case 5:
+					err = get("/v1/jobs", 200)
+				case 6:
+					err = get("/metrics", 200)
+				case 7:
+					err = get("/v1/graphs", 200)
+				}
+				if err != nil {
+					errc <- err
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	code, body, _ := do(t, "GET", ts.URL+"/healthz", "")
+	wantCode(t, code, 200, body)
+
+	// Every submitted job must reach a terminal state.
+	code, body, _ = do(t, "GET", ts.URL+"/v1/jobs", "")
+	wantCode(t, code, 200, body)
+	var list struct{ Jobs []JobView }
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range list.Jobs {
+		waitJob(t, ts, j.ID, 60e9)
+	}
+}
+
+func del(client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != 200 && resp.StatusCode != 404 {
+		return fmt.Errorf("DELETE %s: unexpected status %d", url, resp.StatusCode)
+	}
+	return nil
+}

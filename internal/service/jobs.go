@@ -1,0 +1,449 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// JobStatus is the lifecycle state of an async job.
+type JobStatus string
+
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
+)
+
+// Job is one queued global computation. Mutable fields are guarded by
+// mu; the result bytes are written once before status becomes done.
+type Job struct {
+	mu        sync.Mutex
+	id        string
+	jobType   string
+	graphName string
+	graphID   uint64
+	params    json.RawMessage
+	cacheKey  string
+
+	status    JobStatus
+	errMsg    string
+	result    []byte
+	fromCache bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	ctx       context.Context
+	cancel    context.CancelFunc
+}
+
+// JobView is the externally visible snapshot of a job.
+type JobView struct {
+	ID        string          `json:"id"`
+	Type      string          `json:"type"`
+	Graph     string          `json:"graph,omitempty"`
+	Params    json.RawMessage `json:"params,omitempty"`
+	Status    JobStatus       `json:"status"`
+	Error     string          `json:"error,omitempty"`
+	FromCache bool            `json:"from_cache,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	RunTimeMS float64         `json:"run_time_ms,omitempty"`
+}
+
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.id, Type: j.jobType, Graph: j.graphName, Params: j.params,
+		Status: j.status, Error: j.errMsg, FromCache: j.fromCache,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+		if !j.started.IsZero() {
+			v.RunTimeMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	return v
+}
+
+// JobExecutor runs one job type. g is nil for job types that do not
+// operate on a stored graph (e.g. fig1, which generates its own). The
+// returned value is marshaled to JSON and must be deterministic for
+// identical params (given a fixed BaseSeed), so cached replays are
+// byte-identical.
+type JobExecutor func(ctx context.Context, g *graph.Graph, params json.RawMessage) (any, error)
+
+// jobSpec describes a registered job type.
+type jobSpec struct {
+	needsGraph bool
+	run        JobExecutor
+}
+
+// JobManager is the bounded async work queue: Submit enqueues, a fixed
+// set of workers drains, Cancel aborts via context cancellation, and
+// results are kept in-memory (and replayed byte-identically through the
+// shared result cache).
+type JobManager struct {
+	specs   map[string]jobSpec
+	store   *GraphStore
+	cache   *LRUCache
+	metrics *Metrics
+
+	queue   chan *Job
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	closeMu sync.RWMutex
+	closed  bool
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID atomic.Uint64
+
+	queued   atomic.Int64
+	running  atomic.Int64
+	finished atomic.Int64
+}
+
+// NewJobManager starts workers goroutines draining a queue of at most
+// queueCap pending jobs (both default when <= 0).
+func NewJobManager(store *GraphStore, cache *LRUCache, metrics *Metrics, workers, queueCap int) *JobManager {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &JobManager{
+		specs:   make(map[string]jobSpec),
+		store:   store,
+		cache:   cache,
+		metrics: metrics,
+		queue:   make(chan *Job, queueCap),
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*Job),
+	}
+	for w := 0; w < workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Register adds a job type. needsGraph job types resolve their graph at
+// submit time and fail submission when it is absent or unsealed.
+func (m *JobManager) Register(name string, needsGraph bool, run JobExecutor) {
+	m.specs[name] = jobSpec{needsGraph: needsGraph, run: run}
+}
+
+// Types returns the registered job type names, for error messages.
+func (m *JobManager) Types() []string {
+	out := make([]string, 0, len(m.specs))
+	for k := range m.specs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Close cancels all running jobs and waits for the workers to exit.
+// Submissions racing with Close are rejected rather than panicking on
+// the closed queue.
+func (m *JobManager) Close() {
+	m.stop()
+	m.closeMu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.closeMu.Unlock()
+	m.wg.Wait()
+}
+
+// Depths reports the queue gauges: jobs waiting, jobs running, jobs
+// finished (done, failed or cancelled).
+func (m *JobManager) Depths() (queued, running, finished int64) {
+	return m.queued.Load(), m.running.Load(), m.finished.Load()
+}
+
+// Submit validates and enqueues a job, returning its snapshot. The
+// params are canonicalized into the job's cache key so that identical
+// submissions replay the cached result bytes.
+func (m *JobManager) Submit(jobType, graphName string, params json.RawMessage) (JobView, error) {
+	spec, ok := m.specs[jobType]
+	if !ok {
+		return JobView{}, storeErrf(ErrBadInput, "unknown job type %q (have %v)", jobType, m.Types())
+	}
+	var graphID uint64
+	if spec.needsGraph {
+		_, id, err := m.store.Get(graphName)
+		if err != nil {
+			return JobView{}, err
+		}
+		graphID = id
+	}
+	if len(params) == 0 {
+		params = json.RawMessage("{}")
+	}
+	canon, err := canonicalJSON(params)
+	if err != nil {
+		return JobView{}, storeErrf(ErrBadInput, "params: %v", err)
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	job := &Job{
+		id:        fmt.Sprintf("j%d", m.nextID.Add(1)),
+		jobType:   jobType,
+		graphName: graphName,
+		graphID:   graphID,
+		params:    params,
+		cacheKey:  fmt.Sprintf("job|%s|g%d|%s", jobType, graphID, canon),
+		status:    JobQueued,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	// Reserve the queue slot before registering the job, so a full
+	// queue needs no registry rollback (which would race with other
+	// submissions). Workers never need the registry to run a job, and
+	// the id only becomes observable once Submit returns.
+	m.closeMu.RLock()
+	if m.closed {
+		m.closeMu.RUnlock()
+		cancel()
+		return JobView{}, storeErrf(ErrConflict, "job manager is shut down")
+	}
+	select {
+	case m.queue <- job:
+		m.queued.Add(1)
+	default:
+		m.closeMu.RUnlock()
+		cancel()
+		return JobView{}, storeErrf(ErrConflict, "job queue full (%d pending)", cap(m.queue))
+	}
+	m.closeMu.RUnlock()
+	m.mu.Lock()
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.pruneLocked()
+	m.mu.Unlock()
+	return job.view(), nil
+}
+
+// maxRetainedJobs bounds the job registry: a long-running daemon must
+// not keep every finished job's result bytes forever. Active jobs are
+// never pruned (their count is already bounded by queue cap + workers).
+const maxRetainedJobs = 1024
+
+// pruneLocked evicts the oldest terminal jobs while the registry
+// exceeds maxRetainedJobs. Caller holds m.mu.
+func (m *JobManager) pruneLocked() {
+	for len(m.order) > maxRetainedJobs {
+		removed := false
+		for i, id := range m.order {
+			j := m.jobs[id]
+			j.mu.Lock()
+			terminal := j.status == JobDone || j.status == JobFailed || j.status == JobCancelled
+			j.mu.Unlock()
+			if terminal {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// Get returns the snapshot of one job.
+func (m *JobManager) Get(id string) (JobView, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, storeErrf(ErrNotFound, "job %q not found", id)
+	}
+	return job.view(), nil
+}
+
+// Result returns the result bytes of a finished job. ErrConflict is
+// returned while the job is still queued or running.
+func (m *JobManager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, storeErrf(ErrNotFound, "job %q not found", id)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	switch job.status {
+	case JobDone:
+		return job.result, nil
+	case JobFailed:
+		return nil, storeErrf(ErrConflict, "job %q failed: %s", id, job.errMsg)
+	case JobCancelled:
+		return nil, storeErrf(ErrConflict, "job %q was cancelled", id)
+	default:
+		return nil, storeErrf(ErrConflict, "job %q is %s", id, job.status)
+	}
+}
+
+// List returns snapshots of all jobs in submission order.
+func (m *JobManager) List() []JobView {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view()
+	}
+	return out
+}
+
+// Cancel aborts a queued or running job: its context is cancelled and
+// the worker pool observes ctx.Done() mid-computation.
+func (m *JobManager) Cancel(id string) (JobView, error) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, storeErrf(ErrNotFound, "job %q not found", id)
+	}
+	job.mu.Lock()
+	switch job.status {
+	case JobQueued:
+		// The job becomes a tombstone: it still occupies its channel
+		// slot until a worker drains it, but it is finished as far as
+		// callers and gauges are concerned.
+		job.status = JobCancelled
+		job.finished = time.Now()
+		m.queued.Add(-1)
+		m.finished.Add(1)
+	case JobRunning:
+		// The worker observes ctx.Done() and finalizes the job itself.
+	default:
+		job.mu.Unlock()
+		return JobView{}, storeErrf(ErrConflict, "job %q already %s", id, job.status)
+	}
+	job.mu.Unlock()
+	job.cancel()
+	return job.view(), nil
+}
+
+func (m *JobManager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+func (m *JobManager) runJob(job *Job) {
+	job.mu.Lock()
+	if job.status != JobQueued {
+		job.mu.Unlock()
+		return // cancelled while waiting in the queue; gauges already settled
+	}
+	job.status = JobRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+	m.queued.Add(-1)
+	m.running.Add(1)
+	defer m.running.Add(-1)
+	defer m.finished.Add(1)
+	defer job.cancel() // release the context's resources
+
+	finish := func(status JobStatus, result []byte, fromCache bool, errMsg string) {
+		job.mu.Lock()
+		job.status = status
+		job.result = result
+		job.fromCache = fromCache
+		job.errMsg = errMsg
+		job.finished = time.Now()
+		dur := job.finished.Sub(job.started)
+		job.mu.Unlock()
+		if m.metrics != nil {
+			m.metrics.ObserveJob(job.jobType, dur)
+		}
+	}
+
+	if m.cache != nil {
+		if cached, ok := m.cache.Get(job.cacheKey); ok {
+			finish(JobDone, cached, true, "")
+			return
+		}
+	}
+	ctx := job.ctx
+	var g *graph.Graph
+	spec := m.specs[job.jobType]
+	if spec.needsGraph {
+		resolved, id, err := m.store.Get(job.graphName)
+		if err != nil {
+			finish(JobFailed, nil, false, err.Error())
+			return
+		}
+		// The name may have been deleted and re-created while the job
+		// waited; running against a different graph than the one the
+		// caller submitted for would silently answer the wrong question
+		// (and poison the cache key, which embeds the submit-time id).
+		if id != job.graphID {
+			finish(JobFailed, nil, false,
+				fmt.Sprintf("graph %q was replaced after submission", job.graphName))
+			return
+		}
+		g = resolved
+	}
+	val, err := runExecutor(spec.run, ctx, g, job.params)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			finish(JobCancelled, nil, false, err.Error())
+		} else {
+			finish(JobFailed, nil, false, err.Error())
+		}
+		return
+	}
+	out, err := json.Marshal(val)
+	if err != nil {
+		finish(JobFailed, nil, false, fmt.Sprintf("marshal result: %v", err))
+		return
+	}
+	if m.cache != nil {
+		m.cache.Add(job.cacheKey, out)
+	}
+	finish(JobDone, out, false, "")
+}
+
+// runExecutor confines executor panics to the job: the workers run
+// outside net/http's per-request recover, so an uncaught panic in an
+// algorithm would otherwise take down the whole daemon.
+func runExecutor(run JobExecutor, ctx context.Context, g *graph.Graph, params json.RawMessage) (val any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			val, err = nil, fmt.Errorf("internal panic: %v", p)
+		}
+	}()
+	return run(ctx, g, params)
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache hits to multi-minute jobs.
+var latencyBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300,
+}
+
+type histogram struct {
+	counts []uint64 // one per bucket, plus overflow at the end
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBuckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Metrics collects the daemon's counters: request totals and latency
+// histograms by route, cache statistics, job timings and queue depth.
+// Everything is exposed in Prometheus text format by WriteTo.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[string]uint64     // "pattern|code"
+	latencies map[string]*histogram // by pattern
+	jobTimes  map[string]*histogram // by job type
+	started   time.Time
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:  make(map[string]uint64),
+		latencies: make(map[string]*histogram),
+		jobTimes:  make(map[string]*histogram),
+		started:   time.Now(),
+	}
+}
+
+// ObserveRequest records one served request for the route pattern.
+func (m *Metrics) ObserveRequest(pattern string, code int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s|%d", pattern, code)]++
+	h, ok := m.latencies[pattern]
+	if !ok {
+		h = newHistogram()
+		m.latencies[pattern] = h
+	}
+	h.observe(dur.Seconds())
+}
+
+// ObserveJob records one finished job's wall-clock run time.
+func (m *Metrics) ObserveJob(jobType string, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.jobTimes[jobType]
+	if !ok {
+		h = newHistogram()
+		m.jobTimes[jobType] = h
+	}
+	h.observe(dur.Seconds())
+}
+
+// WriteTo renders the registry in Prometheus text exposition format,
+// merging in the live cache and job-queue gauges.
+func (m *Metrics) WriteTo(w io.Writer, cache *LRUCache, jobs *JobManager) {
+	m.mu.Lock()
+	reqKeys := sortedKeys(m.requests)
+	fmt.Fprintln(w, "# TYPE graphd_requests_total counter")
+	for _, k := range reqKeys {
+		var pattern string
+		var code int
+		split(k, &pattern, &code)
+		fmt.Fprintf(w, "graphd_requests_total{route=%q,code=\"%d\"} %d\n", pattern, code, m.requests[k])
+	}
+	writeHistograms(w, "graphd_request_seconds", "route", m.latencies)
+	writeHistograms(w, "graphd_job_seconds", "type", m.jobTimes)
+	uptime := time.Since(m.started).Seconds()
+	m.mu.Unlock()
+
+	if cache != nil {
+		hits, misses, evictions := cache.Stats()
+		fmt.Fprintln(w, "# TYPE graphd_cache_hits_total counter")
+		fmt.Fprintf(w, "graphd_cache_hits_total %d\n", hits)
+		fmt.Fprintln(w, "# TYPE graphd_cache_misses_total counter")
+		fmt.Fprintf(w, "graphd_cache_misses_total %d\n", misses)
+		fmt.Fprintln(w, "# TYPE graphd_cache_evictions_total counter")
+		fmt.Fprintf(w, "graphd_cache_evictions_total %d\n", evictions)
+		fmt.Fprintln(w, "# TYPE graphd_cache_entries gauge")
+		fmt.Fprintf(w, "graphd_cache_entries %d\n", cache.Len())
+	}
+	if jobs != nil {
+		queued, running, done := jobs.Depths()
+		fmt.Fprintln(w, "# TYPE graphd_jobs_queued gauge")
+		fmt.Fprintf(w, "graphd_jobs_queued %d\n", queued)
+		fmt.Fprintln(w, "# TYPE graphd_jobs_running gauge")
+		fmt.Fprintf(w, "graphd_jobs_running %d\n", running)
+		fmt.Fprintln(w, "# TYPE graphd_jobs_finished_total counter")
+		fmt.Fprintf(w, "graphd_jobs_finished_total %d\n", done)
+	}
+	fmt.Fprintln(w, "# TYPE graphd_uptime_seconds gauge")
+	fmt.Fprintf(w, "graphd_uptime_seconds %g\n", uptime)
+}
+
+func writeHistograms(w io.Writer, name, label string, hs map[string]*histogram) {
+	if len(hs) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(hs))
+	for k := range hs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, k := range keys {
+		h := hs[k]
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, label, k, le, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, h.total)
+		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, k, h.sum)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, k, h.total)
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func split(key string, pattern *string, code *int) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '|' {
+			*pattern = key[:i]
+			fmt.Sscanf(key[i+1:], "%d", code)
+			return
+		}
+	}
+	*pattern = key
+}
+
+// instrument wraps an http.Handler to record request counts and
+// latencies under the matched route pattern.
+func instrument(m *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		m.ObserveRequest(pattern, sw.code, time.Since(start))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

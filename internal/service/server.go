@@ -1,0 +1,124 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Config sizes the server's bounded resources. The zero value is a
+// sensible default for tests and small deployments.
+type Config struct {
+	// CacheEntries bounds the shared query/job result cache (default
+	// 1024; negative disables caching).
+	CacheEntries int
+	// JobWorkers is the async pool size (default 2).
+	JobWorkers int
+	// JobQueue bounds pending jobs; submissions beyond it are rejected
+	// with 409 rather than queued unboundedly (default 64).
+	JobQueue int
+	// QueryTimeout is the default per-request deadline for synchronous
+	// queries, overridable per request with ?timeout_ms= (default 30s).
+	QueryTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueue <= 0 {
+		c.JobQueue = 64
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server ties the graph store, result cache, job pool and metrics into
+// one http.Handler. Create with NewServer, serve Handler(), Close when
+// done.
+type Server struct {
+	cfg     Config
+	store   *GraphStore
+	cache   *LRUCache
+	jobs    *JobManager
+	metrics *Metrics
+	flights flightGroup
+	handler http.Handler
+}
+
+// NewServer assembles a Server with the default job types registered.
+func NewServer(cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:     c,
+		store:   NewGraphStore(),
+		cache:   NewLRUCache(c.CacheEntries),
+		metrics: NewMetrics(),
+	}
+	s.jobs = NewJobManager(s.store, s.cache, s.metrics, c.JobWorkers, c.JobQueue)
+	RegisterDefaultJobs(s.jobs)
+	s.handler = instrument(s.metrics, s.routes())
+	return s
+}
+
+// Store exposes the graph registry, e.g. for preloading graphs at boot.
+func (s *Server) Store() *GraphStore { return s.store }
+
+// Jobs exposes the job manager, e.g. for registering extra job types.
+func (s *Server) Jobs() *JobManager { return s.jobs }
+
+// Handler returns the fully-wired HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Close cancels running jobs and stops the worker pool.
+func (s *Server) Close() { s.jobs.Close() }
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs/{name}", s.handleLoadGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}/generate", s.handleGenerate)
+	mux.HandleFunc("POST /v1/graphs/{name}/stream", s.handleStreamCreate)
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleAppendEdges)
+	mux.HandleFunc("POST /v1/graphs/{name}/seal", s.handleSeal)
+
+	mux.HandleFunc("GET /v1/graphs/{name}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
+	mux.HandleFunc("POST /v1/graphs/{name}/localcluster", s.handleLocalCluster)
+	mux.HandleFunc("POST /v1/graphs/{name}/diffuse", s.handleDiffuse)
+	mux.HandleFunc("POST /v1/graphs/{name}/sweepcut", s.handleSweepCut)
+
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return mux
+}
+
+// queryTimeout resolves the per-request deadline: the configured
+// default, overridable (within [1ms, 10min]) by a ?timeout_ms= query
+// parameter.
+func (s *Server) queryTimeout(r *http.Request) time.Duration {
+	timeout := s.cfg.QueryTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms >= 1 && ms <= 600_000 {
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+	}
+	return timeout
+}

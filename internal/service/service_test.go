@@ -1,0 +1,597 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// testServer wires a Server to an httptest listener with fast defaults
+// and a pre-registered "ring" graph (8 cliques of 8: crisp clusters).
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(cfg)
+	t.Cleanup(srv.Close)
+	if err := srv.Store().Put("ring", gen.RingOfCliques(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// do issues a request and returns the status code and body.
+func do(t *testing.T, method, url string, body string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func wantCode(t *testing.T, got int, want int, body []byte) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("status = %d, want %d (body: %s)", got, want, body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, body, _ := do(t, "GET", ts.URL+"/healthz", "")
+	wantCode(t, code, 200, body)
+	if !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz body: %s", body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/graphs/ring/ppr", `{"seeds":[0]}`)
+	code, body, _ := do(t, "GET", ts.URL+"/metrics", "")
+	wantCode(t, code, 200, body)
+	for _, want := range []string{
+		"graphd_requests_total", "graphd_request_seconds_bucket",
+		"graphd_cache_misses_total", "graphd_jobs_queued", "graphd_uptime_seconds",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics output missing %s", want)
+		}
+	}
+}
+
+func TestGraphLifecycle(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	// Load from an edge-list body.
+	code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/tri", "0 1\n1 2\n0 2\n")
+	wantCode(t, code, 201, body)
+
+	// Duplicate name conflicts.
+	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/tri", "0 1\n")
+	wantCode(t, code, 409, body)
+
+	// Malformed edge list is a 400 with the line number.
+	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/bad", "0 1\nx y\n")
+	wantCode(t, code, 400, body)
+	if !bytes.Contains(body, []byte("line 2")) {
+		t.Errorf("error should name line 2: %s", body)
+	}
+
+	// Invalid name is a 400.
+	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/sp%20ace", "0 1\n")
+	wantCode(t, code, 400, body)
+
+	// Listing includes both graphs.
+	code, body, _ = do(t, "GET", ts.URL+"/v1/graphs", "")
+	wantCode(t, code, 200, body)
+	var list struct{ Graphs []GraphInfo }
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Graphs) != 2 {
+		t.Fatalf("got %d graphs, want 2: %s", len(list.Graphs), body)
+	}
+
+	// Stats.
+	code, body, _ = do(t, "GET", ts.URL+"/v1/graphs/tri/stats", "")
+	wantCode(t, code, 200, body)
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 3 || stats.Edges != 3 || stats.MinDegree != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Delete, then 404.
+	code, body, _ = do(t, "DELETE", ts.URL+"/v1/graphs/tri", "")
+	wantCode(t, code, 200, body)
+	code, body, _ = do(t, "DELETE", ts.URL+"/v1/graphs/tri", "")
+	wantCode(t, code, 404, body)
+	code, body, _ = do(t, "GET", ts.URL+"/v1/graphs/tri/stats", "")
+	wantCode(t, code, 404, body)
+}
+
+func TestLoadGzipBody(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("# nodes 4\n0 1\n1 2\n2 3\n"))
+	zw.Close()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/graphs/zipped", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	wantCode(t, resp.StatusCode, 201, body)
+	var info GraphInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != 4 || info.Edges != 3 {
+		t.Fatalf("gzip load: %+v", info)
+	}
+
+	// Raw gzip bytes without the Content-Encoding header are detected by
+	// magic number.
+	var buf2 bytes.Buffer
+	zw2 := gzip.NewWriter(&buf2)
+	zw2.Write([]byte("0 1\n1 2\n"))
+	zw2.Close()
+	code, body2, _ := do(t, "POST", ts.URL+"/v1/graphs/sniffed", buf2.String())
+	wantCode(t, code, 201, body2)
+	var info2 GraphInfo
+	if err := json.Unmarshal(body2, &info2); err != nil {
+		t.Fatal(err)
+	}
+	if info2.Nodes != 3 || info2.Edges != 2 {
+		t.Fatalf("sniffed gzip load: %+v", info2)
+	}
+}
+
+func TestGenerateEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/kron/generate",
+		`{"family":"kronecker","levels":8,"edges":2048,"seed":1}`)
+	wantCode(t, code, 201, body)
+	var info GraphInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != 256 || info.Edges == 0 {
+		t.Fatalf("kronecker generate: %+v", info)
+	}
+
+	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/x/generate", `{"family":"nope"}`)
+	wantCode(t, code, 400, body)
+	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/x/generate", `{"family":"grid"}`)
+	wantCode(t, code, 400, body)
+	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/x/generate", `{"family":"grid","rows":4,"cols":5}`)
+	wantCode(t, code, 201, body)
+}
+
+func TestStreamBuildAndSeal(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	base := ts.URL + "/v1/graphs/inc"
+
+	code, body, _ := do(t, "POST", base+"/stream", `{"nodes":6}`)
+	wantCode(t, code, 201, body)
+
+	// Streaming graphs are not queryable yet.
+	code, body, _ = do(t, "POST", base+"/ppr", `{"seeds":[0]}`)
+	wantCode(t, code, 409, body)
+
+	// Append two batches; a bad batch is rejected atomically.
+	code, body, _ = do(t, "POST", base+"/edges",
+		`{"edges":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":0}]}`)
+	wantCode(t, code, 200, body)
+	code, body, _ = do(t, "POST", base+"/edges", `{"edges":[{"u":0,"v":99}]}`)
+	wantCode(t, code, 400, body)
+	code, body, _ = do(t, "POST", base+"/edges",
+		`{"edges":[{"u":3,"v":4},{"u":4,"v":5},{"u":5,"v":3},{"u":2,"v":3,"w":0.1}]}`)
+	wantCode(t, code, 200, body)
+
+	// Seal snapshots to CSR; the graph becomes queryable and frozen.
+	code, body, _ = do(t, "POST", base+"/seal", "")
+	wantCode(t, code, 200, body)
+	var info GraphInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Sealed || info.Nodes != 6 || info.Edges != 7 {
+		t.Fatalf("seal: %+v", info)
+	}
+	code, body, _ = do(t, "POST", base+"/seal", "")
+	wantCode(t, code, 409, body)
+	code, body, _ = do(t, "POST", base+"/edges", `{"edges":[{"u":0,"v":3}]}`)
+	wantCode(t, code, 409, body)
+
+	code, body, _ = do(t, "POST", base+"/ppr", `{"seeds":[0],"sweep":true}`)
+	wantCode(t, code, 200, body)
+
+	// Stream endpoints on missing graphs are 404s.
+	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/ghost/edges", `{"edges":[{"u":0,"v":1}]}`)
+	wantCode(t, code, 404, body)
+	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/ghost/seal", "")
+	wantCode(t, code, 404, body)
+}
+
+func TestPPRQueryCacheAndSingleflight(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	url := ts.URL + "/v1/graphs/ring/ppr"
+	reqBody := `{"seeds":[0],"alpha":0.1,"eps":0.0001,"sweep":true}`
+
+	code, first, hdr := do(t, "POST", url, reqBody)
+	wantCode(t, code, 200, first)
+	if got := hdr.Get("X-Graphd-Cache"); got != "miss" {
+		t.Errorf("first query cache header = %q, want miss", got)
+	}
+	var res PPRResponse
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Support == 0 || res.Pushes == 0 || res.Sweep == nil {
+		t.Fatalf("ppr response: %s", first)
+	}
+	// The ring-of-cliques sweep should find (roughly) one clique.
+	if res.Sweep.Conductance > 0.2 {
+		t.Errorf("sweep conductance %g, want < 0.2 on ring of cliques", res.Sweep.Conductance)
+	}
+
+	code, second, hdr := do(t, "POST", url, reqBody)
+	wantCode(t, code, 200, second)
+	if got := hdr.Get("X-Graphd-Cache"); got != "hit" {
+		t.Errorf("second query cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached response differs:\n%s\n%s", first, second)
+	}
+	hits, _, _ := srv.cache.Stats()
+	if hits == 0 {
+		t.Error("cache hit counter did not advance")
+	}
+
+	// Whitespace / key-order variants canonicalize to the same key.
+	code, third, hdr := do(t, "POST", url, `{"sweep":true,  "alpha":0.1,"eps":1e-4,"seeds":[0]}`)
+	wantCode(t, code, 200, third)
+	if got := hdr.Get("X-Graphd-Cache"); got != "hit" {
+		t.Errorf("canonicalized query cache header = %q, want hit", got)
+	}
+
+	// Spelling out a knob's default value keys identically to omitting
+	// it: the cache key is built from the post-default request.
+	code, fourth, hdr := do(t, "POST", url, reqBody[:len(reqBody)-1]+`,"topk":100}`)
+	wantCode(t, code, 200, fourth)
+	if got := hdr.Get("X-Graphd-Cache"); got != "hit" {
+		t.Errorf("defaulted-params query cache header = %q, want hit", got)
+	}
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"unknown graph", "POST", "/v1/graphs/ghost/ppr", `{"seeds":[0]}`, 404},
+		{"invalid json", "POST", "/v1/graphs/ring/ppr", `{"seeds":`, 400},
+		{"unknown field", "POST", "/v1/graphs/ring/ppr", `{"seedz":[0]}`, 400},
+		{"no seeds", "POST", "/v1/graphs/ring/ppr", `{}`, 400},
+		{"seed out of range", "POST", "/v1/graphs/ring/ppr", `{"seeds":[9999]}`, 400},
+		{"alpha out of range", "POST", "/v1/graphs/ring/ppr", `{"seeds":[0],"alpha":2}`, 400},
+		{"bad cluster method", "POST", "/v1/graphs/ring/localcluster", `{"seeds":[0],"method":"magic"}`, 400},
+		{"bad diffuse kind", "POST", "/v1/graphs/ring/diffuse", `{"seeds":[0],"kind":"x"}`, 400},
+		{"empty sweep", "POST", "/v1/graphs/ring/sweepcut", `{"values":[]}`, 400},
+		{"sweep node range", "POST", "/v1/graphs/ring/sweepcut", `{"values":[{"node":-3,"mass":1}]}`, 400},
+		{"unmatched route", "GET", "/v1/nope", ``, 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body, _ := do(t, tc.method, ts.URL+tc.path, tc.body)
+			wantCode(t, code, tc.want, body)
+		})
+	}
+}
+
+func TestLocalClusterMethods(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, method := range []string{"ppr", "nibble", "heat"} {
+		t.Run(method, func(t *testing.T) {
+			code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/ring/localcluster",
+				fmt.Sprintf(`{"method":%q,"seeds":[0],"eps":0.0001}`, method))
+			wantCode(t, code, 200, body)
+			var res LocalClusterResponse
+			if err := json.Unmarshal(body, &res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Size == 0 || res.Size == 64 {
+				t.Fatalf("%s found trivial set: %+v", method, res)
+			}
+			if res.Conductance > 0.25 {
+				t.Errorf("%s conductance %g, want < 0.25 on ring of cliques", method, res.Conductance)
+			}
+			if res.Support == 0 {
+				t.Errorf("%s reported zero support", method)
+			}
+		})
+	}
+}
+
+func TestDiffuseKindsAndSweepCut(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, kind := range []string{"heat", "ppr", "lazy"} {
+		t.Run(kind, func(t *testing.T) {
+			code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/ring/diffuse",
+				fmt.Sprintf(`{"kind":%q,"seeds":[0],"topk":10}`, kind))
+			wantCode(t, code, 200, body)
+			var res DiffuseResponse
+			if err := json.Unmarshal(body, &res); err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Top) == 0 || res.Sum < 0.99 || res.Sum > 1.01 {
+				t.Fatalf("%s diffuse: sum=%g top=%d", kind, res.Sum, len(res.Top))
+			}
+		})
+	}
+
+	// Sweep the caller-provided indicator of clique 0: conductance must
+	// match the known cut (2 external edges / vol 58... just assert low).
+	values := make([]string, 8)
+	for i := range values {
+		values[i] = fmt.Sprintf(`{"node":%d,"mass":%g}`, i, 1.0-float64(i)/100)
+	}
+	code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/ring/sweepcut",
+		`{"values":[`+strings.Join(values, ",")+`]}`)
+	wantCode(t, code, 200, body)
+	var sw SweepInfo
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Size == 0 || sw.Conductance > 0.25 {
+		t.Fatalf("sweepcut: %+v", sw)
+	}
+}
+
+func TestQueryDeadline(t *testing.T) {
+	// runWithDeadline returns the context error as soon as the deadline
+	// fires, without waiting for the (bounded) computation.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := runWithDeadline(ctx, func(ctx context.Context) (any, error) {
+		time.Sleep(2 * time.Second)
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	// And an already-expired context never starts the computation.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := runWithDeadline(expired, func(ctx context.Context) (any, error) {
+		t.Error("computation ran under expired context")
+		return nil, nil
+	}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, body, _ := do(t, "GET", ts.URL+"/v1/jobs/"+id, "")
+		wantCode(t, code, 200, body)
+		var v JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		switch v.Status {
+		case JobDone, JobFailed, JobCancelled:
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, v.Status, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func submitJob(t *testing.T, ts *httptest.Server, body string) JobView {
+	t.Helper()
+	code, out, _ := do(t, "POST", ts.URL+"/v1/jobs", body)
+	wantCode(t, code, 202, out)
+	var v JobView
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNCPJobEndToEndAndDeterminism(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 2})
+	req := `{"type":"ncp","graph":"ring","params":{"method":"spectral","seeds":4,"workers":2,"base_seed":7}}`
+
+	v1 := submitJob(t, ts, req)
+	v1 = waitJob(t, ts, v1.ID, 30*time.Second)
+	if v1.Status != JobDone {
+		t.Fatalf("job 1: %+v", v1)
+	}
+	if v1.FromCache {
+		t.Fatalf("first job must not come from cache")
+	}
+	code, res1, _ := do(t, "GET", ts.URL+"/v1/jobs/"+v1.ID+"/result", "")
+	wantCode(t, code, 200, res1)
+	var ncpRes NCPJobResult
+	if err := json.Unmarshal(res1, &ncpRes); err != nil {
+		t.Fatal(err)
+	}
+	if ncpRes.Spectral == nil || ncpRes.Spectral.Clusters == 0 || len(ncpRes.Spectral.Envelope) == 0 {
+		t.Fatalf("ncp result: %s", res1)
+	}
+
+	// Identical submission replays the cached bytes.
+	v2 := submitJob(t, ts, req)
+	v2 = waitJob(t, ts, v2.ID, 30*time.Second)
+	if v2.Status != JobDone || !v2.FromCache {
+		t.Fatalf("job 2 should be served from cache: %+v", v2)
+	}
+	_, res2, _ := do(t, "GET", ts.URL+"/v1/jobs/"+v2.ID+"/result", "")
+	if !bytes.Equal(res1, res2) {
+		t.Fatalf("repeated NCP job results are not byte-identical:\n%s\n%s", res1, res2)
+	}
+
+	// Param-order variants share the cache key too.
+	v3 := submitJob(t, ts, `{"type":"ncp","graph":"ring","params":{"base_seed":7,"workers":2,"seeds":4,"method":"spectral"}}`)
+	v3 = waitJob(t, ts, v3.ID, 30*time.Second)
+	if !v3.FromCache {
+		t.Fatalf("canonicalized params should cache-hit: %+v", v3)
+	}
+}
+
+func TestJobListAndBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, body, _ := do(t, "POST", ts.URL+"/v1/jobs", `{"type":"nope","graph":"ring"}`)
+	wantCode(t, code, 400, body)
+	code, body, _ = do(t, "POST", ts.URL+"/v1/jobs", `{"type":"ncp","graph":"ghost"}`)
+	wantCode(t, code, 404, body)
+	code, body, _ = do(t, "POST", ts.URL+"/v1/jobs", `{"type":"ncp","graph":"ring","params":{"method":"sideways"}}`)
+	wantCode(t, code, 202, body) // bad algorithm params fail the job, not the submit
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitJob(t, ts, v.ID, 10*time.Second); fin.Status != JobFailed {
+		t.Fatalf("job with bad method: %+v", fin)
+	}
+	code, body, _ = do(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/result", "")
+	wantCode(t, code, 409, body)
+
+	code, body, _ = do(t, "GET", ts.URL+"/v1/jobs/zzz", "")
+	wantCode(t, code, 404, body)
+	code, body, _ = do(t, "DELETE", ts.URL+"/v1/jobs/zzz", "")
+	wantCode(t, code, 404, body)
+
+	code, body, _ = do(t, "GET", ts.URL+"/v1/jobs", "")
+	wantCode(t, code, 200, body)
+	var list struct{ Jobs []JobView }
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 {
+		t.Fatalf("job list: %s", body)
+	}
+}
+
+func TestJobCancellationMidRun(t *testing.T) {
+	srv, ts := testServer(t, Config{JobWorkers: 1})
+	// A graph big enough that a 500-seed spectral profile cannot finish
+	// before the cancel lands.
+	rng := rand.New(rand.NewSource(3))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 3000, FwdProb: 0.37, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Store().Put("big", g); err != nil {
+		t.Fatal(err)
+	}
+
+	running := submitJob(t, ts, `{"type":"ncp","graph":"big","params":{"method":"spectral","seeds":500,"workers":2,"base_seed":9}}`)
+	// The single worker is now busy; a second submission stays queued
+	// and can be cancelled without ever running.
+	queued := submitJob(t, ts, `{"type":"fig1","params":{"n":500}}`)
+	code, body, _ := do(t, "DELETE", ts.URL+"/v1/jobs/"+queued.ID, "")
+	wantCode(t, code, 200, body)
+	if fin := waitJob(t, ts, queued.ID, 5*time.Second); fin.Status != JobCancelled {
+		t.Fatalf("queued job after cancel: %+v", fin)
+	}
+
+	// Wait until the first job is observably running, then cancel: the
+	// worker pool must observe ctx.Done() mid-sweep.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body, _ := do(t, "GET", ts.URL+"/v1/jobs/"+running.ID, "")
+		wantCode(t, code, 200, body)
+		var v JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == JobRunning {
+			break
+		}
+		if v.Status != JobQueued || time.Now().After(deadline) {
+			t.Fatalf("job never started running: %+v", v)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	code, body, _ = do(t, "DELETE", ts.URL+"/v1/jobs/"+running.ID, "")
+	wantCode(t, code, 200, body)
+	fin := waitJob(t, ts, running.ID, 20*time.Second)
+	if fin.Status != JobCancelled {
+		t.Fatalf("running job after cancel: %+v", fin)
+	}
+	if !strings.Contains(fin.Error, "context canceled") {
+		t.Errorf("cancelled job error = %q, want context.Canceled", fin.Error)
+	}
+
+	// Cancelling a finished job conflicts.
+	code, body, _ = do(t, "DELETE", ts.URL+"/v1/jobs/"+running.ID, "")
+	wantCode(t, code, 409, body)
+}
+
+func TestPartitionJob(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	v := submitJob(t, ts, `{"type":"partition","graph":"ring","params":{"k":4,"seed":2,"include_labels":true}}`)
+	v = waitJob(t, ts, v.ID, 30*time.Second)
+	if v.Status != JobDone {
+		t.Fatalf("partition job: %+v", v)
+	}
+	_, body, _ := do(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/result", "")
+	var res PartitionJobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 4 || len(res.Labels) != 64 {
+		t.Fatalf("partition result: %s", body)
+	}
+	total := 0
+	for _, p := range res.Parts {
+		total += p.Size
+	}
+	if total != 64 {
+		t.Fatalf("part sizes sum to %d, want 64", total)
+	}
+}

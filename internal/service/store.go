@@ -1,0 +1,258 @@
+// Package service is the serving layer over the repository's graph
+// algorithms: a concurrency-safe store of named immutable graphs, an LRU
+// result cache with singleflight deduplication for the strongly-local
+// synchronous queries (PPR push, Nibble, heat kernel, sweep cuts), a
+// bounded worker pool for the expensive global jobs (NCP profiles,
+// multilevel partitions, Figure-1 experiments), and the metrics that a
+// long-running daemon needs. cmd/graphd wires it to an HTTP listener.
+//
+// The design follows §3.3 of the paper: the approximate diffusion
+// primitives are *operational* — budgeted, strongly local, and therefore
+// cheap enough to answer interactively — while the global NCP machinery
+// is batch work that belongs on an async queue. Results are
+// deterministic for a given BaseSeed, so caching job results is sound.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// StoreErrorKind classifies store failures so handlers can map them to
+// HTTP status codes without string matching.
+type StoreErrorKind int
+
+const (
+	// ErrNotFound: the named graph does not exist.
+	ErrNotFound StoreErrorKind = iota
+	// ErrConflict: the operation conflicts with the graph's state
+	// (already exists, already sealed, still streaming).
+	ErrConflict
+	// ErrBadInput: the caller's data is invalid.
+	ErrBadInput
+)
+
+// StoreError is the typed error returned by GraphStore operations.
+type StoreError struct {
+	Kind StoreErrorKind
+	Msg  string
+}
+
+func (e *StoreError) Error() string { return e.Msg }
+
+func storeErrf(kind StoreErrorKind, format string, args ...any) *StoreError {
+	return &StoreError{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// entry is one named graph: either sealed (g != nil, immutable, safe to
+// read without locks) or still streaming (b != nil, guarded by mu).
+type entry struct {
+	id     uint64 // unique per stored graph; part of every cache key
+	mu     sync.Mutex
+	g      *graph.Graph
+	b      *graph.Builder
+	nNodes int
+	nEdges int // edges accepted while streaming
+}
+
+// GraphStore is a concurrency-safe registry of named graphs. Sealed
+// graphs are immutable CSR structures shared by all readers; streaming
+// graphs accumulate edges under a per-entry lock until sealed.
+type GraphStore struct {
+	mu     sync.RWMutex
+	graphs map[string]*entry
+	nextID atomic.Uint64
+}
+
+// NewGraphStore returns an empty store.
+func NewGraphStore() *GraphStore {
+	return &GraphStore{graphs: make(map[string]*entry)}
+}
+
+// GraphInfo is the listing record for one stored graph.
+type GraphInfo struct {
+	Name    string  `json:"name"`
+	Sealed  bool    `json:"sealed"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+	Volume  float64 `json:"volume,omitempty"`
+	StoreID uint64  `json:"-"`
+}
+
+// Put registers a sealed graph under name. It fails with ErrConflict if
+// the name is taken.
+func (s *GraphStore) Put(name string, g *graph.Graph) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; ok {
+		return storeErrf(ErrConflict, "graph %q already exists", name)
+	}
+	s.graphs[name] = &entry{id: s.nextID.Add(1), g: g}
+	return nil
+}
+
+// Get returns the sealed graph under name together with its store id
+// (the cache-key component that distinguishes same-named graphs across
+// delete/re-create cycles). Unsealed graphs report ErrConflict.
+func (s *GraphStore) Get(name string) (*graph.Graph, uint64, error) {
+	s.mu.RLock()
+	e, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, storeErrf(ErrNotFound, "graph %q not found", name)
+	}
+	e.mu.Lock()
+	g := e.g
+	e.mu.Unlock()
+	if g == nil {
+		return nil, 0, storeErrf(ErrConflict, "graph %q is still streaming; seal it first", name)
+	}
+	return g, e.id, nil
+}
+
+// Delete removes the named graph (sealed or streaming).
+func (s *GraphStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; !ok {
+		return storeErrf(ErrNotFound, "graph %q not found", name)
+	}
+	delete(s.graphs, name)
+	return nil
+}
+
+// List returns info for every stored graph, sorted by name.
+func (s *GraphStore) List() []GraphInfo {
+	s.mu.RLock()
+	entries := make(map[string]*entry, len(s.graphs))
+	for name, e := range s.graphs {
+		entries[name] = e
+	}
+	s.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(entries))
+	for name, e := range entries {
+		e.mu.Lock()
+		info := GraphInfo{Name: name, StoreID: e.id}
+		if e.g != nil {
+			info.Sealed = true
+			info.Nodes = e.g.N()
+			info.Edges = e.g.M()
+			info.Volume = e.g.Volume()
+		} else {
+			info.Nodes = e.nNodes
+			info.Edges = e.nEdges
+		}
+		e.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BeginStream creates an unsealed graph on n nodes that accumulates
+// edges via AppendEdges until Seal snapshots it into immutable CSR form.
+func (s *GraphStore) BeginStream(name string, n int) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return storeErrf(ErrBadInput, "stream graph needs nodes > 0, got %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; ok {
+		return storeErrf(ErrConflict, "graph %q already exists", name)
+	}
+	s.graphs[name] = &entry{id: s.nextID.Add(1), b: graph.NewBuilder(n), nNodes: n}
+	return nil
+}
+
+// StreamEdge is one edge of a POSTed edge batch. Weight 0 means 1.
+type StreamEdge struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w,omitempty"`
+}
+
+// AppendEdges adds a batch of edges to an unsealed graph. Self-loops are
+// ignored (matching graph.Builder); invalid endpoints or weights fail
+// the whole batch atomically before any edge is applied.
+func (s *GraphStore) AppendEdges(name string, edges []StreamEdge) error {
+	s.mu.RLock()
+	e, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return storeErrf(ErrNotFound, "graph %q not found", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.b == nil {
+		return storeErrf(ErrConflict, "graph %q is sealed; cannot append edges", name)
+	}
+	for i, ed := range edges {
+		w := ed.W
+		if w == 0 {
+			w = 1
+		}
+		if ed.U < 0 || ed.U >= e.nNodes || ed.V < 0 || ed.V >= e.nNodes {
+			return storeErrf(ErrBadInput, "edge %d (%d,%d) out of range [0,%d)", i, ed.U, ed.V, e.nNodes)
+		}
+		if w < 0 {
+			return storeErrf(ErrBadInput, "edge %d (%d,%d) has negative weight %g", i, ed.U, ed.V, w)
+		}
+	}
+	for _, ed := range edges {
+		w := ed.W
+		if w == 0 {
+			w = 1
+		}
+		e.b.AddWeightedEdge(ed.U, ed.V, w)
+	}
+	e.nEdges += len(edges)
+	return nil
+}
+
+// Seal snapshots a streaming graph into its immutable CSR form, after
+// which it is queryable and frozen.
+func (s *GraphStore) Seal(name string) (*graph.Graph, error) {
+	s.mu.RLock()
+	e, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, storeErrf(ErrNotFound, "graph %q not found", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.b == nil {
+		return nil, storeErrf(ErrConflict, "graph %q is already sealed", name)
+	}
+	g, err := e.b.Build()
+	if err != nil {
+		return nil, storeErrf(ErrBadInput, "sealing %q: %v", name, err)
+	}
+	e.g = g
+	e.b = nil
+	return g, nil
+}
+
+func validName(name string) error {
+	if name == "" || len(name) > 128 {
+		return storeErrf(ErrBadInput, "graph name must be 1-128 characters")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return storeErrf(ErrBadInput, "graph name %q contains invalid character %q", name, r)
+		}
+	}
+	return nil
+}

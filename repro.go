@@ -22,6 +22,12 @@
 //     incremental and batch-parallel PageRank primitives the paper points
 //     to in database environments.
 //
+// Beyond the library API, cmd/graphd serves these algorithms as a
+// long-running HTTP/JSON daemon — synchronous cached queries for the
+// strongly-local methods, cancellable async jobs for the global NCP and
+// partitioning work — built on the internal/service layer; see the
+// README's "Running graphd" section.
+//
 // The deeper layers remain importable for specialist use under
 // repro/internal/...; everything here is stable, documented API.
 package repro
