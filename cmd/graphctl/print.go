@@ -1,0 +1,19 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// emit renders one command's typed API response: the raw JSON document
+// under -json, the human-oriented summary otherwise. Either way the
+// shape on stdout is derived from the pkg/api type, never hand-built.
+func emit(v any, pretty func()) error {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	pretty()
+	return nil
+}

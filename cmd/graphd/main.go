@@ -10,17 +10,15 @@
 //	graphd -addr :8080
 //	graphd -addr :8080 -load social=edges.txt.gz -load road=road.txt
 //
-// Quickstart:
+// Quickstart (cmd/graphctl is the CLI client, pkg/client the Go SDK):
 //
-//	curl localhost:8080/healthz
-//	curl -X POST localhost:8080/v1/graphs/demo/generate \
-//	     -d '{"family":"kronecker","levels":10,"seed":1}'
-//	curl -X POST localhost:8080/v1/graphs/demo/ppr \
-//	     -d '{"seeds":[0],"alpha":0.1,"eps":1e-4,"sweep":true}'
-//	curl -X POST localhost:8080/v1/jobs \
-//	     -d '{"type":"ncp","graph":"demo","params":{"method":"spectral"}}'
+//	graphctl health
+//	graphctl generate demo -family kronecker -levels 10 -seed 1
+//	graphctl ppr demo -seeds 0 -alpha 0.1 -sweep
+//	graphctl ncp demo -method spectral
 //
-// See the README's "Running graphd" section for the full API reference.
+// The wire contract is the versioned pkg/api package; docs/api.md is
+// the endpoint-by-endpoint reference.
 package main
 
 import (
@@ -36,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/graph"
 	"repro/internal/service"
 )
@@ -57,9 +56,14 @@ func main() {
 		jobWorkers = flag.Int("job-workers", 2, "async job worker count")
 		jobQueue   = flag.Int("job-queue", 64, "max pending jobs")
 		timeout    = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Var(&loads, "load", "preload a graph: name=edgelist-path (repeatable, .gz ok)")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("graphd"))
+		return
+	}
 
 	srv := service.NewServer(service.Config{
 		CacheEntries: *cacheSize,

@@ -1,24 +1,27 @@
-// Serving walkthrough: boot the graphd service layer in-process, load a
-// graph over HTTP, answer interactive local-clustering queries (watching
-// the result cache work), and run a cancellable NCP job on the async
-// queue — the full tour of internal/service without needing curl.
+// Serving walkthrough: boot the graphd service layer in-process, then
+// drive it exclusively through the pkg/client Go SDK — generate a
+// graph, answer interactive local-clustering queries (watching the
+// result cache work), run a cancellable NCP job on the async queue, and
+// read the daemon's metrics. No JSON is constructed by hand anywhere:
+// the typed requests and responses in pkg/api are the whole contract.
 //
-// The same requests work against a standalone daemon:
+// The same client works against a standalone daemon:
 //
 //	go run ./cmd/graphd -addr :8080
+//	c, _ := client.New("http://localhost:8080")
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
 	"strings"
 	"time"
 
 	"repro/internal/service"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -28,104 +31,82 @@ func main() {
 	defer ts.Close()
 	fmt.Printf("graphd serving on %s\n\n", ts.URL)
 
+	c, err := client.New(ts.URL,
+		client.WithTimeout(30*time.Second),
+		client.WithRetries(2),
+		client.WithPollInterval(10*time.Millisecond),
+	)
+	must(err)
+	ctx := context.Background()
+
 	// 1. Generate a graph server-side: a ring of cliques has planted
 	// community structure, so the local methods have something to find.
-	resp := post(ts.URL+"/v1/graphs/demo/generate",
-		`{"family":"ring_of_cliques","k":16,"clique_n":12}`)
-	fmt.Printf("generate: %s\n", resp)
+	info, err := c.Graphs.Generate(ctx, "demo", api.GenerateRequest{
+		Family: "ring_of_cliques", K: 16, CliqueN: 12,
+	})
+	must(err)
+	fmt.Printf("generated %q: %d nodes, %d edges, state=%s\n",
+		info.Name, info.Nodes, info.Edges, info.State)
 
 	// 2. Interactive queries. The first PPR costs a push computation...
-	query := `{"seeds":[0],"alpha":0.1,"eps":0.0001,"sweep":true}`
+	query := api.PPRRequest{Seeds: []int{0}, Alpha: 0.1, Eps: 1e-4, Sweep: true}
 	start := time.Now()
-	resp = post(ts.URL+"/v1/graphs/demo/ppr", query)
-	var ppr struct {
-		Support int `json:"support"`
-		Sweep   struct {
-			Size        int     `json:"size"`
-			Conductance float64 `json:"conductance"`
-		} `json:"sweep"`
-	}
-	must(json.Unmarshal([]byte(resp), &ppr))
-	fmt.Printf("ppr: support=%d sweep finds %d nodes at φ=%.4f (%v, cache miss)\n",
-		ppr.Support, ppr.Sweep.Size, ppr.Sweep.Conductance, time.Since(start).Round(time.Microsecond))
+	ppr, err := c.Graphs.PPR(ctx, "demo", query)
+	must(err)
+	fmt.Printf("ppr: support=%d sweep finds %d nodes at phi=%.4f (%v, cache miss)\n",
+		ppr.Support, ppr.Sweep.Size, ppr.Sweep.Conductance,
+		time.Since(start).Round(time.Microsecond))
 
 	// ...the identical repeat is answered from the LRU cache.
 	start = time.Now()
-	post(ts.URL+"/v1/graphs/demo/ppr", query)
+	_, err = c.Graphs.PPR(ctx, "demo", query)
+	must(err)
 	fmt.Printf("ppr (repeat): %v, cache hit\n", time.Since(start).Round(time.Microsecond))
 
 	// 3. The other strongly-local methods ride the same endpoint family.
-	resp = post(ts.URL+"/v1/graphs/demo/localcluster",
-		`{"method":"nibble","seeds":[5],"eps":0.0001,"steps":30}`)
-	var lc struct {
-		Size        int     `json:"size"`
-		Conductance float64 `json:"conductance"`
-		Support     int     `json:"support"`
-	}
-	must(json.Unmarshal([]byte(resp), &lc))
-	fmt.Printf("nibble: %d-node cluster at φ=%.4f touching only %d nodes\n\n",
+	lc, err := c.Graphs.LocalCluster(ctx, "demo", api.LocalClusterRequest{
+		Method: "nibble", Seeds: []int{5}, Eps: 1e-4, Steps: 30,
+	})
+	must(err)
+	fmt.Printf("nibble: %d-node cluster at phi=%.4f touching only %d nodes\n\n",
 		lc.Size, lc.Conductance, lc.Support)
 
-	// 4. Global work goes to the async queue: submit an NCP job, poll it
-	// to completion, read the envelope.
-	resp = post(ts.URL+"/v1/jobs",
-		`{"type":"ncp","graph":"demo","params":{"method":"spectral","seeds":8,"base_seed":1}}`)
-	var job struct {
-		ID     string `json:"id"`
-		Status string `json:"status"`
-	}
-	must(json.Unmarshal([]byte(resp), &job))
-	fmt.Printf("submitted NCP job %s\n", job.ID)
-	for job.Status != "done" && job.Status != "failed" && job.Status != "cancelled" {
-		time.Sleep(10 * time.Millisecond)
-		must(json.Unmarshal([]byte(get(ts.URL+"/v1/jobs/"+job.ID)), &job))
-	}
-	var ncp struct {
-		Spectral struct {
-			Clusters int `json:"clusters"`
-			Envelope []struct {
-				Size        int     `json:"size"`
-				Conductance float64 `json:"conductance"`
-			} `json:"envelope"`
-		} `json:"spectral"`
-	}
-	must(json.Unmarshal([]byte(get(ts.URL+"/v1/jobs/"+job.ID+"/result")), &ncp))
-	fmt.Printf("NCP job %s: %d clusters sampled; envelope:\n", job.Status, ncp.Spectral.Clusters)
+	// 4. Global work goes to the async queue: submit an NCP job, wait
+	// for it, decode the typed result.
+	req, err := api.NewJob("ncp", "demo", &api.NCPJobParams{
+		Method: "spectral", Seeds: 8, BaseSeed: 1,
+	})
+	must(err)
+	view, err := c.Jobs.Submit(ctx, req)
+	must(err)
+	fmt.Printf("submitted NCP job %s\n", view.ID)
+	var ncp api.NCPJobResult
+	view, err = c.Jobs.WaitResult(ctx, view.ID, &ncp)
+	must(err)
+	fmt.Printf("NCP job %s in %.0fms: %d clusters sampled; envelope:\n",
+		view.Status, view.RunTimeMS, ncp.Spectral.Clusters)
 	for _, p := range ncp.Spectral.Envelope {
-		fmt.Printf("  size≈%-5d min φ = %.4f\n", p.Size, p.Conductance)
+		fmt.Printf("  size<=%-5d min phi = %.4f\n", p.Size, p.Conductance)
 	}
 
-	// 5. The metrics endpoint exposes the cache hit just recorded.
-	for _, line := range strings.Split(get(ts.URL+"/metrics"), "\n") {
+	// 5. Typed errors carry machine-readable codes: a deleted graph is
+	// api.CodeNotFound, not a string to parse.
+	must(c.Graphs.Delete(ctx, "demo"))
+	if _, err := c.Graphs.Stats(ctx, "demo"); api.IsNotFound(err) {
+		fmt.Printf("\nafter delete: stats correctly fails with code %q\n", api.CodeNotFound)
+	} else {
+		log.Fatalf("expected not_found, got %v", err)
+	}
+
+	// 6. The metrics endpoint exposes the cache hit recorded above.
+	metrics, err := c.Metrics(ctx)
+	must(err)
+	for _, line := range strings.Split(metrics, "\n") {
 		if strings.HasPrefix(line, "graphd_cache_hits_total") ||
 			strings.HasPrefix(line, "graphd_jobs_finished_total") {
 			fmt.Println(line)
 		}
 	}
-}
-
-func post(url, body string) string {
-	resp, err := http.Post(url, "application/json", strings.NewReader(body))
-	must(err)
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	must(err)
-	if resp.StatusCode >= 400 {
-		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, out)
-	}
-	return string(out)
-}
-
-func get(url string) string {
-	resp, err := http.Get(url)
-	must(err)
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	must(err)
-	if resp.StatusCode >= 400 {
-		log.Fatalf("GET %s: %d %s", url, resp.StatusCode, out)
-	}
-	return string(out)
 }
 
 func must(err error) {

@@ -1,0 +1,74 @@
+// Package buildinfo reads the binary's embedded build metadata
+// (runtime/debug.ReadBuildInfo) once and exposes it to the daemons and
+// CLIs: the module version, the VCS commit, and the Go toolchain. All
+// values degrade gracefully to placeholders in test binaries and
+// uncommitted builds.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the resolved build metadata.
+type Info struct {
+	// Version is the main module's version ("(devel)" outside a tagged
+	// module build).
+	Version string
+	// Commit is the VCS revision the binary was built from, shortened to
+	// 12 characters, with a "-dirty" suffix when the working tree had
+	// local modifications. Empty when no VCS stamp is embedded.
+	Commit string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get returns the build metadata, resolving it on first use.
+func Get() Info {
+	once.Do(func() {
+		info = Info{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			info.Version = bi.Main.Version
+		}
+		var revision string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if revision != "" {
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+			if dirty {
+				revision += "-dirty"
+			}
+			info.Commit = revision
+		}
+	})
+	return info
+}
+
+// String renders "name version (commit, go)" for -version flags.
+func String(name string) string {
+	i := Get()
+	if i.Commit == "" {
+		return fmt.Sprintf("%s %s (%s)", name, i.Version, i.GoVersion)
+	}
+	return fmt.Sprintf("%s %s (commit %s, %s)", name, i.Version, i.Commit, i.GoVersion)
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ncp"
 	"repro/internal/partition"
+	"repro/pkg/api"
 )
 
 // RegisterDefaultJobs installs the built-in job types on a JobManager:
@@ -20,66 +21,34 @@ import (
 //	partition  — k-way recursive multilevel bisection
 //	fig1       — the full Figure-1 experiment (generates its own graph)
 //
-// Every executor defaults its seed so results are deterministic for a
-// given params payload, which is what makes job-result caching sound.
+// The params and result payloads are the api.*JobParams / api.*JobResult
+// wire types. Every executor defaults its seed so results are
+// deterministic for a given params payload, which is what makes
+// job-result caching sound.
 func RegisterDefaultJobs(m *JobManager) {
 	m.Register("ncp", true, runNCPJob)
 	m.Register("partition", true, runPartitionJob)
 	m.Register("fig1", false, runFig1Job)
 }
 
-// NCPJobParams parameterizes the "ncp" job type.
-type NCPJobParams struct {
-	// Method is "spectral", "flow" or "both" (default).
-	Method string `json:"method,omitempty"`
-	// Seeds per α scale for the spectral profile (default 20).
-	Seeds int `json:"seeds,omitempty"`
-	// Workers for the profile engines (0 = all CPUs).
-	Workers int `json:"workers,omitempty"`
-	// BaseSeed drives all sampling (default 1; results are a pure
-	// function of the params, so identical submissions cache-hit).
-	BaseSeed int64 `json:"base_seed,omitempty"`
-}
-
-// EnvelopePoint is one bucket of an NCP minimum-conductance envelope.
-type EnvelopePoint struct {
-	Size        int     `json:"size"`
-	Conductance float64 `json:"conductance"`
-}
-
-// ProfileSummary is the serialized form of one NCP profile.
-type ProfileSummary struct {
-	Clusters int             `json:"clusters"`
-	Envelope []EnvelopePoint `json:"envelope"`
-}
-
-// NCPJobResult is the "ncp" job's result payload. The graph's name is
-// on the job view, not repeated here (the executor sees only the graph).
-type NCPJobResult struct {
-	Nodes    int             `json:"nodes"`
-	EdgesM   int             `json:"edges"`
-	Spectral *ProfileSummary `json:"spectral,omitempty"`
-	Flow     *ProfileSummary `json:"flow,omitempty"`
+// decodeParams strict-decodes a job's raw params into p, then runs the
+// shared Normalize/Validate pipeline — the same contract handler-side
+// requests go through.
+func decodeParams(raw json.RawMessage, p api.Request) error {
+	if err := strictUnmarshal(raw, p); err != nil {
+		return err
+	}
+	p.Normalize()
+	return p.Validate()
 }
 
 func runNCPJob(ctx context.Context, g *graph.Graph, raw json.RawMessage) (any, error) {
-	var p NCPJobParams
-	if err := strictUnmarshal(raw, &p); err != nil {
+	var p api.NCPJobParams
+	if err := decodeParams(raw, &p); err != nil {
 		return nil, err
 	}
-	if p.Method == "" {
-		p.Method = "both"
-	}
-	if p.BaseSeed == 0 {
-		p.BaseSeed = 1
-	}
-	res := &NCPJobResult{Nodes: g.N(), EdgesM: g.M()}
+	res := &api.NCPJobResult{Nodes: g.N(), EdgesM: g.M()}
 	rng := rand.New(rand.NewSource(p.BaseSeed))
-	switch p.Method {
-	case "spectral", "flow", "both":
-	default:
-		return nil, fmt.Errorf("ncp method must be spectral|flow|both, got %q", p.Method)
-	}
 	if p.Method == "spectral" || p.Method == "both" {
 		prof, err := ncp.SpectralProfileCtx(ctx, g, ncp.SpectralConfig{
 			Seeds: p.Seeds, Workers: p.Workers, BaseSeed: p.BaseSeed,
@@ -101,62 +70,31 @@ func runNCPJob(ctx context.Context, g *graph.Graph, raw json.RawMessage) (any, e
 	return res, nil
 }
 
-func summarizeProfile(p *ncp.Profile) *ProfileSummary {
-	s := &ProfileSummary{Clusters: len(p.Clusters)}
+func summarizeProfile(p *ncp.Profile) *api.ProfileSummary {
+	s := &api.ProfileSummary{Clusters: len(p.Clusters)}
 	for _, pt := range p.MinEnvelope() {
-		s.Envelope = append(s.Envelope, EnvelopePoint{Size: pt.Size, Conductance: pt.Conductance})
+		s.Envelope = append(s.Envelope, api.EnvelopePoint{Size: pt.Size, Conductance: pt.Conductance})
 	}
 	return s
 }
 
-// PartitionJobParams parameterizes the "partition" job type.
-type PartitionJobParams struct {
-	K int `json:"k"`
-	// Seed drives the multilevel matching (default 1).
-	Seed int64 `json:"seed,omitempty"`
-	// IncludeLabels returns the per-node label vector (can be large).
-	IncludeLabels bool `json:"include_labels,omitempty"`
-}
-
-// PartSummary describes one part of a k-way partition.
-type PartSummary struct {
-	Label       int     `json:"label"`
-	Size        int     `json:"size"`
-	Volume      float64 `json:"volume"`
-	Conductance float64 `json:"conductance"`
-}
-
-// PartitionJobResult is the "partition" job's result payload.
-type PartitionJobResult struct {
-	K      int           `json:"k"`
-	Parts  []PartSummary `json:"parts"`
-	MaxPhi float64       `json:"max_conductance"`
-	Labels []int         `json:"labels,omitempty"`
-}
-
 func runPartitionJob(ctx context.Context, g *graph.Graph, raw json.RawMessage) (any, error) {
-	var p PartitionJobParams
-	if err := strictUnmarshal(raw, &p); err != nil {
+	var p api.PartitionJobParams
+	if err := decodeParams(raw, &p); err != nil {
 		return nil, err
-	}
-	if p.K < 1 {
-		return nil, fmt.Errorf("partition k must be >= 1, got %d", p.K)
-	}
-	if p.Seed == 0 {
-		p.Seed = 1
 	}
 	labels, err := partition.RecursiveBisectCtx(ctx, g, p.K, partition.MultilevelOptions{Seed: p.Seed})
 	if err != nil {
 		return nil, err
 	}
-	res := &PartitionJobResult{K: p.K}
+	res := &api.PartitionJobResult{K: p.K}
 	for _, set := range partition.PartSets(labels) {
 		inS := g.Membership(set)
 		phi := g.Conductance(inS)
 		if math.IsInf(phi, 1) {
 			phi = -1 // whole-graph part: no cut to normalize
 		}
-		res.Parts = append(res.Parts, PartSummary{
+		res.Parts = append(res.Parts, api.PartSummary{
 			Label: len(res.Parts), Size: len(set),
 			Volume: g.VolumeOf(inS), Conductance: phi,
 		})
@@ -170,39 +108,9 @@ func runPartitionJob(ctx context.Context, g *graph.Graph, raw json.RawMessage) (
 	return res, nil
 }
 
-// Fig1JobParams parameterizes the "fig1" job type; see
-// experiments.Fig1Config. The job generates its own forest-fire network.
-type Fig1JobParams struct {
-	N             int     `json:"n,omitempty"`
-	FwdProb       float64 `json:"fwd_prob,omitempty"`
-	Seed          int64   `json:"seed,omitempty"`
-	SpectralSeeds int     `json:"spectral_seeds,omitempty"`
-	MinSize       int     `json:"min_size,omitempty"`
-	MaxSize       int     `json:"max_size,omitempty"`
-	Workers       int     `json:"workers,omitempty"`
-}
-
-// Fig1JobResult is the "fig1" job's result payload: the aggregate
-// comparison that summarizes all three panels.
-type Fig1JobResult struct {
-	Nodes                int     `json:"nodes"`
-	Edges                int     `json:"edges"`
-	SpectralPoints       int     `json:"spectral_points"`
-	FlowPoints           int     `json:"flow_points"`
-	MedianPhiSpectral    float64 `json:"median_phi_spectral"`
-	MedianPhiFlow        float64 `json:"median_phi_flow"`
-	MedianPathSpectral   float64 `json:"median_path_spectral"`
-	MedianPathFlow       float64 `json:"median_path_flow"`
-	MedianRatioSpectral  float64 `json:"median_ratio_spectral"`
-	MedianRatioFlow      float64 `json:"median_ratio_flow"`
-	FracFlowWinsPhi      float64 `json:"frac_flow_wins_phi"`
-	FracSpectralWinsPath float64 `json:"frac_spectral_wins_path"`
-	EnvelopeRatioGeoMean float64 `json:"envelope_ratio_geomean"`
-}
-
 func runFig1Job(ctx context.Context, _ *graph.Graph, raw json.RawMessage) (any, error) {
-	var p Fig1JobParams
-	if err := strictUnmarshal(raw, &p); err != nil {
+	var p api.Fig1JobParams
+	if err := decodeParams(raw, &p); err != nil {
 		return nil, err
 	}
 	r, err := experiments.Fig1Ctx(ctx, experiments.Fig1Config{
@@ -212,7 +120,7 @@ func runFig1Job(ctx context.Context, _ *graph.Graph, raw json.RawMessage) (any, 
 	if err != nil {
 		return nil, err
 	}
-	return &Fig1JobResult{
+	return &api.Fig1JobResult{
 		Nodes: r.Graph.N(), Edges: r.Graph.M(),
 		SpectralPoints: len(r.Spectral), FlowPoints: len(r.Flow),
 		MedianPhiSpectral: r.MedianPhiSpectral, MedianPhiFlow: r.MedianPhiFlow,

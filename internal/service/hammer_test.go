@@ -1,24 +1,23 @@
 package service
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
-	"net/http"
-	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/gen"
+	"repro/pkg/api"
 )
 
 // TestConcurrentHammer drives the store, cache, singleflight group and
-// job queue from 32 goroutines at once. Run under -race (CI does) it is
-// the service layer's data-race detector; functionally it asserts that
-// every response is one of the expected statuses and the server survives
+// job queue from 32 goroutines at once, all through the pkg/client SDK.
+// Run under -race (CI does) it is the service layer's data-race
+// detector; functionally it asserts that every call either succeeds or
+// fails with an expected API error code, and that the server survives
 // to answer a final health check.
 func TestConcurrentHammer(t *testing.T) {
-	srv, ts := testServer(t, Config{JobWorkers: 4, JobQueue: 4096, CacheEntries: 64})
+	srv, _, c := testServer(t, Config{JobWorkers: 4, JobQueue: 4096, CacheEntries: 64})
 	if err := srv.Store().Put("cave", gen.Caveman(6, 6)); err != nil {
 		t.Fatal(err)
 	}
@@ -27,35 +26,20 @@ func TestConcurrentHammer(t *testing.T) {
 	const opsPer = 25
 	var wg sync.WaitGroup
 	errc := make(chan error, goroutines*opsPer)
-	client := ts.Client()
+	bg := context.Background()
 
-	post := func(path, body string, okCodes ...int) error {
-		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
-		if err != nil {
-			return err
+	// allow tolerates the listed API error codes (contention outcomes
+	// like name conflicts are expected under the hammer).
+	allow := func(err error, codes ...api.ErrorCode) error {
+		if err == nil {
+			return nil
 		}
-		defer resp.Body.Close()
-		io.Copy(io.Discard, resp.Body)
-		for _, c := range okCodes {
-			if resp.StatusCode == c {
+		for _, code := range codes {
+			if api.IsCode(err, code) {
 				return nil
 			}
 		}
-		return fmt.Errorf("POST %s: unexpected status %d", path, resp.StatusCode)
-	}
-	get := func(path string, okCodes ...int) error {
-		resp, err := client.Get(ts.URL + path)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		io.Copy(io.Discard, resp.Body)
-		for _, c := range okCodes {
-			if resp.StatusCode == c {
-				return nil
-			}
-		}
-		return fmt.Errorf("GET %s: unexpected status %d", path, resp.StatusCode)
+		return err
 	}
 
 	for gi := 0; gi < goroutines; gi++ {
@@ -67,35 +51,46 @@ func TestConcurrentHammer(t *testing.T) {
 				var err error
 				switch op % 8 {
 				case 0: // query a shared graph: cache + singleflight contention
-					err = post("/v1/graphs/ring/ppr",
-						fmt.Sprintf(`{"seeds":[%d],"alpha":0.1}`, op%64), 200)
+					_, err = c.Graphs.PPR(bg, "ring", api.PPRRequest{
+						Seeds: []int{op % 64}, Alpha: 0.1,
+					})
 				case 1: // distinct params: cache fill + eviction churn
-					err = post("/v1/graphs/cave/localcluster",
-						fmt.Sprintf(`{"seeds":[%d],"eps":0.0001}`, (gi*opsPer+op)%36), 200)
+					_, err = c.Graphs.LocalCluster(bg, "cave", api.LocalClusterRequest{
+						Seeds: []int{(gi*opsPer + op) % 36}, Eps: 1e-4,
+					})
 				case 2: // private graph create/delete cycle
-					if err = post("/v1/graphs/"+mine, "0 1\n1 2\n", 201, 409); err == nil {
-						err = del(client, ts.URL+"/v1/graphs/"+mine)
+					_, err = c.Graphs.Generate(bg, mine, api.GenerateRequest{
+						Family: "grid", Rows: 2, Cols: 2,
+					})
+					if err = allow(err, api.CodeConflict); err == nil {
+						err = allow(c.Graphs.Delete(bg, mine), api.CodeNotFound)
 					}
 				case 3: // streaming lifecycle on a private name
 					name := fmt.Sprintf("s%d-%d", gi, op)
-					if err = post("/v1/graphs/"+name+"/stream", `{"nodes":4}`, 201); err == nil {
-						if err = post("/v1/graphs/"+name+"/edges",
-							`{"edges":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":3}]}`, 200); err == nil {
-							err = post("/v1/graphs/"+name+"/seal", "", 200)
+					if _, err = c.Graphs.Stream(bg, name, 4); err == nil {
+						if _, err = c.Graphs.AppendEdges(bg, name, []api.StreamEdge{
+							{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3},
+						}); err == nil {
+							_, err = c.Graphs.Seal(bg, name)
 						}
 					}
 				case 4: // tiny NCP jobs: queue + result cache contention
-					err = post("/v1/jobs",
-						fmt.Sprintf(`{"type":"ncp","graph":"ring","params":{"method":"spectral","seeds":2,"base_seed":%d}}`, 1+op%3), 202)
+					var req api.JobSubmitRequest
+					req, err = api.NewJob("ncp", "ring", &api.NCPJobParams{
+						Method: "spectral", Seeds: 2, BaseSeed: int64(1 + op%3),
+					})
+					if err == nil {
+						_, err = c.Jobs.Submit(bg, req)
+					}
 				case 5:
-					err = get("/v1/jobs", 200)
+					_, err = c.Jobs.List(bg)
 				case 6:
-					err = get("/metrics", 200)
+					_, err = c.Metrics(bg)
 				case 7:
-					err = get("/v1/graphs", 200)
+					_, err = c.Graphs.List(bg)
 				}
 				if err != nil {
-					errc <- err
+					errc <- fmt.Errorf("g%d op%d: %w", gi, op, err)
 				}
 			}
 		}(gi)
@@ -106,34 +101,18 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Error(err)
 	}
 
-	code, body, _ := do(t, "GET", ts.URL+"/healthz", "")
-	wantCode(t, code, 200, body)
+	if h, err := c.Health(bg); err != nil || h.Status != "ok" {
+		t.Fatalf("health after hammer: %+v, %v", h, err)
+	}
 
 	// Every submitted job must reach a terminal state.
-	code, body, _ = do(t, "GET", ts.URL+"/v1/jobs", "")
-	wantCode(t, code, 200, body)
-	var list struct{ Jobs []JobView }
-	if err := json.Unmarshal(body, &list); err != nil {
+	jobs, err := c.Jobs.List(bg)
+	if err != nil {
 		t.Fatal(err)
 	}
-	for _, j := range list.Jobs {
-		waitJob(t, ts, j.ID, 60e9)
+	for _, j := range jobs {
+		if _, err := c.Jobs.Wait(bg, j.ID); err != nil {
+			t.Errorf("job %s: %v", j.ID, err)
+		}
 	}
-}
-
-func del(client *http.Client, url string) error {
-	req, err := http.NewRequest(http.MethodDelete, url, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != 200 && resp.StatusCode != 404 {
-		return fmt.Errorf("DELETE %s: unexpected status %d", url, resp.StatusCode)
-	}
-	return nil
 }

@@ -5,73 +5,32 @@ import (
 	"compress/gzip"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
+	"time"
 
-	"repro/internal/diffusion"
-	"repro/internal/gen"
+	"repro/internal/buildinfo"
 	"repro/internal/graph"
-	"repro/internal/local"
+	"repro/pkg/api"
 )
 
-// errorBody is the uniform JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
-}
-
-func writeJSONBytes(w http.ResponseWriter, code int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	w.Write(body)
-	if len(body) == 0 || body[len(body)-1] != '\n' {
-		io.WriteString(w, "\n")
-	}
-}
-
-// writeError maps service errors onto HTTP statuses: typed store errors
-// carry their own kind, deadline errors become 504, everything else is a
-// 400 (the algorithms' errors are parameter errors by construction).
-func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusBadRequest
-	var se *StoreError
-	switch {
-	case errors.As(err, &se):
-		switch se.Kind {
-		case ErrNotFound:
-			code = http.StatusNotFound
-		case ErrConflict:
-			code = http.StatusConflict
-		case ErrBadInput:
-			code = http.StatusBadRequest
-		}
-	case errors.Is(err, context.DeadlineExceeded):
-		code = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		code = http.StatusRequestTimeout
-	}
-	writeJSON(w, code, errorBody{Error: err.Error()})
-}
-
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		return nil, storeErrf(ErrBadInput, "reading body: %v", err)
-	}
-	return body, nil
-}
+// Every handler here is a thin decode → validate → execute → encode
+// shell: the wire types and their validation live in pkg/api, the
+// execute step in queries.go / exec.go, the caching/dedup/deadline
+// machinery in serveCached, and the shared body/deadline/metrics
+// concerns in middleware.go.
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	bi := buildinfo.Get()
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status:        "ok",
+		Version:       bi.Version,
+		Commit:        bi.Commit,
+		GoVersion:     bi.GoVersion,
+		APIVersion:    api.Version,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -80,16 +39,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.store.List()})
+	writeJSON(w, http.StatusOK, api.GraphList{Graphs: s.store.List()})
 }
 
 // handleLoadGraph ingests an edge-list body (plain or gzip — either via
 // Content-Encoding: gzip or raw gzip bytes detected by magic number) and
-// registers it as a sealed graph.
+// registers it as a sealed graph. This is the one non-JSON ingest
+// endpoint, so it bypasses the JSON decode pipeline; the body is still
+// capped by the MaxBytes middleware.
 func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var reader io.Reader = bufio.NewReader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	magic, _ := reader.(*bufio.Reader).Peek(2)
+	br := bufio.NewReader(r.Body)
+	var reader io.Reader = br
+	magic, _ := br.Peek(2)
 	if r.Header.Get("Content-Encoding") == "gzip" ||
 		(len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b) {
 		gz, err := gzip.NewReader(reader)
@@ -98,7 +60,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer gz.Close()
-		// MaxBodyBytes capped only the compressed stream; cap the
+		// MaxBytes capped only the compressed stream; cap the
 		// decompressed side too so a gzip bomb cannot exhaust memory.
 		// The cap reader errors loudly instead of returning EOF, so a
 		// truncated graph can never be stored silently.
@@ -113,28 +75,15 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, GraphInfo{
-		Name: name, Sealed: true, Nodes: g.N(), Edges: g.M(), Volume: g.Volume(),
-	})
+	writeJSON(w, http.StatusCreated, sealedInfo(name, g))
 }
 
-// capReader errors (rather than reporting EOF) once more than
-// `remaining` bytes have been read, failing oversized streams loudly.
-type capReader struct {
-	r         io.Reader
-	remaining int64
-}
-
-func (c *capReader) Read(p []byte) (int, error) {
-	if c.remaining <= 0 {
-		return 0, storeErrf(ErrBadInput, "decompressed body too large")
+// sealedInfo is the GraphInfo for a freshly sealed graph.
+func sealedInfo(name string, g *graph.Graph) api.GraphInfo {
+	return api.GraphInfo{
+		Name: name, State: api.GraphSealed, Sealed: true,
+		Nodes: g.N(), Edges: g.M(), Volume: g.Volume(),
 	}
-	if int64(len(p)) > c.remaining {
-		p = p[:c.remaining]
-	}
-	n, err := c.r.Read(p)
-	c.remaining -= int64(n)
-	return n, err
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
@@ -142,19 +91,12 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	writeJSON(w, http.StatusOK, api.DeleteResponse{Status: "deleted"})
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	body, err := s.readBody(w, r)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	var req GenerateRequest
-	if err := strictUnmarshal(body, &req); err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
+	var req api.GenerateRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
 	g, err := generate(req)
@@ -162,108 +104,16 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.store.Put(name, g); err != nil {
+	if err := s.store.Put(r.PathValue("name"), g); err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, GraphInfo{
-		Name: name, Sealed: true, Nodes: g.N(), Edges: g.M(), Volume: g.Volume(),
-	})
-}
-
-// Generator size caps: server-side synthesis runs synchronously on the
-// request goroutine, so a single request must not be able to allocate
-// unbounded memory or run for minutes.
-const (
-	maxGenNodes  = 5_000_000
-	maxGenEdges  = 50_000_000
-	maxGenLevels = 22 // 2^22 ≈ 4.2M nodes
-)
-
-func generate(req GenerateRequest) (*graph.Graph, error) {
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	rng := rand.New(rand.NewSource(seed))
-	switch req.Family {
-	case "kronecker":
-		levels := req.Levels
-		if levels <= 0 {
-			levels = 12
-		}
-		if levels > maxGenLevels || req.Edges > maxGenEdges {
-			return nil, storeErrf(ErrBadInput, "kronecker capped at levels <= %d and edges <= %d", maxGenLevels, maxGenEdges)
-		}
-		return gen.Kronecker(gen.KroneckerConfig{Levels: levels, Edges: req.Edges}, rng)
-	case "forestfire":
-		n := req.N
-		if n <= 0 {
-			n = 10000
-		}
-		if n > maxGenNodes {
-			return nil, storeErrf(ErrBadInput, "forestfire capped at n <= %d", maxGenNodes)
-		}
-		p := req.P
-		if p <= 0 {
-			p = 0.37
-		}
-		return gen.ForestFire(gen.ForestFireConfig{N: n, FwdProb: p, Ambs: 1}, rng)
-	case "erdosrenyi":
-		if req.N <= 0 || req.P <= 0 {
-			return nil, storeErrf(ErrBadInput, "erdosrenyi needs n > 0 and p > 0")
-		}
-		if req.N > maxGenNodes || req.P*float64(req.N)*float64(req.N)/2 > maxGenEdges {
-			return nil, storeErrf(ErrBadInput, "erdosrenyi capped at n <= %d and expected edges <= %d", maxGenNodes, maxGenEdges)
-		}
-		return gen.ErdosRenyi(req.N, req.P, rng)
-	case "grid":
-		if req.Rows <= 0 || req.Cols <= 0 {
-			return nil, storeErrf(ErrBadInput, "grid needs rows > 0 and cols > 0")
-		}
-		if req.Rows > maxGenNodes/max(req.Cols, 1) {
-			return nil, storeErrf(ErrBadInput, "grid capped at rows*cols <= %d", maxGenNodes)
-		}
-		return gen.Grid(req.Rows, req.Cols), nil
-	case "ring_of_cliques":
-		if req.K <= 0 || req.CliqueN <= 0 {
-			return nil, storeErrf(ErrBadInput, "ring_of_cliques needs k > 0 and clique_n > 0")
-		}
-		if err := capCliqueFamily(req.K, req.CliqueN); err != nil {
-			return nil, err
-		}
-		return gen.RingOfCliques(req.K, req.CliqueN), nil
-	case "caveman":
-		if req.K <= 0 || req.CliqueN <= 0 {
-			return nil, storeErrf(ErrBadInput, "caveman needs k > 0 and clique_n > 0")
-		}
-		if err := capCliqueFamily(req.K, req.CliqueN); err != nil {
-			return nil, err
-		}
-		return gen.Caveman(req.K, req.CliqueN), nil
-	default:
-		return nil, storeErrf(ErrBadInput,
-			"unknown family %q (have kronecker, forestfire, erdosrenyi, grid, ring_of_cliques, caveman)", req.Family)
-	}
-}
-
-// capCliqueFamily bounds k cliques of size c: k·c nodes and k·c²/2 edges.
-func capCliqueFamily(k, c int) error {
-	if k > maxGenNodes/c || float64(k)*float64(c)*float64(c)/2 > maxGenEdges {
-		return storeErrf(ErrBadInput, "clique family capped at k*clique_n <= %d nodes and %d edges", maxGenNodes, maxGenEdges)
-	}
-	return nil
+	writeJSON(w, http.StatusCreated, sealedInfo(r.PathValue("name"), g))
 }
 
 func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	var req StreamCreateRequest
-	if err := strictUnmarshal(body, &req); err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
+	var req api.StreamCreateRequest
+	if !s.decode(w, r, &req) {
 		return
 	}
 	name := r.PathValue("name")
@@ -271,30 +121,21 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, GraphInfo{Name: name, Nodes: req.Nodes})
+	writeJSON(w, http.StatusCreated, api.GraphInfo{
+		Name: name, State: api.GraphStreaming, Nodes: req.Nodes,
+	})
 }
 
 func (s *Server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
-	if err != nil {
+	var req api.EdgeBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.store.AppendEdges(r.PathValue("name"), req.Edges); err != nil {
 		writeError(w, err)
 		return
 	}
-	var req EdgeBatchRequest
-	if err := strictUnmarshal(body, &req); err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
-		return
-	}
-	if len(req.Edges) == 0 {
-		writeError(w, storeErrf(ErrBadInput, "edge batch is empty"))
-		return
-	}
-	name := r.PathValue("name")
-	if err := s.store.AppendEdges(name, req.Edges); err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"appended": len(req.Edges)})
+	writeJSON(w, http.StatusOK, api.EdgeBatchResponse{Appended: len(req.Edges)})
 }
 
 func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
@@ -304,15 +145,105 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, GraphInfo{
-		Name: name, Sealed: true, Nodes: g.N(), Edges: g.M(), Volume: g.Volume(),
+	writeJSON(w, http.StatusOK, sealedInfo(name, g))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.serveCached(w, r, "stats", nil, func(ctx context.Context, g *graph.Graph) (any, error) {
+		return execStats(name, g), nil
 	})
+}
+
+func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
+	var req api.PPRRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.serveCached(w, r, "ppr", mustParams(req), func(ctx context.Context, g *graph.Graph) (any, error) {
+		return execPPR(g, req)
+	})
+}
+
+func (s *Server) handleLocalCluster(w http.ResponseWriter, r *http.Request) {
+	var req api.LocalClusterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.serveCached(w, r, "localcluster", mustParams(req), func(ctx context.Context, g *graph.Graph) (any, error) {
+		return execLocalCluster(g, req)
+	})
+}
+
+func (s *Server) handleDiffuse(w http.ResponseWriter, r *http.Request) {
+	var req api.DiffuseRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.serveCached(w, r, "diffuse", mustParams(req), func(ctx context.Context, g *graph.Graph) (any, error) {
+		return execDiffuse(g, req)
+	})
+}
+
+func (s *Server) handleSweepCut(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepCutRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.serveCached(w, r, "sweepcut", mustParams(req), func(ctx context.Context, g *graph.Graph) (any, error) {
+		return execSweepCut(g, req)
+	})
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.JobSubmitRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	view, err := s.jobs.Submit(req.Type, req.Graph, req.Params)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.jobs.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	body, err := s.jobs.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // serveCached is the shared synchronous-query path: resolve the graph,
 // canonicalize the params into a cache key, answer from the LRU cache
 // when possible, deduplicate identical in-flight computations through
-// the singleflight group, and enforce the per-request deadline.
+// the singleflight group, and enforce the per-request deadline (already
+// attached to r.Context() by the deadline middleware).
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, params []byte, compute func(ctx context.Context, g *graph.Graph) (any, error)) {
 	name := r.PathValue("name")
 	g, id, err := s.store.Get(name)
@@ -368,11 +299,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		})
 		ch <- flightOut{body, err, shared}
 	}()
-	waitCtx, cancelWait := context.WithTimeout(r.Context(), s.queryTimeout(r))
-	defer cancelWait()
 	select {
-	case <-waitCtx.Done():
-		writeError(w, waitCtx.Err())
+	case <-r.Context().Done():
+		writeError(w, r.Context().Err())
 		return
 	case out := <-ch:
 		if out.err != nil {
@@ -406,7 +335,7 @@ func runWithDeadline(ctx context.Context, fn func(ctx context.Context) (any, err
 		// panicking algorithm must fail this request, not the daemon.
 		defer func() {
 			if p := recover(); p != nil {
-				ch <- result{nil, fmt.Errorf("internal panic: %v", p)}
+				ch <- result{nil, api.Errorf(api.CodeInternal, "internal panic: %v", p)}
 			}
 		}()
 		v, err := fn(ctx)
@@ -418,311 +347,4 @@ func runWithDeadline(ctx context.Context, fn func(ctx context.Context) (any, err
 	case res := <-ch:
 		return res.v, res.err
 	}
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	s.serveCached(w, r, "stats", nil, func(ctx context.Context, g *graph.Graph) (any, error) {
-		res := StatsResponse{
-			Name: name, Nodes: g.N(), Edges: g.M(), Volume: g.Volume(),
-		}
-		if g.N() > 0 {
-			min := g.Degree(0)
-			max := min
-			for u := 1; u < g.N(); u++ {
-				d := g.Degree(u)
-				if d < min {
-					min = d
-				}
-				if d > max {
-					max = d
-				}
-				if d == 0 {
-					res.Isolated++
-				}
-			}
-			if g.Degree(0) == 0 {
-				res.Isolated++
-			}
-			res.MinDegree = min
-			res.MaxDegree = max
-			res.AvgDegree = g.Volume() / float64(g.N())
-		}
-		return res, nil
-	})
-}
-
-func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	var req PPRRequest
-	if err := strictUnmarshal(body, &req); err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
-		return
-	}
-	if req.Alpha == 0 {
-		req.Alpha = 0.15
-	}
-	if req.Eps == 0 {
-		req.Eps = 1e-4
-	}
-	if req.TopK == 0 {
-		req.TopK = 100
-	}
-	params, err := json.Marshal(req)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	s.serveCached(w, r, "ppr", params, func(ctx context.Context, g *graph.Graph) (any, error) {
-		res, err := local.ApproxPageRank(g, req.Seeds, req.Alpha, req.Eps)
-		if err != nil {
-			return nil, err
-		}
-		out := &PPRResponse{
-			Support: len(res.P), Sum: res.P.Sum(),
-			Pushes: res.Pushes, WorkVolume: res.WorkVolume,
-			Top: topMasses(res.P, req.TopK),
-		}
-		if req.Sweep {
-			sw, err := local.SweepCut(g, res.P)
-			if err != nil {
-				return nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?): %v", err)
-			}
-			out.Sweep = &SweepInfo{
-				Set: sw.Set, Size: len(sw.Set),
-				Conductance: sw.Conductance, Prefix: sw.Prefix,
-			}
-		}
-		return out, nil
-	})
-}
-
-func (s *Server) handleLocalCluster(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	var req LocalClusterRequest
-	if err := strictUnmarshal(body, &req); err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
-		return
-	}
-	if req.Method == "" {
-		req.Method = "ppr"
-	}
-	if req.Alpha == 0 {
-		req.Alpha = 0.15
-	}
-	if req.Eps == 0 {
-		req.Eps = 1e-4
-	}
-	if req.Steps == 0 {
-		req.Steps = 20
-	}
-	if req.T == 0 {
-		req.T = 5
-	}
-	params, err := json.Marshal(req)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	s.serveCached(w, r, "localcluster", params, func(ctx context.Context, g *graph.Graph) (any, error) {
-		var (
-			sw      *SweepInfo
-			support int
-		)
-		switch req.Method {
-		case "ppr":
-			res, err := local.ApproxPageRank(g, req.Seeds, req.Alpha, req.Eps)
-			if err != nil {
-				return nil, err
-			}
-			support = len(res.P)
-			cut, err := local.SweepCut(g, res.P)
-			if err != nil {
-				return nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?)")
-			}
-			sw = &SweepInfo{Set: cut.Set, Size: len(cut.Set), Conductance: cut.Conductance, Prefix: cut.Prefix}
-		case "nibble":
-			res, err := local.Nibble(g, req.Seeds, req.Eps, req.Steps)
-			if err != nil {
-				return nil, err
-			}
-			support = res.MaxSupport
-			if res.Best == nil {
-				return nil, storeErrf(ErrBadInput, "nibble found no cut (eps too large or too few steps)")
-			}
-			sw = &SweepInfo{Set: res.Best.Set, Size: len(res.Best.Set), Conductance: res.Best.Conductance, Prefix: res.Best.Prefix}
-		case "heat":
-			res, err := local.HeatKernelLocal(g, req.Seeds, req.T, req.Eps)
-			if err != nil {
-				return nil, err
-			}
-			support = res.MaxSupport
-			cut, err := local.SweepCut(g, res.Dist)
-			if err != nil {
-				return nil, storeErrf(ErrBadInput, "heat kernel produced no sweepable support (eps too large?)")
-			}
-			sw = &SweepInfo{Set: cut.Set, Size: len(cut.Set), Conductance: cut.Conductance, Prefix: cut.Prefix}
-		default:
-			return nil, storeErrf(ErrBadInput, "method must be ppr|nibble|heat, got %q", req.Method)
-		}
-		return &LocalClusterResponse{
-			Method: req.Method, Set: sw.Set, Size: sw.Size,
-			Conductance: sw.Conductance,
-			Volume:      g.VolumeOf(g.Membership(sw.Set)),
-			Support:     support,
-		}, nil
-	})
-}
-
-func (s *Server) handleDiffuse(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	var req DiffuseRequest
-	if err := strictUnmarshal(body, &req); err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
-		return
-	}
-	if req.Kind == "" {
-		req.Kind = "heat"
-	}
-	if req.T == 0 {
-		req.T = 3
-	}
-	if req.Gamma == 0 {
-		req.Gamma = 0.15
-	}
-	if req.Alpha == 0 {
-		req.Alpha = 0.5
-	}
-	if req.K == 0 {
-		req.K = 10
-	}
-	if req.TopK == 0 {
-		req.TopK = 100
-	}
-	params, err := json.Marshal(req)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	s.serveCached(w, r, "diffuse", params, func(ctx context.Context, g *graph.Graph) (any, error) {
-		seed, err := diffusion.SeedVector(g.N(), req.Seeds)
-		if err != nil {
-			return nil, err
-		}
-		var v []float64
-		switch req.Kind {
-		case "heat":
-			v, err = diffusion.HeatKernel(g, seed, req.T, diffusion.HeatKernelOptions{})
-		case "ppr":
-			v, err = diffusion.PageRank(g, seed, req.Gamma, diffusion.PageRankOptions{})
-		case "lazy":
-			v, err = diffusion.LazyWalk(g, seed, req.Alpha, req.K)
-		default:
-			return nil, storeErrf(ErrBadInput, "kind must be heat|ppr|lazy, got %q", req.Kind)
-		}
-		if err != nil {
-			return nil, err
-		}
-		var sum float64
-		for _, x := range v {
-			sum += x
-		}
-		return &DiffuseResponse{Kind: req.Kind, Sum: sum, Top: topMassesDense(v, req.TopK)}, nil
-	})
-}
-
-func (s *Server) handleSweepCut(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	var req SweepCutRequest
-	if err := strictUnmarshal(body, &req); err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
-		return
-	}
-	if len(req.Values) == 0 {
-		writeError(w, storeErrf(ErrBadInput, "sweepcut needs a nonempty values vector"))
-		return
-	}
-	s.serveCached(w, r, "sweepcut", body, func(ctx context.Context, g *graph.Graph) (any, error) {
-		v := make(local.SparseVec, len(req.Values))
-		for _, nm := range req.Values {
-			if nm.Node < 0 || nm.Node >= g.N() {
-				return nil, storeErrf(ErrBadInput, "node %d out of range [0,%d)", nm.Node, g.N())
-			}
-			v[nm.Node] = nm.Mass
-		}
-		cut, err := local.SweepCut(g, v)
-		if err != nil {
-			return nil, err
-		}
-		return &SweepInfo{
-			Set: cut.Set, Size: len(cut.Set),
-			Conductance: cut.Conductance, Prefix: cut.Prefix,
-		}, nil
-	})
-}
-
-func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readBody(w, r)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	var req JobSubmitRequest
-	if err := strictUnmarshal(body, &req); err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
-		return
-	}
-	view, err := s.jobs.Submit(req.Type, req.Graph, req.Params)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, view)
-}
-
-func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
-}
-
-func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	view, err := s.jobs.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, view)
-}
-
-func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	body, err := s.jobs.Result(r.PathValue("id"))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSONBytes(w, http.StatusOK, body)
-}
-
-func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	view, err := s.jobs.Cancel(r.PathValue("id"))
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, view)
 }

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+
+	"repro/pkg/api"
+)
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeJSONBytes(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		io.WriteString(w, "\n")
+	}
+}
+
+// toAPIError maps a service error onto the wire envelope: *api.Error
+// passes through, typed store errors carry their kind, deadline errors
+// become deadline_exceeded, and everything else is an invalid argument
+// (the algorithms' errors are parameter errors by construction).
+func toAPIError(err error) *api.Error {
+	var ae *api.Error
+	var se *StoreError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.As(err, &se):
+		switch se.Kind {
+		case ErrNotFound:
+			return api.Errorf(api.CodeNotFound, "%s", se.Msg)
+		case ErrConflict:
+			return api.Errorf(api.CodeConflict, "%s", se.Msg)
+		default:
+			return api.Errorf(api.CodeInvalidArgument, "%s", se.Msg)
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		return api.Errorf(api.CodeDeadlineExceeded, "%v", err)
+	case errors.Is(err, context.Canceled):
+		return api.Errorf(api.CodeCancelled, "%v", err)
+	}
+	return api.Errorf(api.CodeInvalidArgument, "%v", err)
+}
+
+// writeError renders err as the structured {"error":{...}} envelope
+// with the HTTP status its code maps to.
+func writeError(w http.ResponseWriter, err error) {
+	ae := toAPIError(err)
+	writeJSON(w, ae.Code.HTTPStatus(), api.ErrorEnvelope{Error: ae})
+}
+
+// jsonContentType reports whether the declared request content type is
+// JSON. An absent Content-Type is accepted (bare POSTs from simple
+// clients); anything declared and not application/json or *+json is
+// rejected by decode with 415.
+func jsonContentType(r *http.Request) (string, bool) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return "", true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return ct, false
+	}
+	if mt == "application/json" || strings.HasSuffix(mt, "+json") {
+		return mt, true
+	}
+	return mt, false
+}
+
+// decode is the shared request pipeline for JSON endpoints: enforce the
+// content type, read the (MaxBytes-capped) body, strict-decode into
+// req, fill defaults, validate. On failure it writes the error response
+// and returns false; handlers just return.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req api.Request) bool {
+	if ct, ok := jsonContentType(r); !ok {
+		writeError(w, api.Errorf(api.CodeUnsupportedMediaType,
+			"content type %q is not JSON; send application/json", ct).
+			WithDetail("content_type", ct))
+		return false
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeInvalidArgument, "reading body: %v", err))
+		return false
+	}
+	if len(body) > 0 {
+		if err := strictUnmarshal(body, req); err != nil {
+			writeError(w, api.Errorf(api.CodeInvalidArgument, "%v", err))
+			return false
+		}
+	}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		writeError(w, err)
+		return false
+	}
+	return true
+}
+
+// mustParams marshals the post-Normalize request into the canonical
+// cache-key payload. Marshaling an api request type cannot fail; the
+// fallback keeps the handler total.
+func mustParams(req any) []byte {
+	out, err := json.Marshal(req)
+	if err != nil {
+		return []byte(fmt.Sprintf("%+v", req))
+	}
+	return out
+}
+
+// capReader errors (rather than reporting EOF) once more than
+// `remaining` bytes have been read, failing oversized streams loudly.
+type capReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (c *capReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, storeErrf(ErrBadInput, "decompressed body too large")
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	return n, err
+}

@@ -10,21 +10,12 @@ import (
 	"time"
 
 	"repro/internal/graph"
-)
-
-// JobStatus is the lifecycle state of an async job.
-type JobStatus string
-
-const (
-	JobQueued    JobStatus = "queued"
-	JobRunning   JobStatus = "running"
-	JobDone      JobStatus = "done"
-	JobFailed    JobStatus = "failed"
-	JobCancelled JobStatus = "cancelled"
+	"repro/pkg/api"
 )
 
 // Job is one queued global computation. Mutable fields are guarded by
-// mu; the result bytes are written once before status becomes done.
+// mu; the result bytes are written once before status becomes done. Its
+// externally visible snapshot is the wire type api.JobView.
 type Job struct {
 	mu        sync.Mutex
 	id        string
@@ -34,7 +25,7 @@ type Job struct {
 	params    json.RawMessage
 	cacheKey  string
 
-	status    JobStatus
+	status    api.JobStatus
 	errMsg    string
 	result    []byte
 	fromCache bool
@@ -45,25 +36,10 @@ type Job struct {
 	cancel    context.CancelFunc
 }
 
-// JobView is the externally visible snapshot of a job.
-type JobView struct {
-	ID        string          `json:"id"`
-	Type      string          `json:"type"`
-	Graph     string          `json:"graph,omitempty"`
-	Params    json.RawMessage `json:"params,omitempty"`
-	Status    JobStatus       `json:"status"`
-	Error     string          `json:"error,omitempty"`
-	FromCache bool            `json:"from_cache,omitempty"`
-	Submitted time.Time       `json:"submitted"`
-	Started   *time.Time      `json:"started,omitempty"`
-	Finished  *time.Time      `json:"finished,omitempty"`
-	RunTimeMS float64         `json:"run_time_ms,omitempty"`
-}
-
-func (j *Job) view() JobView {
+func (j *Job) view() api.JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := JobView{
+	v := api.JobView{
 		ID: j.id, Type: j.jobType, Graph: j.graphName, Params: j.params,
 		Status: j.status, Error: j.errMsg, FromCache: j.fromCache,
 		Submitted: j.submitted,
@@ -187,16 +163,16 @@ func (m *JobManager) Depths() (queued, running, finished int64) {
 // Submit validates and enqueues a job, returning its snapshot. The
 // params are canonicalized into the job's cache key so that identical
 // submissions replay the cached result bytes.
-func (m *JobManager) Submit(jobType, graphName string, params json.RawMessage) (JobView, error) {
+func (m *JobManager) Submit(jobType, graphName string, params json.RawMessage) (api.JobView, error) {
 	spec, ok := m.specs[jobType]
 	if !ok {
-		return JobView{}, storeErrf(ErrBadInput, "unknown job type %q (have %v)", jobType, m.Types())
+		return api.JobView{}, storeErrf(ErrBadInput, "unknown job type %q (have %v)", jobType, m.Types())
 	}
 	var graphID uint64
 	if spec.needsGraph {
 		_, id, err := m.store.Get(graphName)
 		if err != nil {
-			return JobView{}, err
+			return api.JobView{}, err
 		}
 		graphID = id
 	}
@@ -205,7 +181,7 @@ func (m *JobManager) Submit(jobType, graphName string, params json.RawMessage) (
 	}
 	canon, err := canonicalJSON(params)
 	if err != nil {
-		return JobView{}, storeErrf(ErrBadInput, "params: %v", err)
+		return api.JobView{}, storeErrf(ErrBadInput, "params: %v", err)
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	job := &Job{
@@ -215,7 +191,7 @@ func (m *JobManager) Submit(jobType, graphName string, params json.RawMessage) (
 		graphID:   graphID,
 		params:    params,
 		cacheKey:  fmt.Sprintf("job|%s|g%d|%s", jobType, graphID, canon),
-		status:    JobQueued,
+		status:    api.JobQueued,
 		submitted: time.Now(),
 		ctx:       ctx,
 		cancel:    cancel,
@@ -228,7 +204,7 @@ func (m *JobManager) Submit(jobType, graphName string, params json.RawMessage) (
 	if m.closed {
 		m.closeMu.RUnlock()
 		cancel()
-		return JobView{}, storeErrf(ErrConflict, "job manager is shut down")
+		return api.JobView{}, api.Errorf(api.CodeUnavailable, "job manager is shut down")
 	}
 	select {
 	case m.queue <- job:
@@ -236,7 +212,9 @@ func (m *JobManager) Submit(jobType, graphName string, params json.RawMessage) (
 	default:
 		m.closeMu.RUnlock()
 		cancel()
-		return JobView{}, storeErrf(ErrConflict, "job queue full (%d pending)", cap(m.queue))
+		// Backpressure, not a state conflict: clients should back off
+		// and retry (the SDK does so automatically on 503).
+		return api.JobView{}, api.Errorf(api.CodeUnavailable, "job queue full (%d pending)", cap(m.queue))
 	}
 	m.closeMu.RUnlock()
 	m.mu.Lock()
@@ -260,7 +238,7 @@ func (m *JobManager) pruneLocked() {
 		for i, id := range m.order {
 			j := m.jobs[id]
 			j.mu.Lock()
-			terminal := j.status == JobDone || j.status == JobFailed || j.status == JobCancelled
+			terminal := j.status.Terminal()
 			j.mu.Unlock()
 			if terminal {
 				delete(m.jobs, id)
@@ -276,12 +254,12 @@ func (m *JobManager) pruneLocked() {
 }
 
 // Get returns the snapshot of one job.
-func (m *JobManager) Get(id string) (JobView, error) {
+func (m *JobManager) Get(id string) (api.JobView, error) {
 	m.mu.Lock()
 	job, ok := m.jobs[id]
 	m.mu.Unlock()
 	if !ok {
-		return JobView{}, storeErrf(ErrNotFound, "job %q not found", id)
+		return api.JobView{}, storeErrf(ErrNotFound, "job %q not found", id)
 	}
 	return job.view(), nil
 }
@@ -298,11 +276,11 @@ func (m *JobManager) Result(id string) ([]byte, error) {
 	job.mu.Lock()
 	defer job.mu.Unlock()
 	switch job.status {
-	case JobDone:
+	case api.JobDone:
 		return job.result, nil
-	case JobFailed:
+	case api.JobFailed:
 		return nil, storeErrf(ErrConflict, "job %q failed: %s", id, job.errMsg)
-	case JobCancelled:
+	case api.JobCancelled:
 		return nil, storeErrf(ErrConflict, "job %q was cancelled", id)
 	default:
 		return nil, storeErrf(ErrConflict, "job %q is %s", id, job.status)
@@ -310,14 +288,14 @@ func (m *JobManager) Result(id string) ([]byte, error) {
 }
 
 // List returns snapshots of all jobs in submission order.
-func (m *JobManager) List() []JobView {
+func (m *JobManager) List() []api.JobView {
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.order))
 	for _, id := range m.order {
 		jobs = append(jobs, m.jobs[id])
 	}
 	m.mu.Unlock()
-	out := make([]JobView, len(jobs))
+	out := make([]api.JobView, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.view()
 	}
@@ -326,28 +304,28 @@ func (m *JobManager) List() []JobView {
 
 // Cancel aborts a queued or running job: its context is cancelled and
 // the worker pool observes ctx.Done() mid-computation.
-func (m *JobManager) Cancel(id string) (JobView, error) {
+func (m *JobManager) Cancel(id string) (api.JobView, error) {
 	m.mu.Lock()
 	job, ok := m.jobs[id]
 	m.mu.Unlock()
 	if !ok {
-		return JobView{}, storeErrf(ErrNotFound, "job %q not found", id)
+		return api.JobView{}, storeErrf(ErrNotFound, "job %q not found", id)
 	}
 	job.mu.Lock()
 	switch job.status {
-	case JobQueued:
+	case api.JobQueued:
 		// The job becomes a tombstone: it still occupies its channel
 		// slot until a worker drains it, but it is finished as far as
 		// callers and gauges are concerned.
-		job.status = JobCancelled
+		job.status = api.JobCancelled
 		job.finished = time.Now()
 		m.queued.Add(-1)
 		m.finished.Add(1)
-	case JobRunning:
+	case api.JobRunning:
 		// The worker observes ctx.Done() and finalizes the job itself.
 	default:
 		job.mu.Unlock()
-		return JobView{}, storeErrf(ErrConflict, "job %q already %s", id, job.status)
+		return api.JobView{}, storeErrf(ErrConflict, "job %q already %s", id, job.status)
 	}
 	job.mu.Unlock()
 	job.cancel()
@@ -363,11 +341,11 @@ func (m *JobManager) worker() {
 
 func (m *JobManager) runJob(job *Job) {
 	job.mu.Lock()
-	if job.status != JobQueued {
+	if job.status != api.JobQueued {
 		job.mu.Unlock()
 		return // cancelled while waiting in the queue; gauges already settled
 	}
-	job.status = JobRunning
+	job.status = api.JobRunning
 	job.started = time.Now()
 	job.mu.Unlock()
 	m.queued.Add(-1)
@@ -376,7 +354,7 @@ func (m *JobManager) runJob(job *Job) {
 	defer m.finished.Add(1)
 	defer job.cancel() // release the context's resources
 
-	finish := func(status JobStatus, result []byte, fromCache bool, errMsg string) {
+	finish := func(status api.JobStatus, result []byte, fromCache bool, errMsg string) {
 		job.mu.Lock()
 		job.status = status
 		job.result = result
@@ -392,7 +370,7 @@ func (m *JobManager) runJob(job *Job) {
 
 	if m.cache != nil {
 		if cached, ok := m.cache.Get(job.cacheKey); ok {
-			finish(JobDone, cached, true, "")
+			finish(api.JobDone, cached, true, "")
 			return
 		}
 	}
@@ -402,7 +380,7 @@ func (m *JobManager) runJob(job *Job) {
 	if spec.needsGraph {
 		resolved, id, err := m.store.Get(job.graphName)
 		if err != nil {
-			finish(JobFailed, nil, false, err.Error())
+			finish(api.JobFailed, nil, false, err.Error())
 			return
 		}
 		// The name may have been deleted and re-created while the job
@@ -410,7 +388,7 @@ func (m *JobManager) runJob(job *Job) {
 		// caller submitted for would silently answer the wrong question
 		// (and poison the cache key, which embeds the submit-time id).
 		if id != job.graphID {
-			finish(JobFailed, nil, false,
+			finish(api.JobFailed, nil, false,
 				fmt.Sprintf("graph %q was replaced after submission", job.graphName))
 			return
 		}
@@ -419,21 +397,21 @@ func (m *JobManager) runJob(job *Job) {
 	val, err := runExecutor(spec.run, ctx, g, job.params)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
-			finish(JobCancelled, nil, false, err.Error())
+			finish(api.JobCancelled, nil, false, err.Error())
 		} else {
-			finish(JobFailed, nil, false, err.Error())
+			finish(api.JobFailed, nil, false, err.Error())
 		}
 		return
 	}
 	out, err := json.Marshal(val)
 	if err != nil {
-		finish(JobFailed, nil, false, fmt.Sprintf("marshal result: %v", err))
+		finish(api.JobFailed, nil, false, fmt.Sprintf("marshal result: %v", err))
 		return
 	}
 	if m.cache != nil {
 		m.cache.Add(job.cacheKey, out)
 	}
-	finish(JobDone, out, false, "")
+	finish(api.JobDone, out, false, "")
 }
 
 // runExecutor confines executor panics to the job: the workers run

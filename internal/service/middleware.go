@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"time"
+)
+
+// middleware is one layer of the server's shared HTTP stack. Layers are
+// composed outermost-first by chain; the full stack is
+// metrics → access log → MaxBytes → deadline → router, so every
+// handler runs with a capped body and a deadlined context, and every
+// response is counted and (optionally) logged.
+type middleware func(http.Handler) http.Handler
+
+// chain wraps h with the given middleware, first one outermost.
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// withMaxBytes caps every request body at the configured limit. JSON
+// decoding and edge-list ingestion both read through this cap, so no
+// handler needs its own wrapping.
+func (s *Server) withMaxBytes(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline attaches the resolved per-request deadline (the
+// configured default, overridable within limits by ?timeout_ms=) to the
+// request context. Handlers and the singleflight wait path observe it
+// uniformly through r.Context().
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(r))
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// withAccessLog logs one line per request when a logger is configured;
+// a nil logger disables the layer entirely.
+func withAccessLog(logger *log.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		logger.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, sw.code,
+			r.ContentLength, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// withMetrics records request counts and latencies per route pattern.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	return instrument(s.metrics, next)
+}

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"math/rand"
+
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/local"
+	"repro/pkg/api"
+)
+
+// This file is the execute step of the handler pipeline: pure
+// (graph, validated request) → (response, error) functions with no HTTP
+// in sight. Handlers decode/validate, serveCached keys and deduplicates,
+// these compute.
+
+func execStats(name string, g *graph.Graph) *api.StatsResponse {
+	res := &api.StatsResponse{
+		Name: name, Nodes: g.N(), Edges: g.M(), Volume: g.Volume(),
+	}
+	if g.N() > 0 {
+		min := g.Degree(0)
+		max := min
+		for u := 1; u < g.N(); u++ {
+			d := g.Degree(u)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+			if d == 0 {
+				res.Isolated++
+			}
+		}
+		if g.Degree(0) == 0 {
+			res.Isolated++
+		}
+		res.MinDegree = min
+		res.MaxDegree = max
+		res.AvgDegree = g.Volume() / float64(g.N())
+	}
+	return res
+}
+
+func execPPR(g *graph.Graph, req api.PPRRequest) (*api.PPRResponse, error) {
+	res, err := local.ApproxPageRank(g, req.Seeds, req.Alpha, req.Eps)
+	if err != nil {
+		return nil, err
+	}
+	out := &api.PPRResponse{
+		Support: len(res.P), Sum: res.P.Sum(),
+		Pushes: res.Pushes, WorkVolume: res.WorkVolume,
+		Top: topMasses(res.P, req.TopK),
+	}
+	if req.Sweep {
+		sw, err := local.SweepCut(g, res.P)
+		if err != nil {
+			return nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?): %v", err)
+		}
+		out.Sweep = &api.SweepInfo{
+			Set: sw.Set, Size: len(sw.Set),
+			Conductance: sw.Conductance, Prefix: sw.Prefix,
+		}
+	}
+	return out, nil
+}
+
+func execLocalCluster(g *graph.Graph, req api.LocalClusterRequest) (*api.LocalClusterResponse, error) {
+	var (
+		sw      *api.SweepInfo
+		support int
+	)
+	switch req.Method {
+	case "ppr":
+		res, err := local.ApproxPageRank(g, req.Seeds, req.Alpha, req.Eps)
+		if err != nil {
+			return nil, err
+		}
+		support = len(res.P)
+		cut, err := local.SweepCut(g, res.P)
+		if err != nil {
+			return nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?)")
+		}
+		sw = &api.SweepInfo{Set: cut.Set, Size: len(cut.Set), Conductance: cut.Conductance, Prefix: cut.Prefix}
+	case "nibble":
+		res, err := local.Nibble(g, req.Seeds, req.Eps, req.Steps)
+		if err != nil {
+			return nil, err
+		}
+		support = res.MaxSupport
+		if res.Best == nil {
+			return nil, storeErrf(ErrBadInput, "nibble found no cut (eps too large or too few steps)")
+		}
+		sw = &api.SweepInfo{Set: res.Best.Set, Size: len(res.Best.Set), Conductance: res.Best.Conductance, Prefix: res.Best.Prefix}
+	case "heat":
+		res, err := local.HeatKernelLocal(g, req.Seeds, req.T, req.Eps)
+		if err != nil {
+			return nil, err
+		}
+		support = res.MaxSupport
+		cut, err := local.SweepCut(g, res.Dist)
+		if err != nil {
+			return nil, storeErrf(ErrBadInput, "heat kernel produced no sweepable support (eps too large?)")
+		}
+		sw = &api.SweepInfo{Set: cut.Set, Size: len(cut.Set), Conductance: cut.Conductance, Prefix: cut.Prefix}
+	}
+	return &api.LocalClusterResponse{
+		Method: req.Method, Set: sw.Set, Size: sw.Size,
+		Conductance: sw.Conductance,
+		Volume:      g.VolumeOf(g.Membership(sw.Set)),
+		Support:     support,
+	}, nil
+}
+
+func execDiffuse(g *graph.Graph, req api.DiffuseRequest) (*api.DiffuseResponse, error) {
+	seed, err := diffusion.SeedVector(g.N(), req.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	var v []float64
+	switch req.Kind {
+	case "heat":
+		v, err = diffusion.HeatKernel(g, seed, req.T, diffusion.HeatKernelOptions{})
+	case "ppr":
+		v, err = diffusion.PageRank(g, seed, req.Gamma, diffusion.PageRankOptions{})
+	case "lazy":
+		v, err = diffusion.LazyWalk(g, seed, req.Alpha, req.K)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return &api.DiffuseResponse{Kind: req.Kind, Sum: sum, Top: topMassesDense(v, req.TopK)}, nil
+}
+
+func execSweepCut(g *graph.Graph, req api.SweepCutRequest) (*api.SweepInfo, error) {
+	v := make(local.SparseVec, len(req.Values))
+	for _, nm := range req.Values {
+		if nm.Node < 0 || nm.Node >= g.N() {
+			return nil, storeErrf(ErrBadInput, "node %d out of range [0,%d)", nm.Node, g.N())
+		}
+		v[nm.Node] = nm.Mass
+	}
+	cut, err := local.SweepCut(g, v)
+	if err != nil {
+		return nil, err
+	}
+	return &api.SweepInfo{
+		Set: cut.Set, Size: len(cut.Set),
+		Conductance: cut.Conductance, Prefix: cut.Prefix,
+	}, nil
+}
+
+// Generator size caps: server-side synthesis runs synchronously on the
+// request goroutine, so a single request must not be able to allocate
+// unbounded memory or run for minutes.
+const (
+	maxGenNodes  = 5_000_000
+	maxGenEdges  = 50_000_000
+	maxGenLevels = 22 // 2^22 ≈ 4.2M nodes
+)
+
+// generate synthesizes a graph from a validated GenerateRequest. The
+// family/knob checks already happened in Validate; this enforces the
+// server's resource caps and calls the generator.
+func generate(req api.GenerateRequest) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(req.Seed))
+	switch req.Family {
+	case "kronecker":
+		levels := req.Levels
+		if levels <= 0 {
+			levels = 12
+		}
+		if levels > maxGenLevels || req.Edges > maxGenEdges {
+			return nil, storeErrf(ErrBadInput, "kronecker capped at levels <= %d and edges <= %d", maxGenLevels, maxGenEdges)
+		}
+		return gen.Kronecker(gen.KroneckerConfig{Levels: levels, Edges: req.Edges}, rng)
+	case "forestfire":
+		n := req.N
+		if n <= 0 {
+			n = 10000
+		}
+		if n > maxGenNodes {
+			return nil, storeErrf(ErrBadInput, "forestfire capped at n <= %d", maxGenNodes)
+		}
+		p := req.P
+		if p <= 0 {
+			p = 0.37
+		}
+		return gen.ForestFire(gen.ForestFireConfig{N: n, FwdProb: p, Ambs: 1}, rng)
+	case "erdosrenyi":
+		if req.N > maxGenNodes || req.P*float64(req.N)*float64(req.N)/2 > maxGenEdges {
+			return nil, storeErrf(ErrBadInput, "erdosrenyi capped at n <= %d and expected edges <= %d", maxGenNodes, maxGenEdges)
+		}
+		return gen.ErdosRenyi(req.N, req.P, rng)
+	case "grid":
+		if req.Rows > maxGenNodes/max(req.Cols, 1) {
+			return nil, storeErrf(ErrBadInput, "grid capped at rows*cols <= %d", maxGenNodes)
+		}
+		return gen.Grid(req.Rows, req.Cols), nil
+	case "ring_of_cliques":
+		if err := capCliqueFamily(req.K, req.CliqueN); err != nil {
+			return nil, err
+		}
+		return gen.RingOfCliques(req.K, req.CliqueN), nil
+	default: // "caveman"; Validate admits nothing else
+		if err := capCliqueFamily(req.K, req.CliqueN); err != nil {
+			return nil, err
+		}
+		return gen.Caveman(req.K, req.CliqueN), nil
+	}
+}
+
+// capCliqueFamily bounds k cliques of size c: k·c nodes and k·c²/2 edges.
+func capCliqueFamily(k, c int) error {
+	if k > maxGenNodes/c || float64(k)*float64(c)*float64(c)/2 > maxGenEdges {
+		return storeErrf(ErrBadInput, "clique family capped at k*clique_n <= %d nodes and %d edges", maxGenNodes, maxGenEdges)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"log"
 	"net/http"
 	"strconv"
 	"time"
@@ -22,6 +23,9 @@ type Config struct {
 	QueryTimeout time.Duration
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// AccessLog receives one line per served request; nil disables
+	// access logging.
+	AccessLog *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +58,7 @@ type Server struct {
 	metrics *Metrics
 	flights flightGroup
 	handler http.Handler
+	started time.Time
 }
 
 // NewServer assembles a Server with the default job types registered.
@@ -64,10 +69,16 @@ func NewServer(cfg Config) *Server {
 		store:   NewGraphStore(),
 		cache:   NewLRUCache(c.CacheEntries),
 		metrics: NewMetrics(),
+		started: time.Now(),
 	}
 	s.jobs = NewJobManager(s.store, s.cache, s.metrics, c.JobWorkers, c.JobQueue)
 	RegisterDefaultJobs(s.jobs)
-	s.handler = instrument(s.metrics, s.routes())
+	s.handler = chain(s.routes(),
+		s.withMetrics,
+		func(h http.Handler) http.Handler { return withAccessLog(c.AccessLog, h) },
+		s.withMaxBytes,
+		s.withDeadline,
+	)
 	return s
 }
 

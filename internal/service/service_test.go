@@ -6,21 +6,28 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
-// testServer wires a Server to an httptest listener with fast defaults
-// and a pre-registered "ring" graph (8 cliques of 8: crisp clusters).
-func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+// testServer wires a Server to an httptest listener with fast defaults,
+// a pre-registered "ring" graph (8 cliques of 8: crisp clusters), and a
+// pkg/client SDK client pointed at it — every endpoint test talks
+// through the public contract, exactly like an external consumer.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *client.Client) {
 	t.Helper()
 	srv := NewServer(cfg)
 	t.Cleanup(srv.Close)
@@ -29,233 +36,266 @@ func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return srv, ts
-}
-
-// do issues a request and returns the status code and body.
-func do(t *testing.T, method, url string, body string) (int, []byte, http.Header) {
-	t.Helper()
-	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	c, err := client.New(ts.URL,
+		client.WithRetries(0),
+		client.WithPollInterval(2*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.DefaultClient.Do(req)
+	return srv, ts, c
+}
+
+// wantAPIErr asserts that err is an *api.Error with the given
+// machine-readable code — the contract tests branch on codes, never on
+// message strings.
+func wantAPIErr(t *testing.T, err error, code api.ErrorCode) *api.Error {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want API error with code %q, got nil", code)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *api.Error with code %q, got %T: %v", code, err, err)
+	}
+	if ae.Code != code {
+		t.Fatalf("error code = %q, want %q (err: %v)", ae.Code, code, err)
+	}
+	return ae
+}
+
+// postWire sends a typed request over raw HTTP (marshaled from the api
+// type, never hand-written JSON) for the few tests that must inspect
+// status codes and response headers directly.
+func postWire(t *testing.T, url string, req any) (int, []byte, http.Header) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
+	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, out, resp.Header
+	return resp.StatusCode, body, resp.Header
 }
 
-func wantCode(t *testing.T, got int, want int, body []byte) {
-	t.Helper()
-	if got != want {
-		t.Fatalf("status = %d, want %d (body: %s)", got, want, body)
-	}
-}
+func ctx() context.Context { return context.Background() }
 
 func TestHealthz(t *testing.T) {
-	_, ts := testServer(t, Config{})
-	code, body, _ := do(t, "GET", ts.URL+"/healthz", "")
-	wantCode(t, code, 200, body)
-	if !bytes.Contains(body, []byte(`"ok"`)) {
-		t.Fatalf("healthz body: %s", body)
+	_, _, c := testServer(t, Config{})
+	h, err := c.Health(ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.APIVersion != api.Version {
+		t.Fatalf("healthz: %+v", h)
+	}
+	if h.Version == "" || h.GoVersion == "" {
+		t.Fatalf("healthz should report build info: %+v", h)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("uptime %v < 0", h.UptimeSeconds)
 	}
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	_, ts := testServer(t, Config{})
-	do(t, "POST", ts.URL+"/v1/graphs/ring/ppr", `{"seeds":[0]}`)
-	code, body, _ := do(t, "GET", ts.URL+"/metrics", "")
-	wantCode(t, code, 200, body)
+	_, _, c := testServer(t, Config{})
+	if _, err := c.Graphs.PPR(ctx(), "ring", api.PPRRequest{Seeds: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{
 		"graphd_requests_total", "graphd_request_seconds_bucket",
 		"graphd_cache_misses_total", "graphd_jobs_queued", "graphd_uptime_seconds",
 	} {
-		if !bytes.Contains(body, []byte(want)) {
+		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %s", want)
 		}
 	}
 }
 
 func TestGraphLifecycle(t *testing.T) {
-	_, ts := testServer(t, Config{})
+	_, _, c := testServer(t, Config{})
 
 	// Load from an edge-list body.
-	code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/tri", "0 1\n1 2\n0 2\n")
-	wantCode(t, code, 201, body)
-
-	// Duplicate name conflicts.
-	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/tri", "0 1\n")
-	wantCode(t, code, 409, body)
-
-	// Malformed edge list is a 400 with the line number.
-	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/bad", "0 1\nx y\n")
-	wantCode(t, code, 400, body)
-	if !bytes.Contains(body, []byte("line 2")) {
-		t.Errorf("error should name line 2: %s", body)
-	}
-
-	// Invalid name is a 400.
-	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/sp%20ace", "0 1\n")
-	wantCode(t, code, 400, body)
-
-	// Listing includes both graphs.
-	code, body, _ = do(t, "GET", ts.URL+"/v1/graphs", "")
-	wantCode(t, code, 200, body)
-	var list struct{ Graphs []GraphInfo }
-	if err := json.Unmarshal(body, &list); err != nil {
+	info, err := c.Graphs.Load(ctx(), "tri", strings.NewReader("0 1\n1 2\n0 2\n"))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Graphs) != 2 {
-		t.Fatalf("got %d graphs, want 2: %s", len(list.Graphs), body)
+	if !info.Sealed || info.Nodes != 3 || info.Edges != 3 {
+		t.Fatalf("load: %+v", info)
+	}
+
+	// Duplicate name conflicts.
+	_, err = c.Graphs.Load(ctx(), "tri", strings.NewReader("0 1\n"))
+	wantAPIErr(t, err, api.CodeConflict)
+
+	// Malformed edge list is invalid_argument naming the line.
+	_, err = c.Graphs.Load(ctx(), "bad", strings.NewReader("0 1\nx y\n"))
+	ae := wantAPIErr(t, err, api.CodeInvalidArgument)
+	if !strings.Contains(ae.Message, "line 2") {
+		t.Errorf("error should name line 2: %v", ae)
+	}
+
+	// Invalid graph name.
+	_, err = c.Graphs.Load(ctx(), "sp ace", strings.NewReader("0 1\n"))
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+
+	// Listing includes both graphs.
+	graphs, err := c.Graphs.List(ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 2 {
+		t.Fatalf("got %d graphs, want 2: %+v", len(graphs), graphs)
 	}
 
 	// Stats.
-	code, body, _ = do(t, "GET", ts.URL+"/v1/graphs/tri/stats", "")
-	wantCode(t, code, 200, body)
-	var stats StatsResponse
-	if err := json.Unmarshal(body, &stats); err != nil {
+	stats, err := c.Graphs.Stats(ctx(), "tri")
+	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Nodes != 3 || stats.Edges != 3 || stats.MinDegree != 2 {
 		t.Fatalf("stats = %+v", stats)
 	}
 
-	// Delete, then 404.
-	code, body, _ = do(t, "DELETE", ts.URL+"/v1/graphs/tri", "")
-	wantCode(t, code, 200, body)
-	code, body, _ = do(t, "DELETE", ts.URL+"/v1/graphs/tri", "")
-	wantCode(t, code, 404, body)
-	code, body, _ = do(t, "GET", ts.URL+"/v1/graphs/tri/stats", "")
-	wantCode(t, code, 404, body)
+	// Delete, then not_found.
+	if err := c.Graphs.Delete(ctx(), "tri"); err != nil {
+		t.Fatal(err)
+	}
+	wantAPIErr(t, c.Graphs.Delete(ctx(), "tri"), api.CodeNotFound)
+	_, err = c.Graphs.Stats(ctx(), "tri")
+	wantAPIErr(t, err, api.CodeNotFound)
 }
 
-func TestLoadGzipBody(t *testing.T) {
-	_, ts := testServer(t, Config{})
-	var buf bytes.Buffer
-	zw := gzip.NewWriter(&buf)
-	zw.Write([]byte("# nodes 4\n0 1\n1 2\n2 3\n"))
-	zw.Close()
-	req, err := http.NewRequest("POST", ts.URL+"/v1/graphs/zipped", &buf)
+func TestLoadGzip(t *testing.T) {
+	_, ts, _ := testServer(t, Config{})
+
+	// A client configured for gzip uploads compresses the edge list on
+	// the wire; the server sniffs the magic bytes and inflates.
+	zc, err := client.New(ts.URL, client.WithRetries(0), client.WithGzipUpload())
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Header.Set("Content-Encoding", "gzip")
-	resp, err := http.DefaultClient.Do(req)
+	info, err := zc.Graphs.Load(ctx(), "zipped", strings.NewReader("# nodes 4\n0 1\n1 2\n2 3\n"))
 	if err != nil {
-		t.Fatal(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	wantCode(t, resp.StatusCode, 201, body)
-	var info GraphInfo
-	if err := json.Unmarshal(body, &info); err != nil {
 		t.Fatal(err)
 	}
 	if info.Nodes != 4 || info.Edges != 3 {
 		t.Fatalf("gzip load: %+v", info)
 	}
 
-	// Raw gzip bytes without the Content-Encoding header are detected by
-	// magic number.
-	var buf2 bytes.Buffer
-	zw2 := gzip.NewWriter(&buf2)
-	zw2.Write([]byte("0 1\n1 2\n"))
-	zw2.Close()
-	code, body2, _ := do(t, "POST", ts.URL+"/v1/graphs/sniffed", buf2.String())
-	wantCode(t, code, 201, body2)
-	var info2 GraphInfo
-	if err := json.Unmarshal(body2, &info2); err != nil {
+	// LoadFile ships a pre-compressed .gz file as-is.
+	path := filepath.Join(t.TempDir(), "edges.txt.gz")
+	var buf bytes.Buffer
+	zw := newGzipBytes(&buf, "0 1\n1 2\n")
+	if err := os.WriteFile(path, zw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info2, err := zc.Graphs.LoadFile(ctx(), "sniffed", path)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if info2.Nodes != 3 || info2.Edges != 2 {
-		t.Fatalf("sniffed gzip load: %+v", info2)
+		t.Fatalf("gz file load: %+v", info2)
 	}
 }
 
 func TestGenerateEndpoint(t *testing.T) {
-	_, ts := testServer(t, Config{})
-	code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/kron/generate",
-		`{"family":"kronecker","levels":8,"edges":2048,"seed":1}`)
-	wantCode(t, code, 201, body)
-	var info GraphInfo
-	if err := json.Unmarshal(body, &info); err != nil {
+	_, _, c := testServer(t, Config{})
+	info, err := c.Graphs.Generate(ctx(), "kron", api.GenerateRequest{
+		Family: "kronecker", Levels: 8, Edges: 2048, Seed: 1,
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Nodes != 256 || info.Edges == 0 {
 		t.Fatalf("kronecker generate: %+v", info)
 	}
 
-	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/x/generate", `{"family":"nope"}`)
-	wantCode(t, code, 400, body)
-	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/x/generate", `{"family":"grid"}`)
-	wantCode(t, code, 400, body)
-	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/x/generate", `{"family":"grid","rows":4,"cols":5}`)
-	wantCode(t, code, 201, body)
+	_, err = c.Graphs.Generate(ctx(), "x", api.GenerateRequest{Family: "nope"})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+	_, err = c.Graphs.Generate(ctx(), "x", api.GenerateRequest{Family: "grid"})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+	if _, err := c.Graphs.Generate(ctx(), "x", api.GenerateRequest{Family: "grid", Rows: 4, Cols: 5}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestStreamBuildAndSeal(t *testing.T) {
-	_, ts := testServer(t, Config{})
-	base := ts.URL + "/v1/graphs/inc"
+	_, _, c := testServer(t, Config{})
 
-	code, body, _ := do(t, "POST", base+"/stream", `{"nodes":6}`)
-	wantCode(t, code, 201, body)
-
-	// Streaming graphs are not queryable yet.
-	code, body, _ = do(t, "POST", base+"/ppr", `{"seeds":[0]}`)
-	wantCode(t, code, 409, body)
-
-	// Append two batches; a bad batch is rejected atomically.
-	code, body, _ = do(t, "POST", base+"/edges",
-		`{"edges":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":0}]}`)
-	wantCode(t, code, 200, body)
-	code, body, _ = do(t, "POST", base+"/edges", `{"edges":[{"u":0,"v":99}]}`)
-	wantCode(t, code, 400, body)
-	code, body, _ = do(t, "POST", base+"/edges",
-		`{"edges":[{"u":3,"v":4},{"u":4,"v":5},{"u":5,"v":3},{"u":2,"v":3,"w":0.1}]}`)
-	wantCode(t, code, 200, body)
-
-	// Seal snapshots to CSR; the graph becomes queryable and frozen.
-	code, body, _ = do(t, "POST", base+"/seal", "")
-	wantCode(t, code, 200, body)
-	var info GraphInfo
-	if err := json.Unmarshal(body, &info); err != nil {
+	if _, err := c.Graphs.Stream(ctx(), "inc", 6); err != nil {
 		t.Fatal(err)
 	}
-	if !info.Sealed || info.Nodes != 6 || info.Edges != 7 {
+
+	// Streaming graphs are not queryable yet.
+	_, err := c.Graphs.PPR(ctx(), "inc", api.PPRRequest{Seeds: []int{0}})
+	wantAPIErr(t, err, api.CodeConflict)
+
+	// Append two batches; a bad batch is rejected atomically.
+	n, err := c.Graphs.AppendEdges(ctx(), "inc", []api.StreamEdge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("append: %d, %v", n, err)
+	}
+	_, err = c.Graphs.AppendEdges(ctx(), "inc", []api.StreamEdge{{U: 0, V: 99}})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+	if _, err := c.Graphs.AppendEdges(ctx(), "inc", []api.StreamEdge{
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3}, {U: 2, V: 3, W: 0.1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal snapshots to CSR; the graph becomes queryable and frozen.
+	info, err := c.Graphs.Seal(ctx(), "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Sealed || info.State != api.GraphSealed || info.Nodes != 6 || info.Edges != 7 {
 		t.Fatalf("seal: %+v", info)
 	}
-	code, body, _ = do(t, "POST", base+"/seal", "")
-	wantCode(t, code, 409, body)
-	code, body, _ = do(t, "POST", base+"/edges", `{"edges":[{"u":0,"v":3}]}`)
-	wantCode(t, code, 409, body)
+	_, err = c.Graphs.Seal(ctx(), "inc")
+	wantAPIErr(t, err, api.CodeConflict)
+	_, err = c.Graphs.AppendEdges(ctx(), "inc", []api.StreamEdge{{U: 0, V: 3}})
+	wantAPIErr(t, err, api.CodeConflict)
 
-	code, body, _ = do(t, "POST", base+"/ppr", `{"seeds":[0],"sweep":true}`)
-	wantCode(t, code, 200, body)
+	if _, err := c.Graphs.PPR(ctx(), "inc", api.PPRRequest{Seeds: []int{0}, Sweep: true}); err != nil {
+		t.Fatal(err)
+	}
 
-	// Stream endpoints on missing graphs are 404s.
-	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/ghost/edges", `{"edges":[{"u":0,"v":1}]}`)
-	wantCode(t, code, 404, body)
-	code, body, _ = do(t, "POST", ts.URL+"/v1/graphs/ghost/seal", "")
-	wantCode(t, code, 404, body)
+	// Stream endpoints on missing graphs are not_found.
+	_, err = c.Graphs.AppendEdges(ctx(), "ghost", []api.StreamEdge{{U: 0, V: 1}})
+	wantAPIErr(t, err, api.CodeNotFound)
+	_, err = c.Graphs.Seal(ctx(), "ghost")
+	wantAPIErr(t, err, api.CodeNotFound)
 }
 
 func TestPPRQueryCacheAndSingleflight(t *testing.T) {
-	srv, ts := testServer(t, Config{})
+	srv, ts, c := testServer(t, Config{})
 	url := ts.URL + "/v1/graphs/ring/ppr"
-	reqBody := `{"seeds":[0],"alpha":0.1,"eps":0.0001,"sweep":true}`
+	req := api.PPRRequest{Seeds: []int{0}, Alpha: 0.1, Eps: 1e-4, Sweep: true}
 
-	code, first, hdr := do(t, "POST", url, reqBody)
-	wantCode(t, code, 200, first)
+	// This test inspects the X-Graphd-Cache response header, so it posts
+	// the marshaled api type over raw HTTP.
+	code, first, hdr := postWire(t, url, req)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, first)
+	}
 	if got := hdr.Get("X-Graphd-Cache"); got != "miss" {
 		t.Errorf("first query cache header = %q, want miss", got)
 	}
-	var res PPRResponse
+	var res api.PPRResponse
 	if err := json.Unmarshal(first, &res); err != nil {
 		t.Fatal(err)
 	}
@@ -267,8 +307,10 @@ func TestPPRQueryCacheAndSingleflight(t *testing.T) {
 		t.Errorf("sweep conductance %g, want < 0.2 on ring of cliques", res.Sweep.Conductance)
 	}
 
-	code, second, hdr := do(t, "POST", url, reqBody)
-	wantCode(t, code, 200, second)
+	code, second, hdr := postWire(t, url, req)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, second)
+	}
 	if got := hdr.Get("X-Graphd-Cache"); got != "hit" {
 		t.Errorf("second query cache header = %q, want hit", got)
 	}
@@ -280,57 +322,248 @@ func TestPPRQueryCacheAndSingleflight(t *testing.T) {
 		t.Error("cache hit counter did not advance")
 	}
 
-	// Whitespace / key-order variants canonicalize to the same key.
-	code, third, hdr := do(t, "POST", url, `{"sweep":true,  "alpha":0.1,"eps":1e-4,"seeds":[0]}`)
-	wantCode(t, code, 200, third)
-	if got := hdr.Get("X-Graphd-Cache"); got != "hit" {
-		t.Errorf("canonicalized query cache header = %q, want hit", got)
+	// The SDK path rides the same cache: its decoded response matches.
+	sdkRes, err := c.Graphs.PPR(ctx(), "ring", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdkRes.Support != res.Support || sdkRes.Pushes != res.Pushes {
+		t.Fatalf("SDK response diverges from wire response: %+v vs %+v", sdkRes, res)
 	}
 
 	// Spelling out a knob's default value keys identically to omitting
-	// it: the cache key is built from the post-default request.
-	code, fourth, hdr := do(t, "POST", url, reqBody[:len(reqBody)-1]+`,"topk":100}`)
-	wantCode(t, code, 200, fourth)
+	// it: the cache key is built from the post-Normalize request.
+	withDefault := req
+	withDefault.TopK = 100
+	code, _, hdr = postWire(t, url, withDefault)
+	if code != 200 {
+		t.Fatal("defaulted-params query failed")
+	}
 	if got := hdr.Get("X-Graphd-Cache"); got != "hit" {
 		t.Errorf("defaulted-params query cache header = %q, want hit", got)
 	}
+
+	// Raw wire clients (curl, non-Go SDKs) may serialize keys in any
+	// order and whitespace; canonicalization must key them identically.
+	// This payload is deliberately a reordered literal — the typed SDK
+	// always marshals one field order, so it cannot express this case.
+	resp, err := http.Post(url, "application/json",
+		strings.NewReader(`{"sweep":true,  "alpha":0.1,"eps":1e-4,"seeds":[0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("reordered-key query: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Graphd-Cache"); got != "hit" {
+		t.Errorf("reordered-key query cache header = %q, want hit", got)
+	}
+}
+
+func TestCanonicalJSON(t *testing.T) {
+	a, err := canonicalJSON([]byte(`{"b":1, "a":{"y":2,"x":[1,2]},"s":"t"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := canonicalJSON([]byte(`{"s":"t","a":{"x":[1,2],"y":2},"b":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("key order changed the canonical form:\n%s\n%s", a, b)
+	}
+	// int64 beyond 2^53 must keep exact digits (json.Number, not float64).
+	big, err := canonicalJSON([]byte(`{"base_seed":9007199254740993}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(big, "9007199254740993") {
+		t.Fatalf("large int64 lost precision: %s", big)
+	}
+	if _, err := canonicalJSON([]byte(`{"a":`)); err == nil {
+		t.Fatal("truncated JSON should not canonicalize")
+	}
+}
+
+func TestJobQueueFullIsUnavailable(t *testing.T) {
+	m := NewJobManager(NewGraphStore(), nil, nil, 1, 1)
+	t.Cleanup(m.Close)
+	release := make(chan struct{})
+	var once sync.Once
+	t.Cleanup(func() { once.Do(func() { close(release) }) })
+	m.Register("block", false, func(ctx context.Context, _ *graph.Graph, _ json.RawMessage) (any, error) {
+		<-release
+		return "done", nil
+	})
+
+	// First job occupies the single worker...
+	running, err := m.Submit("block", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := m.Get(running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == api.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...the second fills the one queue slot; the third is backpressure,
+	// surfaced as the retryable unavailable code, not conflict.
+	if _, err := m.Submit("block", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Submit("block", "", nil)
+	wantAPIErr(t, err, api.CodeUnavailable)
+
+	once.Do(func() { close(release) })
+
+	// After shutdown, submissions are unavailable too.
+	m.Close()
+	_, err = m.Submit("block", "", nil)
+	wantAPIErr(t, err, api.CodeUnavailable)
 }
 
 func TestQueryBadRequests(t *testing.T) {
-	_, ts := testServer(t, Config{})
-	cases := []struct {
-		name, method, path, body string
-		want                     int
+	_, ts, c := testServer(t, Config{})
+
+	// Typed requests through the SDK: every failure is a coded API error.
+	for _, tc := range []struct {
+		name string
+		call func() error
+		code api.ErrorCode
 	}{
-		{"unknown graph", "POST", "/v1/graphs/ghost/ppr", `{"seeds":[0]}`, 404},
-		{"invalid json", "POST", "/v1/graphs/ring/ppr", `{"seeds":`, 400},
-		{"unknown field", "POST", "/v1/graphs/ring/ppr", `{"seedz":[0]}`, 400},
-		{"no seeds", "POST", "/v1/graphs/ring/ppr", `{}`, 400},
-		{"seed out of range", "POST", "/v1/graphs/ring/ppr", `{"seeds":[9999]}`, 400},
-		{"alpha out of range", "POST", "/v1/graphs/ring/ppr", `{"seeds":[0],"alpha":2}`, 400},
-		{"bad cluster method", "POST", "/v1/graphs/ring/localcluster", `{"seeds":[0],"method":"magic"}`, 400},
-		{"bad diffuse kind", "POST", "/v1/graphs/ring/diffuse", `{"seeds":[0],"kind":"x"}`, 400},
-		{"empty sweep", "POST", "/v1/graphs/ring/sweepcut", `{"values":[]}`, 400},
-		{"sweep node range", "POST", "/v1/graphs/ring/sweepcut", `{"values":[{"node":-3,"mass":1}]}`, 400},
-		{"unmatched route", "GET", "/v1/nope", ``, 404},
-	}
-	for _, tc := range cases {
+		{"unknown graph", func() error {
+			_, err := c.Graphs.PPR(ctx(), "ghost", api.PPRRequest{Seeds: []int{0}})
+			return err
+		}, api.CodeNotFound},
+		{"no seeds", func() error {
+			_, err := c.Graphs.PPR(ctx(), "ring", api.PPRRequest{})
+			return err
+		}, api.CodeInvalidArgument},
+		{"seed out of range", func() error {
+			_, err := c.Graphs.PPR(ctx(), "ring", api.PPRRequest{Seeds: []int{9999}})
+			return err
+		}, api.CodeInvalidArgument},
+		{"alpha out of range", func() error {
+			_, err := c.Graphs.PPR(ctx(), "ring", api.PPRRequest{Seeds: []int{0}, Alpha: 2})
+			return err
+		}, api.CodeInvalidArgument},
+		{"bad cluster method", func() error {
+			_, err := c.Graphs.LocalCluster(ctx(), "ring", api.LocalClusterRequest{Seeds: []int{0}, Method: "magic"})
+			return err
+		}, api.CodeInvalidArgument},
+		{"bad diffuse kind", func() error {
+			_, err := c.Graphs.Diffuse(ctx(), "ring", api.DiffuseRequest{Seeds: []int{0}, Kind: "x"})
+			return err
+		}, api.CodeInvalidArgument},
+		{"empty sweep", func() error {
+			_, err := c.Graphs.SweepCut(ctx(), "ring", api.SweepCutRequest{})
+			return err
+		}, api.CodeInvalidArgument},
+		{"sweep node range", func() error {
+			_, err := c.Graphs.SweepCut(ctx(), "ring", api.SweepCutRequest{Values: []api.NodeMass{{Node: -3, Mass: 1}}})
+			return err
+		}, api.CodeInvalidArgument},
+	} {
 		t.Run(tc.name, func(t *testing.T) {
-			code, body, _ := do(t, tc.method, ts.URL+tc.path, tc.body)
-			wantCode(t, code, tc.want, body)
+			wantAPIErr(t, tc.call(), tc.code)
 		})
+	}
+
+	// Deliberately malformed wire payloads (the SDK cannot produce these)
+	// still come back as coded envelopes.
+	for _, tc := range []struct {
+		name, body string
+		code       api.ErrorCode
+	}{
+		{"invalid json", `{"seeds":`, api.CodeInvalidArgument},
+		{"unknown field", `{"seedz":[0]}`, api.CodeInvalidArgument},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/graphs/ring/ppr", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var env api.ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("4xx body is not an error envelope: %v", err)
+			}
+			if env.Error == nil || env.Error.Code != tc.code {
+				t.Fatalf("error = %+v, want code %q", env.Error, tc.code)
+			}
+			if resp.StatusCode != tc.code.HTTPStatus() {
+				t.Fatalf("status %d does not match code %q", resp.StatusCode, tc.code)
+			}
+		})
+	}
+
+	// Unmatched routes stay plain 404s (no envelope to promise there).
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unmatched route: %d", resp.StatusCode)
+	}
+}
+
+func TestNonJSONContentTypeRejected(t *testing.T) {
+	_, ts, _ := testServer(t, Config{})
+	payload, _ := json.Marshal(api.PPRRequest{Seeds: []int{0}})
+	resp, err := http.Post(ts.URL+"/v1/graphs/ring/ppr", "text/xml", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("status = %d, want 415", resp.StatusCode)
+	}
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error == nil || env.Error.Code != api.CodeUnsupportedMediaType {
+		t.Fatalf("error = %+v, want code unsupported_media_type", env.Error)
+	}
+
+	// An absent Content-Type is accepted (bare POSTs from simple
+	// clients), and +json media types pass.
+	for _, ct := range []string{"", "application/vnd.graphd+json"} {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/graphs/ring/ppr", bytes.NewReader(payload))
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("content type %q: status %d, want 200", ct, resp.StatusCode)
+		}
 	}
 }
 
 func TestLocalClusterMethods(t *testing.T) {
-	_, ts := testServer(t, Config{})
+	_, _, c := testServer(t, Config{})
 	for _, method := range []string{"ppr", "nibble", "heat"} {
 		t.Run(method, func(t *testing.T) {
-			code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/ring/localcluster",
-				fmt.Sprintf(`{"method":%q,"seeds":[0],"eps":0.0001}`, method))
-			wantCode(t, code, 200, body)
-			var res LocalClusterResponse
-			if err := json.Unmarshal(body, &res); err != nil {
+			res, err := c.Graphs.LocalCluster(ctx(), "ring", api.LocalClusterRequest{
+				Method: method, Seeds: []int{0}, Eps: 1e-4,
+			})
+			if err != nil {
 				t.Fatal(err)
 			}
 			if res.Size == 0 || res.Size == 64 {
@@ -347,14 +580,13 @@ func TestLocalClusterMethods(t *testing.T) {
 }
 
 func TestDiffuseKindsAndSweepCut(t *testing.T) {
-	_, ts := testServer(t, Config{})
+	_, _, c := testServer(t, Config{})
 	for _, kind := range []string{"heat", "ppr", "lazy"} {
 		t.Run(kind, func(t *testing.T) {
-			code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/ring/diffuse",
-				fmt.Sprintf(`{"kind":%q,"seeds":[0],"topk":10}`, kind))
-			wantCode(t, code, 200, body)
-			var res DiffuseResponse
-			if err := json.Unmarshal(body, &res); err != nil {
+			res, err := c.Graphs.Diffuse(ctx(), "ring", api.DiffuseRequest{
+				Kind: kind, Seeds: []int{0}, TopK: 10,
+			})
+			if err != nil {
 				t.Fatal(err)
 			}
 			if len(res.Top) == 0 || res.Sum < 0.99 || res.Sum > 1.01 {
@@ -364,16 +596,13 @@ func TestDiffuseKindsAndSweepCut(t *testing.T) {
 	}
 
 	// Sweep the caller-provided indicator of clique 0: conductance must
-	// match the known cut (2 external edges / vol 58... just assert low).
-	values := make([]string, 8)
+	// match the known cut (just assert low).
+	values := make([]api.NodeMass, 8)
 	for i := range values {
-		values[i] = fmt.Sprintf(`{"node":%d,"mass":%g}`, i, 1.0-float64(i)/100)
+		values[i] = api.NodeMass{Node: i, Mass: 1.0 - float64(i)/100}
 	}
-	code, body, _ := do(t, "POST", ts.URL+"/v1/graphs/ring/sweepcut",
-		`{"values":[`+strings.Join(values, ",")+`]}`)
-	wantCode(t, code, 200, body)
-	var sw SweepInfo
-	if err := json.Unmarshal(body, &sw); err != nil {
+	sw, err := c.Graphs.SweepCut(ctx(), "ring", api.SweepCutRequest{Values: values})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if sw.Size == 0 || sw.Conductance > 0.25 {
@@ -384,10 +613,10 @@ func TestDiffuseKindsAndSweepCut(t *testing.T) {
 func TestQueryDeadline(t *testing.T) {
 	// runWithDeadline returns the context error as soon as the deadline
 	// fires, without waiting for the (bounded) computation.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := runWithDeadline(ctx, func(ctx context.Context) (any, error) {
+	_, err := runWithDeadline(dctx, func(ctx context.Context) (any, error) {
 		time.Sleep(2 * time.Second)
 		return nil, nil
 	})
@@ -408,116 +637,108 @@ func TestQueryDeadline(t *testing.T) {
 	}
 }
 
-// waitJob polls until the job reaches a terminal state.
-func waitJob(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobView {
-	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for {
-		code, body, _ := do(t, "GET", ts.URL+"/v1/jobs/"+id, "")
-		wantCode(t, code, 200, body)
-		var v JobView
-		if err := json.Unmarshal(body, &v); err != nil {
-			t.Fatal(err)
-		}
-		switch v.Status {
-		case JobDone, JobFailed, JobCancelled:
-			return v
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %s still %s after %v", id, v.Status, timeout)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
-
-func submitJob(t *testing.T, ts *httptest.Server, body string) JobView {
-	t.Helper()
-	code, out, _ := do(t, "POST", ts.URL+"/v1/jobs", body)
-	wantCode(t, code, 202, out)
-	var v JobView
-	if err := json.Unmarshal(out, &v); err != nil {
+func TestNCPJobEndToEndAndDeterminism(t *testing.T) {
+	_, _, c := testServer(t, Config{JobWorkers: 2})
+	params := &api.NCPJobParams{Method: "spectral", Seeds: 4, Workers: 2, BaseSeed: 7}
+	req, err := api.NewJob("ncp", "ring", params)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return v
-}
 
-func TestNCPJobEndToEndAndDeterminism(t *testing.T) {
-	_, ts := testServer(t, Config{JobWorkers: 2})
-	req := `{"type":"ncp","graph":"ring","params":{"method":"spectral","seeds":4,"workers":2,"base_seed":7}}`
-
-	v1 := submitJob(t, ts, req)
-	v1 = waitJob(t, ts, v1.ID, 30*time.Second)
-	if v1.Status != JobDone {
+	v1, err := c.Jobs.Submit(ctx(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ncpRes api.NCPJobResult
+	v1, err = c.Jobs.WaitResult(ctx(), v1.ID, &ncpRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Status != api.JobDone || v1.FromCache {
 		t.Fatalf("job 1: %+v", v1)
 	}
-	if v1.FromCache {
-		t.Fatalf("first job must not come from cache")
-	}
-	code, res1, _ := do(t, "GET", ts.URL+"/v1/jobs/"+v1.ID+"/result", "")
-	wantCode(t, code, 200, res1)
-	var ncpRes NCPJobResult
-	if err := json.Unmarshal(res1, &ncpRes); err != nil {
-		t.Fatal(err)
-	}
 	if ncpRes.Spectral == nil || ncpRes.Spectral.Clusters == 0 || len(ncpRes.Spectral.Envelope) == 0 {
-		t.Fatalf("ncp result: %s", res1)
+		t.Fatalf("ncp result: %+v", ncpRes)
+	}
+	raw1, err := c.Jobs.ResultRaw(ctx(), v1.ID)
+	if err != nil {
+		t.Fatal(err)
 	}
 
 	// Identical submission replays the cached bytes.
-	v2 := submitJob(t, ts, req)
-	v2 = waitJob(t, ts, v2.ID, 30*time.Second)
-	if v2.Status != JobDone || !v2.FromCache {
+	v2, err := c.Jobs.Submit(ctx(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err = c.Jobs.Wait(ctx(), v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Status != api.JobDone || !v2.FromCache {
 		t.Fatalf("job 2 should be served from cache: %+v", v2)
 	}
-	_, res2, _ := do(t, "GET", ts.URL+"/v1/jobs/"+v2.ID+"/result", "")
-	if !bytes.Equal(res1, res2) {
-		t.Fatalf("repeated NCP job results are not byte-identical:\n%s\n%s", res1, res2)
+	raw2, err := c.Jobs.ResultRaw(ctx(), v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("repeated NCP job results are not byte-identical:\n%s\n%s", raw1, raw2)
 	}
 
-	// Param-order variants share the cache key too.
-	v3 := submitJob(t, ts, `{"type":"ncp","graph":"ring","params":{"base_seed":7,"workers":2,"seeds":4,"method":"spectral"}}`)
-	v3 = waitJob(t, ts, v3.ID, 30*time.Second)
-	if !v3.FromCache {
-		t.Fatalf("canonicalized params should cache-hit: %+v", v3)
+	// Params that only spell out defaults share the canonical cache key.
+	req3, err := api.NewJob("ncp", "ring", &api.NCPJobParams{
+		BaseSeed: 7, Workers: 2, Seeds: 4, Method: "spectral",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := c.Jobs.Submit(ctx(), req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3, err = c.Jobs.Wait(ctx(), v3.ID); err != nil || !v3.FromCache {
+		t.Fatalf("canonicalized params should cache-hit: %+v, %v", v3, err)
 	}
 }
 
 func TestJobListAndBadRequests(t *testing.T) {
-	_, ts := testServer(t, Config{})
-	code, body, _ := do(t, "POST", ts.URL+"/v1/jobs", `{"type":"nope","graph":"ring"}`)
-	wantCode(t, code, 400, body)
-	code, body, _ = do(t, "POST", ts.URL+"/v1/jobs", `{"type":"ncp","graph":"ghost"}`)
-	wantCode(t, code, 404, body)
-	code, body, _ = do(t, "POST", ts.URL+"/v1/jobs", `{"type":"ncp","graph":"ring","params":{"method":"sideways"}}`)
-	wantCode(t, code, 202, body) // bad algorithm params fail the job, not the submit
-	var v JobView
-	if err := json.Unmarshal(body, &v); err != nil {
+	_, _, c := testServer(t, Config{})
+	_, err := c.Jobs.Submit(ctx(), api.JobSubmitRequest{Type: "nope", Graph: "ring"})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+	_, err = c.Jobs.Submit(ctx(), api.JobSubmitRequest{Type: "ncp", Graph: "ghost"})
+	wantAPIErr(t, err, api.CodeNotFound)
+
+	// Bad algorithm params fail the job, not the submit.
+	req, err := api.NewJob("ncp", "ring", &api.NCPJobParams{Method: "sideways"})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if fin := waitJob(t, ts, v.ID, 10*time.Second); fin.Status != JobFailed {
-		t.Fatalf("job with bad method: %+v", fin)
-	}
-	code, body, _ = do(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/result", "")
-	wantCode(t, code, 409, body)
-
-	code, body, _ = do(t, "GET", ts.URL+"/v1/jobs/zzz", "")
-	wantCode(t, code, 404, body)
-	code, body, _ = do(t, "DELETE", ts.URL+"/v1/jobs/zzz", "")
-	wantCode(t, code, 404, body)
-
-	code, body, _ = do(t, "GET", ts.URL+"/v1/jobs", "")
-	wantCode(t, code, 200, body)
-	var list struct{ Jobs []JobView }
-	if err := json.Unmarshal(body, &list); err != nil {
+	v, err := c.Jobs.Submit(ctx(), req)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Jobs) != 1 {
-		t.Fatalf("job list: %s", body)
+	if fin, err := c.Jobs.Wait(ctx(), v.ID); err != nil || fin.Status != api.JobFailed {
+		t.Fatalf("job with bad method: %+v, %v", fin, err)
+	}
+	_, err = c.Jobs.ResultRaw(ctx(), v.ID)
+	wantAPIErr(t, err, api.CodeConflict)
+
+	_, err = c.Jobs.Get(ctx(), "zzz")
+	wantAPIErr(t, err, api.CodeNotFound)
+	_, err = c.Jobs.Cancel(ctx(), "zzz")
+	wantAPIErr(t, err, api.CodeNotFound)
+
+	jobs, err := c.Jobs.List(ctx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("job list: %+v", jobs)
 	}
 }
 
 func TestJobCancellationMidRun(t *testing.T) {
-	srv, ts := testServer(t, Config{JobWorkers: 1})
+	srv, _, c := testServer(t, Config{JobWorkers: 1})
 	// A graph big enough that a 500-seed spectral profile cannot finish
 	// before the cancel lands.
 	rng := rand.New(rand.NewSource(3))
@@ -529,38 +750,57 @@ func TestJobCancellationMidRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	running := submitJob(t, ts, `{"type":"ncp","graph":"big","params":{"method":"spectral","seeds":500,"workers":2,"base_seed":9}}`)
+	bigReq, err := api.NewJob("ncp", "big", &api.NCPJobParams{
+		Method: "spectral", Seeds: 500, Workers: 2, BaseSeed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, err := c.Jobs.Submit(ctx(), bigReq)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The single worker is now busy; a second submission stays queued
 	// and can be cancelled without ever running.
-	queued := submitJob(t, ts, `{"type":"fig1","params":{"n":500}}`)
-	code, body, _ := do(t, "DELETE", ts.URL+"/v1/jobs/"+queued.ID, "")
-	wantCode(t, code, 200, body)
-	if fin := waitJob(t, ts, queued.ID, 5*time.Second); fin.Status != JobCancelled {
-		t.Fatalf("queued job after cancel: %+v", fin)
+	fig1Req, err := api.NewJob("fig1", "", &api.Fig1JobParams{N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Jobs.Submit(ctx(), fig1Req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Jobs.Cancel(ctx(), queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := c.Jobs.Wait(ctx(), queued.ID); err != nil || fin.Status != api.JobCancelled {
+		t.Fatalf("queued job after cancel: %+v, %v", fin, err)
 	}
 
 	// Wait until the first job is observably running, then cancel: the
 	// worker pool must observe ctx.Done() mid-sweep.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		code, body, _ := do(t, "GET", ts.URL+"/v1/jobs/"+running.ID, "")
-		wantCode(t, code, 200, body)
-		var v JobView
-		if err := json.Unmarshal(body, &v); err != nil {
+		v, err := c.Jobs.Get(ctx(), running.ID)
+		if err != nil {
 			t.Fatal(err)
 		}
-		if v.Status == JobRunning {
+		if v.Status == api.JobRunning {
 			break
 		}
-		if v.Status != JobQueued || time.Now().After(deadline) {
+		if v.Status != api.JobQueued || time.Now().After(deadline) {
 			t.Fatalf("job never started running: %+v", v)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	code, body, _ = do(t, "DELETE", ts.URL+"/v1/jobs/"+running.ID, "")
-	wantCode(t, code, 200, body)
-	fin := waitJob(t, ts, running.ID, 20*time.Second)
-	if fin.Status != JobCancelled {
+	if _, err := c.Jobs.Cancel(ctx(), running.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Jobs.Wait(ctx(), running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != api.JobCancelled {
 		t.Fatalf("running job after cancel: %+v", fin)
 	}
 	if !strings.Contains(fin.Error, "context canceled") {
@@ -568,24 +808,28 @@ func TestJobCancellationMidRun(t *testing.T) {
 	}
 
 	// Cancelling a finished job conflicts.
-	code, body, _ = do(t, "DELETE", ts.URL+"/v1/jobs/"+running.ID, "")
-	wantCode(t, code, 409, body)
+	_, err = c.Jobs.Cancel(ctx(), running.ID)
+	wantAPIErr(t, err, api.CodeConflict)
 }
 
 func TestPartitionJob(t *testing.T) {
-	_, ts := testServer(t, Config{})
-	v := submitJob(t, ts, `{"type":"partition","graph":"ring","params":{"k":4,"seed":2,"include_labels":true}}`)
-	v = waitJob(t, ts, v.ID, 30*time.Second)
-	if v.Status != JobDone {
-		t.Fatalf("partition job: %+v", v)
+	_, _, c := testServer(t, Config{})
+	req, err := api.NewJob("partition", "ring", &api.PartitionJobParams{
+		K: 4, Seed: 2, IncludeLabels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	_, body, _ := do(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/result", "")
-	var res PartitionJobResult
-	if err := json.Unmarshal(body, &res); err != nil {
+	v, err := c.Jobs.Submit(ctx(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res api.PartitionJobResult
+	if _, err := c.Jobs.WaitResult(ctx(), v.ID, &res); err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Parts) != 4 || len(res.Labels) != 64 {
-		t.Fatalf("partition result: %s", body)
+		t.Fatalf("partition result: %+v", res)
 	}
 	total := 0
 	for _, p := range res.Parts {
@@ -594,4 +838,12 @@ func TestPartitionJob(t *testing.T) {
 	if total != 64 {
 		t.Fatalf("part sizes sum to %d, want 64", total)
 	}
+}
+
+// newGzipBytes compresses s, for building .gz fixtures.
+func newGzipBytes(buf *bytes.Buffer, s string) []byte {
+	zw := gzip.NewWriter(buf)
+	zw.Write([]byte(s))
+	zw.Close()
+	return buf.Bytes()
 }

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/pkg/api"
 )
 
 // StoreErrorKind classifies store failures so handlers can map them to
@@ -73,16 +74,6 @@ func NewGraphStore() *GraphStore {
 	return &GraphStore{graphs: make(map[string]*entry)}
 }
 
-// GraphInfo is the listing record for one stored graph.
-type GraphInfo struct {
-	Name    string  `json:"name"`
-	Sealed  bool    `json:"sealed"`
-	Nodes   int     `json:"nodes"`
-	Edges   int     `json:"edges"`
-	Volume  float64 `json:"volume,omitempty"`
-	StoreID uint64  `json:"-"`
-}
-
 // Put registers a sealed graph under name. It fails with ErrConflict if
 // the name is taken.
 func (s *GraphStore) Put(name string, g *graph.Graph) error {
@@ -129,18 +120,19 @@ func (s *GraphStore) Delete(name string) error {
 }
 
 // List returns info for every stored graph, sorted by name.
-func (s *GraphStore) List() []GraphInfo {
+func (s *GraphStore) List() []api.GraphInfo {
 	s.mu.RLock()
 	entries := make(map[string]*entry, len(s.graphs))
 	for name, e := range s.graphs {
 		entries[name] = e
 	}
 	s.mu.RUnlock()
-	out := make([]GraphInfo, 0, len(entries))
+	out := make([]api.GraphInfo, 0, len(entries))
 	for name, e := range entries {
 		e.mu.Lock()
-		info := GraphInfo{Name: name, StoreID: e.id}
+		info := api.GraphInfo{Name: name, State: api.GraphStreaming}
 		if e.g != nil {
+			info.State = api.GraphSealed
 			info.Sealed = true
 			info.Nodes = e.g.N()
 			info.Edges = e.g.M()
@@ -174,17 +166,10 @@ func (s *GraphStore) BeginStream(name string, n int) error {
 	return nil
 }
 
-// StreamEdge is one edge of a POSTed edge batch. Weight 0 means 1.
-type StreamEdge struct {
-	U int     `json:"u"`
-	V int     `json:"v"`
-	W float64 `json:"w,omitempty"`
-}
-
 // AppendEdges adds a batch of edges to an unsealed graph. Self-loops are
 // ignored (matching graph.Builder); invalid endpoints or weights fail
 // the whole batch atomically before any edge is applied.
-func (s *GraphStore) AppendEdges(name string, edges []StreamEdge) error {
+func (s *GraphStore) AppendEdges(name string, edges []api.StreamEdge) error {
 	s.mu.RLock()
 	e, ok := s.graphs[name]
 	s.mu.RUnlock()

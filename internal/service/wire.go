@@ -5,7 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"repro/pkg/api"
 )
+
+// The request/response DTOs live in the public, versioned pkg/api — the
+// server, the pkg/client SDK and graphctl all compile against the same
+// wire contract. This file keeps the server-side helpers that turn
+// payloads into cache keys and algorithm outputs into api types.
 
 // canonicalJSON re-marshals raw JSON into a canonical form (sorted map
 // keys, normalized whitespace) so that semantically identical requests
@@ -26,18 +33,12 @@ func canonicalJSON(raw json.RawMessage) (string, error) {
 	return string(out), nil
 }
 
-// NodeMass is one (node, value) entry of a sparse or dense distribution.
-type NodeMass struct {
-	Node int     `json:"node"`
-	Mass float64 `json:"mass"`
-}
-
 // topMasses returns the k largest entries (all when k <= 0), ordered by
 // descending mass with node id as the deterministic tiebreak.
-func topMasses(v map[int]float64, k int) []NodeMass {
-	out := make([]NodeMass, 0, len(v))
+func topMasses(v map[int]float64, k int) []api.NodeMass {
+	out := make([]api.NodeMass, 0, len(v))
 	for u, x := range v {
-		out = append(out, NodeMass{Node: u, Mass: x})
+		out = append(out, api.NodeMass{Node: u, Mass: x})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Mass != out[j].Mass {
@@ -52,7 +53,7 @@ func topMasses(v map[int]float64, k int) []NodeMass {
 }
 
 // topMassesDense is topMasses over a dense vector, skipping zeros.
-func topMassesDense(v []float64, k int) []NodeMass {
+func topMassesDense(v []float64, k int) []api.NodeMass {
 	sparse := make(map[int]float64, len(v)/4)
 	for u, x := range v {
 		if x != 0 {
@@ -60,128 +61,4 @@ func topMassesDense(v []float64, k int) []NodeMass {
 		}
 	}
 	return topMasses(sparse, k)
-}
-
-// PPRRequest parameterizes the ACL push endpoint.
-type PPRRequest struct {
-	Seeds []int   `json:"seeds"`
-	Alpha float64 `json:"alpha"`
-	Eps   float64 `json:"eps"`
-	TopK  int     `json:"topk,omitempty"`
-	Sweep bool    `json:"sweep,omitempty"`
-}
-
-// SweepInfo reports a sweep cut over a diffusion vector.
-type SweepInfo struct {
-	Set         []int   `json:"set"`
-	Size        int     `json:"size"`
-	Conductance float64 `json:"conductance"`
-	Prefix      int     `json:"prefix"`
-}
-
-// PPRResponse is the PPR endpoint's reply.
-type PPRResponse struct {
-	Support    int        `json:"support"`
-	Sum        float64    `json:"sum"`
-	Pushes     int        `json:"pushes"`
-	WorkVolume float64    `json:"work_volume"`
-	Top        []NodeMass `json:"top"`
-	Sweep      *SweepInfo `json:"sweep,omitempty"`
-}
-
-// LocalClusterRequest selects one of the strongly-local clustering
-// methods of §3.3 and its budget knobs.
-type LocalClusterRequest struct {
-	// Method is "ppr" (ACL push + sweep, default), "nibble"
-	// (Spielman–Teng truncated walk) or "heat" (local heat kernel).
-	Method string  `json:"method,omitempty"`
-	Seeds  []int   `json:"seeds"`
-	Alpha  float64 `json:"alpha,omitempty"` // ppr teleportation
-	Eps    float64 `json:"eps,omitempty"`   // truncation threshold (all methods)
-	Steps  int     `json:"steps,omitempty"` // nibble walk steps
-	T      float64 `json:"t,omitempty"`     // heat-kernel time
-}
-
-// LocalClusterResponse is the local-cluster endpoint's reply.
-type LocalClusterResponse struct {
-	Method      string  `json:"method"`
-	Set         []int   `json:"set"`
-	Size        int     `json:"size"`
-	Conductance float64 `json:"conductance"`
-	Volume      float64 `json:"volume"`
-	Support     int     `json:"support"` // max support touched: the locality measure
-}
-
-// DiffuseRequest parameterizes the dense diffusion endpoint (§3.1
-// dynamics: heat kernel, PageRank, lazy random walk).
-type DiffuseRequest struct {
-	// Kind is "heat" (default), "ppr" or "lazy".
-	Kind  string  `json:"kind,omitempty"`
-	Seeds []int   `json:"seeds"`
-	T     float64 `json:"t,omitempty"`     // heat time
-	Gamma float64 `json:"gamma,omitempty"` // ppr teleportation
-	Alpha float64 `json:"alpha,omitempty"` // lazy-walk laziness (default 0.5)
-	K     int     `json:"k,omitempty"`     // lazy-walk steps
-	TopK  int     `json:"topk,omitempty"`
-}
-
-// DiffuseResponse is the diffusion endpoint's reply.
-type DiffuseResponse struct {
-	Kind string     `json:"kind"`
-	Sum  float64    `json:"sum"`
-	Top  []NodeMass `json:"top"`
-}
-
-// SweepCutRequest carries a caller-provided vector to sweep.
-type SweepCutRequest struct {
-	Values []NodeMass `json:"values"`
-}
-
-// StatsResponse summarizes a stored graph.
-type StatsResponse struct {
-	Name      string  `json:"name"`
-	Nodes     int     `json:"nodes"`
-	Edges     int     `json:"edges"`
-	Volume    float64 `json:"volume"`
-	MinDegree float64 `json:"min_degree"`
-	MaxDegree float64 `json:"max_degree"`
-	AvgDegree float64 `json:"avg_degree"`
-	Isolated  int     `json:"isolated"`
-}
-
-// GenerateRequest asks the store to synthesize a graph from one of the
-// internal/gen families.
-type GenerateRequest struct {
-	// Family is "kronecker", "forestfire", "erdosrenyi", "grid",
-	// "ring_of_cliques" or "caveman".
-	Family string `json:"family"`
-	Seed   int64  `json:"seed,omitempty"`
-	// Kronecker: Levels (2^Levels nodes) and Edges samples.
-	Levels int `json:"levels,omitempty"`
-	Edges  int `json:"edges,omitempty"`
-	// Forest fire / Erdős–Rényi: N nodes, P burn/edge probability.
-	N int     `json:"n,omitempty"`
-	P float64 `json:"p,omitempty"`
-	// Grid: Rows × Cols; ring_of_cliques / caveman: K cliques of CliqueN.
-	Rows    int `json:"rows,omitempty"`
-	Cols    int `json:"cols,omitempty"`
-	K       int `json:"k,omitempty"`
-	CliqueN int `json:"clique_n,omitempty"`
-}
-
-// StreamCreateRequest opens an incremental edge-stream graph.
-type StreamCreateRequest struct {
-	Nodes int `json:"nodes"`
-}
-
-// EdgeBatchRequest appends edges to a streaming graph.
-type EdgeBatchRequest struct {
-	Edges []StreamEdge `json:"edges"`
-}
-
-// JobSubmitRequest enqueues an async job.
-type JobSubmitRequest struct {
-	Type   string          `json:"type"`
-	Graph  string          `json:"graph,omitempty"`
-	Params json.RawMessage `json:"params,omitempty"`
 }

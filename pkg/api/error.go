@@ -1,0 +1,136 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrorCode is the machine-readable classification of a v1 API error.
+// Codes are part of the wire contract: clients branch on the code, never
+// on the human-readable message, which may change between releases.
+type ErrorCode string
+
+const (
+	// CodeInvalidArgument: the request body or parameters are invalid.
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	// CodeNotFound: the named graph or job does not exist.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeConflict: the operation conflicts with resource state (name
+	// taken, graph still streaming, job already finished).
+	CodeConflict ErrorCode = "conflict"
+	// CodeUnsupportedMediaType: a JSON endpoint received a body declared
+	// as a non-JSON content type.
+	CodeUnsupportedMediaType ErrorCode = "unsupported_media_type"
+	// CodeDeadlineExceeded: the per-request deadline fired before the
+	// computation finished.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeCancelled: the request's context was cancelled (client went
+	// away) before the computation finished.
+	CodeCancelled ErrorCode = "cancelled"
+	// CodeInternal: the server failed in a way that is not the caller's
+	// fault (panic, marshal failure).
+	CodeInternal ErrorCode = "internal"
+	// CodeUnavailable: the server cannot take the work right now (job
+	// queue full, shutdown in progress). Retryable with backoff.
+	CodeUnavailable ErrorCode = "unavailable"
+)
+
+// HTTPStatus maps an error code onto its canonical HTTP status.
+func (c ErrorCode) HTTPStatus() int {
+	switch c {
+	case CodeInvalidArgument:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeUnsupportedMediaType:
+		return http.StatusUnsupportedMediaType
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeCancelled:
+		return http.StatusRequestTimeout
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeForStatus is the reverse mapping, used by clients when a response
+// carries no parseable envelope (e.g. a proxy error page).
+func CodeForStatus(status int) ErrorCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidArgument
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusUnsupportedMediaType:
+		return CodeUnsupportedMediaType
+	case http.StatusGatewayTimeout:
+		return CodeDeadlineExceeded
+	case http.StatusRequestTimeout:
+		return CodeCancelled
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
+
+// Error is the structured error every v1 endpoint returns on failure,
+// wrapped on the wire as {"error":{"code","message","details"}}. It
+// implements the error interface so SDK calls surface it directly.
+type Error struct {
+	Code    ErrorCode      `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+	// Status is the HTTP status the error travelled with; set by the
+	// client on decode (0 when the error was built locally).
+	Status int `json:"-"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WithDetail returns e with one details entry added (initializing the
+// map if needed), for fluent construction.
+func (e *Error) WithDetail(key string, value any) *Error {
+	if e.Details == nil {
+		e.Details = make(map[string]any, 1)
+	}
+	e.Details[key] = value
+	return e
+}
+
+// ErrorEnvelope is the wire form of an Error.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// IsCode reports whether err is (or wraps) an *Error with the given code.
+func IsCode(err error, code ErrorCode) bool {
+	var ae *Error
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return ae.Code == code
+}
+
+// IsNotFound reports whether err is a not_found API error.
+func IsNotFound(err error) bool { return IsCode(err, CodeNotFound) }
+
+// IsConflict reports whether err is a conflict API error.
+func IsConflict(err error) bool { return IsCode(err, CodeConflict) }
+
+// IsInvalidArgument reports whether err is an invalid_argument API error.
+func IsInvalidArgument(err error) bool { return IsCode(err, CodeInvalidArgument) }

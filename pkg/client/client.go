@@ -1,0 +1,294 @@
+// Package client is the Go SDK for the graphd HTTP service. It speaks
+// the versioned wire contract defined in pkg/api: every call takes a
+// context, sends and receives the api request/response types, and
+// surfaces failures as *api.Error values so callers can branch on
+// machine-readable codes.
+//
+//	c, err := client.New("http://localhost:8080",
+//		client.WithTimeout(10*time.Second),
+//		client.WithRetries(3),
+//	)
+//	info, err := c.Graphs.Generate(ctx, "demo", api.GenerateRequest{
+//		Family: "ring_of_cliques", K: 16, CliqueN: 12,
+//	})
+//	res, err := c.Graphs.PPR(ctx, "demo", api.PPRRequest{Seeds: []int{0}})
+//
+// Transient failures — connection errors and 5xx responses — are
+// retried with exponential backoff up to the configured attempt budget;
+// 4xx responses are never retried. Long-running work goes through
+// c.Jobs: Submit enqueues, Wait polls to a terminal state, Result
+// decodes the typed payload.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// Client is a graphd API client. Create with New; the zero value is not
+// usable. Clients are safe for concurrent use.
+type Client struct {
+	baseURL    string
+	httpClient *http.Client
+	retries    int           // extra attempts after the first
+	backoff    time.Duration // first retry delay, doubled per attempt
+	maxBackoff time.Duration
+	gzipUpload bool
+	serverTO   time.Duration // ?timeout_ms= on query endpoints; 0 = server default
+	pollEvery  time.Duration // Jobs.Wait poll interval
+
+	// Graphs exposes the graph lifecycle and the synchronous query
+	// endpoints; Jobs the async job queue.
+	Graphs *GraphsService
+	Jobs   *JobsService
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (default: a
+// dedicated client with a 30s overall timeout).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpClient = h } }
+
+// WithTimeout sets the underlying HTTP client's overall per-attempt
+// timeout. Use request contexts for per-call deadlines.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.httpClient.Timeout = d } }
+
+// WithRetries sets how many times a failed call is retried beyond the
+// first attempt (default 2). 5xx responses are retried for every
+// method (graphd's mutating endpoints reject rather than partially
+// apply, so a received 5xx is safe to replay); connection errors —
+// where the first attempt may have committed before the response was
+// lost — are retried only for GETs. 4xx responses and context
+// cancellation are never retried.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the first retry delay (default 100ms); each further
+// retry doubles it, capped at max.
+func WithBackoff(first, max time.Duration) Option {
+	return func(c *Client) { c.backoff, c.maxBackoff = first, max }
+}
+
+// WithGzipUpload makes Graphs.Load / Graphs.LoadFile compress edge-list
+// bodies with gzip (Content-Encoding: gzip). The server accepts both
+// forms; enabling this trades CPU for bandwidth on large graphs.
+func WithGzipUpload() Option { return func(c *Client) { c.gzipUpload = true } }
+
+// WithServerTimeout asks the server to bound each synchronous query at
+// d (sent as ?timeout_ms=). The server clamps it to its own limits.
+func WithServerTimeout(d time.Duration) Option { return func(c *Client) { c.serverTO = d } }
+
+// WithPollInterval sets how often Jobs.Wait polls (default 50ms).
+func WithPollInterval(d time.Duration) Option { return func(c *Client) { c.pollEvery = d } }
+
+// New returns a Client for the graphd instance at baseURL (scheme and
+// host, e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q must be scheme://host[:port]", baseURL)
+	}
+	c := &Client{
+		baseURL:    strings.TrimRight(baseURL, "/"),
+		httpClient: &http.Client{Timeout: 30 * time.Second},
+		retries:    2,
+		backoff:    100 * time.Millisecond,
+		maxBackoff: 5 * time.Second,
+		pollEvery:  50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.Graphs = &GraphsService{c: c}
+	c.Jobs = &JobsService{c: c}
+	return c, nil
+}
+
+// BaseURL returns the server address the client was built with.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (api.HealthResponse, error) {
+	var out api.HealthResponse
+	err := c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil, &out)
+	return out, err
+}
+
+// Metrics fetches the Prometheus text exposition from GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	body, _, err := c.doRaw(ctx, http.MethodGet, "/metrics", nil, nil, "")
+	return string(body), err
+}
+
+// v1 joins path segments under the API version prefix, escaping each.
+func v1(segments ...string) string {
+	var b strings.Builder
+	b.WriteString("/" + api.Version)
+	for _, s := range segments {
+		b.WriteString("/")
+		b.WriteString(url.PathEscape(s))
+	}
+	return b.String()
+}
+
+// queryValues returns the shared query parameters for synchronous query
+// endpoints (the server-side timeout override, when configured).
+func (c *Client) queryValues() url.Values {
+	if c.serverTO <= 0 {
+		return nil
+	}
+	q := url.Values{}
+	q.Set("timeout_ms", strconv.FormatInt(c.serverTO.Milliseconds(), 10))
+	return q
+}
+
+// doJSON marshals in (when non-nil), performs the call with retries,
+// and unmarshals the response into out (when non-nil).
+func (c *Client) doJSON(ctx context.Context, method, path string, q url.Values, in, out any) error {
+	var body []byte
+	contentType := ""
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding %s %s request: %w", method, path, err)
+		}
+		contentType = "application/json"
+	}
+	data, _, err := c.doRaw(ctx, method, path, q, body, contentType)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// doRaw performs one logical call with the retry/backoff policy: the
+// request body is replayed from bytes on each attempt, connection
+// errors and 5xx responses back off and retry, anything else returns
+// immediately. On HTTP failure the returned error is an *api.Error.
+func (c *Client) doRaw(ctx context.Context, method, path string, q url.Values, body []byte, contentType string) ([]byte, http.Header, error) {
+	u := c.baseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt); err != nil {
+				return nil, nil, err
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.httpClient.Do(req)
+		if err != nil {
+			// Connection-level failure. The caller's context error wins,
+			// and only idempotent GETs are replayed: a lost response to a
+			// POST may mean the server already committed the work, and
+			// replaying it would duplicate jobs or turn a successful
+			// graph load into a spurious conflict.
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			if method != http.MethodGet {
+				return nil, nil, lastErr
+			}
+			continue
+		}
+		data, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: %s %s: reading response: %w", method, path, readErr)
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			apiErr := decodeError(resp.StatusCode, data)
+			if resp.StatusCode >= 500 {
+				lastErr = apiErr
+				continue
+			}
+			return nil, nil, apiErr
+		}
+		return data, resp.Header, nil
+	}
+	return nil, nil, lastErr
+}
+
+// sleep blocks for the attempt's backoff delay or until ctx is done.
+func (c *Client) sleep(ctx context.Context, attempt int) error {
+	d := c.backoff << (attempt - 1)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// decodeError turns a non-2xx response into an *api.Error: the server's
+// envelope when the body carries one, otherwise an error synthesized
+// from the HTTP status (e.g. a proxy error page).
+func decodeError(status int, body []byte) *api.Error {
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.Status = status
+		return env.Error
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	ae := api.Errorf(api.CodeForStatus(status), "%s", msg)
+	ae.Status = status
+	return ae
+}
+
+// IsRetryable reports whether err is the kind of failure worth
+// retrying: a 5xx *api.Error (including unavailable backpressure) or a
+// connection-level *url.Error. Useful for callers layering their own
+// retry loops (e.g. waiting for a daemon to boot). Context
+// cancellation and local encode/decode failures are not retryable.
+func IsRetryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae.Status >= 500 || ae.Code == api.CodeUnavailable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}

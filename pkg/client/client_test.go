@@ -1,0 +1,337 @@
+package client
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+func newTestClient(t *testing.T, h http.Handler, opts ...Option) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+func TestNewRejectsBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "localhost:8080", "://x", "http://"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted a bad base URL", bad)
+		}
+	}
+	if _, err := New("http://localhost:8080/"); err != nil {
+		t.Fatalf("New rejected a good base URL: %v", err)
+	}
+}
+
+func TestErrorEnvelopeDecoding(t *testing.T) {
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{
+			Error: api.Errorf(api.CodeNotFound, "graph %q not found", "ghost"),
+		})
+	}), WithRetries(0))
+	_, err := c.Graphs.Stats(context.Background(), "ghost")
+	if !api.IsNotFound(err) {
+		t.Fatalf("err = %v, want not_found", err)
+	}
+	var ae *api.Error
+	if ok := asAPIError(err, &ae); !ok || ae.Status != http.StatusNotFound {
+		t.Fatalf("error should carry the HTTP status: %+v", err)
+	}
+}
+
+func asAPIError(err error, target **api.Error) bool {
+	if e, ok := err.(*api.Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestErrorWithoutEnvelopeFallsBackToStatus(t *testing.T) {
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain proxy error", http.StatusConflict)
+	}), WithRetries(0))
+	_, err := c.Graphs.Seal(context.Background(), "g")
+	if !api.IsConflict(err) {
+		t.Fatalf("err = %v, want conflict synthesized from status", err)
+	}
+	if !strings.Contains(err.Error(), "plain proxy error") {
+		t.Fatalf("err should keep the body text: %v", err)
+	}
+}
+
+func TestRetryOn5xxThenSuccess(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok"})
+	}), WithRetries(3), WithBackoff(time.Millisecond, 10*time.Millisecond))
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("Health = %+v, %v; want ok after retries", h, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 503s then success)", got)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}), WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	var ae *api.Error
+	if !asAPIError(err, &ae) || ae.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %#v, want *api.Error with status 500", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestNo4xxRetry(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.Errorf(api.CodeInvalidArgument, "nope")})
+	}), WithRetries(5), WithBackoff(time.Millisecond, time.Millisecond))
+	_, err := c.Graphs.PPR(context.Background(), "g", api.PPRRequest{Seeds: []int{0}})
+	if !api.IsInvalidArgument(err) {
+		t.Fatalf("err = %v, want invalid_argument", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("4xx was retried: %d calls", got)
+	}
+}
+
+func TestRetryOnConnectionError(t *testing.T) {
+	// A server that dies after its first (failed) response exercises the
+	// transport-error path: the listener is closed, so every attempt
+	// fails at dial time and the retry budget drains.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	c, err := New(url, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("want connection error")
+	}
+	// Backoff must have run between attempts: 1ms + 2ms floors.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("retries returned after %v; backoff did not run", elapsed)
+	}
+	if _, err := c.Health(context.Background()); !IsRetryable(err) {
+		t.Fatalf("a connection error should classify as retryable: %v", err)
+	}
+}
+
+// failingTransport counts attempts and fails them all at dial level.
+type failingTransport struct{ calls atomic.Int32 }
+
+func (f *failingTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	f.calls.Add(1)
+	return nil, fmt.Errorf("dial tcp: connection refused")
+}
+
+func TestNoTransportRetryForNonGET(t *testing.T) {
+	// Non-GET calls must NOT be replayed on connection errors: the lost
+	// response may have committed server-side work (duplicate jobs,
+	// double graph loads). GETs, by contrast, drain the retry budget.
+	ft := &failingTransport{}
+	c, err := New("http://graphd.invalid",
+		WithHTTPClient(&http.Client{Transport: ft}),
+		WithRetries(3), WithBackoff(time.Microsecond, time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Jobs.Submit(context.Background(), api.JobSubmitRequest{Type: "ncp"}); err == nil {
+		t.Fatal("want connection error")
+	}
+	if got := ft.calls.Load(); got != 1 {
+		t.Fatalf("POST saw %d attempts, want 1 (no transport-error replay)", got)
+	}
+
+	ft.calls.Store(0)
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("want connection error")
+	}
+	if got := ft.calls.Load(); got != 4 {
+		t.Fatalf("GET saw %d attempts, want 4 (1 + 3 retries)", got)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}), WithRetries(100), WithBackoff(50*time.Millisecond, time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	_, err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := calls.Load(); got > 3 {
+		t.Fatalf("context cancellation did not stop the retry loop: %d calls", got)
+	}
+}
+
+func TestGzipUpload(t *testing.T) {
+	got := make(chan string, 1)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The server sniffs gzip by magic bytes, like graphd does.
+		var rd io.Reader = r.Body
+		buf := make([]byte, 2)
+		n, _ := io.ReadFull(r.Body, buf)
+		if n == 2 && buf[0] == 0x1f && buf[1] == 0x8b {
+			zr, err := gzip.NewReader(io.MultiReader(strings.NewReader(string(buf)), r.Body))
+			if err != nil {
+				t.Errorf("gunzip: %v", err)
+				return
+			}
+			rd = zr
+		} else {
+			rd = io.MultiReader(strings.NewReader(string(buf[:n])), r.Body)
+		}
+		body, _ := io.ReadAll(rd)
+		got <- string(body)
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(api.GraphInfo{Name: "g", Sealed: true, Nodes: 3, Edges: 2})
+	})
+
+	const edges = "0 1\n1 2\n"
+	// Without the option the body travels verbatim...
+	plain, _ := newTestClient(t, handler, WithRetries(0))
+	if _, err := plain.Graphs.Load(context.Background(), "g", strings.NewReader(edges)); err != nil {
+		t.Fatal(err)
+	}
+	if body := <-got; body != edges {
+		t.Fatalf("plain upload body = %q", body)
+	}
+	// ...with it the server receives a gzip stream that inflates back.
+	zipped, _ := newTestClient(t, handler, WithRetries(0), WithGzipUpload())
+	info, err := zipped.Graphs.Load(context.Background(), "g", strings.NewReader(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := <-got; body != edges {
+		t.Fatalf("gzip upload inflated to %q", body)
+	}
+	if !info.Sealed || info.Nodes != 3 {
+		t.Fatalf("load response: %+v", info)
+	}
+}
+
+func TestServerTimeoutQueryParam(t *testing.T) {
+	seen := make(chan string, 1)
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen <- r.URL.Query().Get("timeout_ms")
+		json.NewEncoder(w).Encode(api.PPRResponse{})
+	}), WithRetries(0), WithServerTimeout(1500*time.Millisecond))
+	if _, err := c.Graphs.PPR(context.Background(), "g", api.PPRRequest{Seeds: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-seen; got != "1500" {
+		t.Fatalf("timeout_ms = %q, want 1500", got)
+	}
+}
+
+// fakeJobServer flips a job from running to done after `polls` GETs.
+func fakeJobServer(polls int32, final api.JobStatus, result string) http.Handler {
+	var gets atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobView{ID: "j1", Status: api.JobQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/j1", func(w http.ResponseWriter, r *http.Request) {
+		status := api.JobRunning
+		if gets.Add(1) > polls {
+			status = final
+		}
+		json.NewEncoder(w).Encode(api.JobView{ID: "j1", Status: status})
+	})
+	mux.HandleFunc("GET /v1/jobs/j1/result", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, result)
+	})
+	return mux
+}
+
+func TestJobsWaitPollsToTerminal(t *testing.T) {
+	c, _ := newTestClient(t, fakeJobServer(3, api.JobDone, `{"nodes":9,"edges":12}`),
+		WithRetries(0), WithPollInterval(time.Millisecond))
+	view, err := c.Jobs.Submit(context.Background(), api.JobSubmitRequest{Type: "ncp", Graph: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res api.NCPJobResult
+	fin, err := c.Jobs.WaitResult(context.Background(), view.ID, &res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != api.JobDone || res.Nodes != 9 || res.EdgesM != 12 {
+		t.Fatalf("WaitResult: %+v, %+v", fin, res)
+	}
+}
+
+func TestJobsWaitSurfacesFailureAsStatusNotError(t *testing.T) {
+	c, _ := newTestClient(t, fakeJobServer(1, api.JobFailed, ""),
+		WithRetries(0), WithPollInterval(time.Millisecond))
+	view, err := c.Jobs.Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("Wait on a failed job must not error at transport level: %v", err)
+	}
+	if view.Status != api.JobFailed {
+		t.Fatalf("status = %s, want failed", view.Status)
+	}
+	// WaitResult, by contrast, converts the failure into a conflict.
+	if _, err := c.Jobs.WaitResult(context.Background(), "j1", &struct{}{}); !api.IsConflict(err) {
+		t.Fatalf("WaitResult err = %v, want conflict", err)
+	}
+}
+
+func TestJobsWaitHonorsContext(t *testing.T) {
+	// The job never finishes; Wait must stop when the context does.
+	c, _ := newTestClient(t, fakeJobServer(1<<30, api.JobDone, ""),
+		WithRetries(0), WithPollInterval(time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Jobs.Wait(ctx, "j1")
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait ignored the context deadline")
+	}
+}

@@ -1,0 +1,154 @@
+package client
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/pkg/api"
+)
+
+// GraphsService covers the /v1/graphs endpoint family: the graph
+// lifecycle (load, generate, stream/append/seal, delete, list) and the
+// synchronous strongly-local queries (ppr, localcluster, diffuse,
+// sweepcut, stats).
+type GraphsService struct {
+	c *Client
+}
+
+// List returns info for every stored graph, sorted by name.
+func (s *GraphsService) List(ctx context.Context) ([]api.GraphInfo, error) {
+	var out api.GraphList
+	err := s.c.doJSON(ctx, http.MethodGet, v1("graphs"), nil, nil, &out)
+	return out.Graphs, err
+}
+
+// Load uploads an edge list (the text format graph.ReadEdgeList
+// accepts) and registers it as a sealed graph named name. The body is
+// buffered so the call can be retried; for very large graphs prefer
+// LoadFile, and enable WithGzipUpload to compress the wire transfer.
+func (s *GraphsService) Load(ctx context.Context, name string, edgeList io.Reader) (api.GraphInfo, error) {
+	data, err := io.ReadAll(edgeList)
+	if err != nil {
+		return api.GraphInfo{}, fmt.Errorf("client: reading edge list: %w", err)
+	}
+	return s.upload(ctx, name, data, false)
+}
+
+// LoadFile uploads the edge-list file at path (plain or .gz) as a
+// sealed graph named name.
+func (s *GraphsService) LoadFile(ctx context.Context, name, path string) (api.GraphInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return api.GraphInfo{}, fmt.Errorf("client: %w", err)
+	}
+	// Already-compressed files ship as-is; the server sniffs the gzip
+	// magic bytes.
+	return s.upload(ctx, name, data, strings.HasSuffix(path, ".gz"))
+}
+
+// upload POSTs edge-list bytes, gzip-compressing them when the client
+// is configured for it and the payload is not already compressed.
+func (s *GraphsService) upload(ctx context.Context, name string, data []byte, compressed bool) (api.GraphInfo, error) {
+	contentType := "text/plain"
+	if s.c.gzipUpload && !compressed {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			return api.GraphInfo{}, fmt.Errorf("client: compressing edge list: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return api.GraphInfo{}, fmt.Errorf("client: compressing edge list: %w", err)
+		}
+		data = buf.Bytes()
+	}
+	body, _, err := s.c.doRaw(ctx, http.MethodPost, v1("graphs", name), nil, data, contentType)
+	if err != nil {
+		return api.GraphInfo{}, err
+	}
+	var info api.GraphInfo
+	if err := unmarshalInto(body, &info); err != nil {
+		return api.GraphInfo{}, err
+	}
+	return info, nil
+}
+
+// Generate asks the server to synthesize a graph named name from one of
+// the generator families.
+func (s *GraphsService) Generate(ctx context.Context, name string, req api.GenerateRequest) (api.GraphInfo, error) {
+	var out api.GraphInfo
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "generate"), nil, &req, &out)
+	return out, err
+}
+
+// Stream opens an incremental graph on nodes vertices; feed it with
+// AppendEdges and freeze it with Seal.
+func (s *GraphsService) Stream(ctx context.Context, name string, nodes int) (api.GraphInfo, error) {
+	var out api.GraphInfo
+	req := api.StreamCreateRequest{Nodes: nodes}
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "stream"), nil, &req, &out)
+	return out, err
+}
+
+// AppendEdges adds a batch of edges to a streaming graph, returning how
+// many were appended. The batch is all-or-nothing.
+func (s *GraphsService) AppendEdges(ctx context.Context, name string, edges []api.StreamEdge) (int, error) {
+	var out api.EdgeBatchResponse
+	req := api.EdgeBatchRequest{Edges: edges}
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "edges"), nil, &req, &out)
+	return out.Appended, err
+}
+
+// Seal freezes a streaming graph into its immutable, queryable form.
+func (s *GraphsService) Seal(ctx context.Context, name string) (api.GraphInfo, error) {
+	var out api.GraphInfo
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "seal"), nil, nil, &out)
+	return out, err
+}
+
+// Delete removes the named graph (sealed or streaming).
+func (s *GraphsService) Delete(ctx context.Context, name string) error {
+	return s.c.doJSON(ctx, http.MethodDelete, v1("graphs", name), nil, nil, nil)
+}
+
+// Stats summarizes the named sealed graph.
+func (s *GraphsService) Stats(ctx context.Context, name string) (api.StatsResponse, error) {
+	var out api.StatsResponse
+	err := s.c.doJSON(ctx, http.MethodGet, v1("graphs", name, "stats"), s.c.queryValues(), nil, &out)
+	return out, err
+}
+
+// PPR runs the ACL push personalized-PageRank query.
+func (s *GraphsService) PPR(ctx context.Context, name string, req api.PPRRequest) (api.PPRResponse, error) {
+	var out api.PPRResponse
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "ppr"), s.c.queryValues(), &req, &out)
+	return out, err
+}
+
+// LocalCluster runs one of the strongly-local clustering methods
+// (ppr, nibble, heat) around the seed set.
+func (s *GraphsService) LocalCluster(ctx context.Context, name string, req api.LocalClusterRequest) (api.LocalClusterResponse, error) {
+	var out api.LocalClusterResponse
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "localcluster"), s.c.queryValues(), &req, &out)
+	return out, err
+}
+
+// Diffuse runs a dense diffusion (heat kernel, PageRank or lazy walk).
+func (s *GraphsService) Diffuse(ctx context.Context, name string, req api.DiffuseRequest) (api.DiffuseResponse, error) {
+	var out api.DiffuseResponse
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "diffuse"), s.c.queryValues(), &req, &out)
+	return out, err
+}
+
+// SweepCut sweeps a caller-provided vector over the graph and returns
+// the best prefix cut.
+func (s *GraphsService) SweepCut(ctx context.Context, name string, req api.SweepCutRequest) (api.SweepInfo, error) {
+	var out api.SweepInfo
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "sweepcut"), s.c.queryValues(), &req, &out)
+	return out, err
+}
