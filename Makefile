@@ -24,10 +24,15 @@ graphd:
 
 # bench runs every benchmark once (smoke mode: -benchtime 1x) and writes
 # the test2json event stream to BENCH_ncp.json so the performance
-# trajectory accumulates a machine-readable record per commit. Use
+# trajectory accumulates a machine-readable record per commit. The
+# persistence slice of the same run (binary snapshot load vs text
+# edge-list parse, snapshot write, WAL append fsync cost) is filtered
+# into BENCH_persist.json — one execution, two records. Use
 # BENCHTIME=5s for a statistically meaningful local run.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -json . > BENCH_ncp.json
 	@grep -c '"Action":"output"' BENCH_ncp.json >/dev/null && \
 	  echo "wrote BENCH_ncp.json ($$(wc -c < BENCH_ncp.json) bytes)"
+	@grep '"Test":"BenchmarkPersist' BENCH_ncp.json > BENCH_persist.json && \
+	  echo "wrote BENCH_persist.json ($$(wc -c < BENCH_persist.json) bytes)"

@@ -11,6 +11,8 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/local"
 	"repro/internal/ncp"
 	"repro/internal/partition"
+	"repro/internal/persist"
 	"repro/internal/rank"
 	"repro/internal/regsdp"
 	"repro/internal/spectral"
@@ -640,6 +643,132 @@ func BenchmarkNCPFlowProfileWorkers(b *testing.B) {
 			}
 			b.Logf("flow workers=%d: %d clusters on n=%d m=%d", workers, clusters, g.N(), g.M())
 		})
+	}
+}
+
+// ---- persistence: binary snapshot load vs text edge-list parse ----
+
+var persistBench struct {
+	once     sync.Once
+	snapPath string
+	textPath string
+	n, m     int
+	err      error
+}
+
+// persistBenchFiles writes the ≥100k-edge Kronecker bench graph once in
+// both on-disk formats and returns the paths. Cold-start latency is the
+// whole point of the snapshot format, so the benchmark measures exactly
+// the two loaders cmd/graphd -load dispatches between.
+func persistBenchFiles(b *testing.B) (snapPath, textPath string, n, m int) {
+	b.Helper()
+	g := ncpBenchGraph(b)
+	persistBench.once.Do(func() {
+		dir, err := os.MkdirTemp("", "persist-bench-*")
+		if err != nil {
+			persistBench.err = err
+			return
+		}
+		persistBench.snapPath = filepath.Join(dir, "bench.gsnap")
+		persistBench.textPath = filepath.Join(dir, "bench.txt")
+		if err := persist.WriteSnapshotFile(persistBench.snapPath, g); err != nil {
+			persistBench.err = err
+			return
+		}
+		f, err := os.Create(persistBench.textPath)
+		if err != nil {
+			persistBench.err = err
+			return
+		}
+		if err := g.WriteEdgeList(f); err != nil {
+			persistBench.err = err
+			return
+		}
+		persistBench.err = f.Close()
+		persistBench.n, persistBench.m = g.N(), g.M()
+	})
+	if persistBench.err != nil {
+		b.Fatal(persistBench.err)
+	}
+	return persistBench.snapPath, persistBench.textPath, persistBench.n, persistBench.m
+}
+
+// BenchmarkPersistSnapshotLoad times a graphd cold start per graph: read
+// + checksum + CSR-validate the binary snapshot. Compare against
+// BenchmarkPersistEdgeListParse in BENCH_persist.json — the snapshot
+// path must win, since it skips tokenizing, sorting and merging.
+func BenchmarkPersistSnapshotLoad(b *testing.B) {
+	snapPath, _, n, m := persistBenchFiles(b)
+	if fi, err := os.Stat(snapPath); err == nil {
+		b.SetBytes(fi.Size())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := persist.ReadSnapshotFile(snapPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.N() != n || g.M() != m {
+			b.Fatalf("loaded n=%d m=%d, want n=%d m=%d", g.N(), g.M(), n, m)
+		}
+	}
+	b.Logf("persist: snapshot load of n=%d m=%d kronecker graph", n, m)
+}
+
+// BenchmarkPersistEdgeListParse times the legacy cold start: parse the
+// text edge list (tokenize every line, sort, merge, build CSR).
+func BenchmarkPersistEdgeListParse(b *testing.B) {
+	_, textPath, n, m := persistBenchFiles(b)
+	if fi, err := os.Stat(textPath); err == nil {
+		b.SetBytes(fi.Size())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := graph.ReadEdgeListFile(textPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.N() != n || g.M() != m {
+			b.Fatalf("parsed n=%d m=%d, want n=%d m=%d", g.N(), g.M(), n, m)
+		}
+	}
+	b.Logf("persist: edge-list parse of n=%d m=%d kronecker graph", n, m)
+}
+
+// BenchmarkPersistSnapshotWrite times sealing's durability cost: encode
+// + checksum + fsync + atomic rename of one snapshot.
+func BenchmarkPersistSnapshotWrite(b *testing.B) {
+	g := ncpBenchGraph(b)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := persist.WriteSnapshotFile(filepath.Join(dir, "w.gsnap"), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPersistWALAppend times the per-batch durability cost of the
+// streaming path: encode + checksum + fsync one 1000-edge record.
+func BenchmarkPersistWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	w, err := persist.CreateWAL(filepath.Join(dir, "w.wal"), 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	batch := make([]persist.Edge, 1000)
+	for i := range batch {
+		batch[i] = persist.Edge{U: i, V: i + 1, W: 1}
+	}
+	b.SetBytes(int64(len(batch) * 24))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.AppendBatch(batch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

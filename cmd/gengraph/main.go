@@ -1,9 +1,13 @@
 // Command gengraph generates any of the built-in graph families and
-// writes it as an edge list to stdout or a file.
+// writes it as an edge list to stdout or a file. An -out path ending in
+// ".gsnap" writes the binary CSR snapshot format instead, so expensive
+// generations are parsed once and reload in milliseconds (cmd/ncp,
+// cmd/partition and graphd -load all accept .gsnap inputs).
 //
 // Usage:
 //
 //	gengraph -family forestfire -n 20000 -seed 1 -out graph.txt
+//	gengraph -family forestfire -n 20000 -seed 1 -out graph.gsnap
 //	gengraph -family dumbbell -clique 10 -path 4
 //	gengraph -family chunglu -n 5000 -gamma 2.5
 //
@@ -17,9 +21,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/persist"
 )
 
 func main() {
@@ -40,7 +46,7 @@ func main() {
 		whisk   = flag.Int("whiskers", 20, "whisker count (whiskered)")
 		whiskL  = flag.Int("whiskerlen", 6, "whisker length (whiskered)")
 		seed    = flag.Int64("seed", 1, "RNG seed")
-		out     = flag.String("out", "", "output file (default stdout)")
+		out     = flag.String("out", "", "output file; a .gsnap suffix writes a binary snapshot (default stdout edge list)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -54,27 +60,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 		os.Exit(1)
 	}
-	w := os.Stdout
-	var file *os.File
-	if *out != "" {
-		file, err = os.Create(*out)
-		if err != nil {
+	if strings.HasSuffix(*out, persist.SnapshotExt) {
+		// Binary snapshot output: checksummed, written atomically
+		// (temp + rename), and loadable by every .gsnap-aware consumer.
+		if err := persist.WriteSnapshotFile(*out, g); err != nil {
 			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 			os.Exit(1)
 		}
-		w = file
-	}
-	if err := g.WriteEdgeList(w); err != nil {
-		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
-		os.Exit(1)
-	}
-	// Close the output file explicitly: an edge list that fails to flush
-	// must fail the command, not vanish silently as a deferred Close
-	// error would.
-	if file != nil {
-		if err := file.Close(); err != nil {
+	} else {
+		w := os.Stdout
+		var file *os.File
+		if *out != "" {
+			file, err = os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+				os.Exit(1)
+			}
+			w = file
+		}
+		if err := g.WriteEdgeList(w); err != nil {
 			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
 			os.Exit(1)
+		}
+		// Close the output file explicitly: an edge list that fails to
+		// flush must fail the command, not vanish silently as a deferred
+		// Close error would.
+		if file != nil {
+			if err := file.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d volume=%g connected=%v\n",

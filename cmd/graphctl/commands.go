@@ -21,6 +21,7 @@ var commands = map[string]command{
 	"health":       cmdHealth,
 	"metrics":      cmdMetrics,
 	"graphs":       cmdGraphs,
+	"graph":        cmdGraph,
 	"load":         cmdLoad,
 	"generate":     cmdGenerate,
 	"stream":       cmdStream,
@@ -127,6 +128,70 @@ func cmdGraphs(ctx context.Context, c *client.Client, args []string) error {
 			fmt.Printf("%-24s %-10s %10d %12d %14.0f\n", g.Name, g.State, g.Nodes, g.Edges, g.Volume)
 		}
 	})
+}
+
+// cmdGraph is the per-graph verb family: get (descriptive record incl.
+// persistence state), export (download the binary GSNAP snapshot) and
+// import (upload one), mirroring the job <verb> command shape.
+func cmdGraph(ctx context.Context, c *client.Client, args []string) error {
+	usage := "usage: graphctl graph <get|export|import> <name> [file|-]"
+	if len(args) < 2 {
+		return fmt.Errorf("%s", usage)
+	}
+	verb, g, rest := args[0], args[1], args[2:]
+	switch verb {
+	case "get":
+		info, err := c.Graphs.Get(ctx, g)
+		if err != nil {
+			return err
+		}
+		return emit(info, func() {
+			fmt.Printf("%s: state=%s n=%d m=%d vol=%.0f persistence=%s\n",
+				info.Name, info.State, info.Nodes, info.Edges, info.Volume, info.Persistence)
+		})
+	case "export":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: graphctl graph export <name> <file|->")
+		}
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if rest[0] != "-" {
+			var err error
+			if f, err = os.Create(rest[0]); err != nil {
+				return err
+			}
+			w = f
+		}
+		n, err := c.Graphs.Export(ctx, g, w)
+		if f != nil {
+			if cerr := f.Close(); err == nil && cerr != nil {
+				return cerr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if rest[0] != "-" && !asJSON {
+			fmt.Printf("exported %s: %d bytes to %s\n", g, n, rest[0])
+		}
+		return nil
+	case "import":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: graphctl graph import <name> <file|->")
+		}
+		rc, err := openArg(rest[0])
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		info, err := c.Graphs.Import(ctx, g, rc)
+		if err != nil {
+			return err
+		}
+		return emitGraphInfo(info, "imported")
+	default:
+		return fmt.Errorf("unknown graph verb %q (want get|export|import)\n%s", verb, usage)
+	}
 }
 
 func cmdLoad(ctx context.Context, c *client.Client, args []string) error {
@@ -637,8 +702,11 @@ func printTop(top []api.NodeMass, limit int) {
 
 func emitGraphInfo(info api.GraphInfo, verb string) error {
 	return emit(info, func() {
-		fmt.Printf("%s %s: state=%s n=%d m=%d vol=%.0f\n",
-			verb, info.Name, info.State, info.Nodes, info.Edges, info.Volume)
+		fmt.Printf("%s %s: state=%s n=%d m=%d vol=%.0f", verb, info.Name, info.State, info.Nodes, info.Edges, info.Volume)
+		if info.Persistence != "" {
+			fmt.Printf(" persistence=%s", info.Persistence)
+		}
+		fmt.Println()
 	})
 }
 

@@ -15,6 +15,9 @@
 //	graphctl edges inc batch.txt            # append edges (file or '-')
 //	graphctl seal inc                       # freeze into queryable form
 //	graphctl graphs                         # list graphs
+//	graphctl graph get demo                 # one record, incl. persistence
+//	graphctl graph export demo demo.gsnap   # download binary snapshot
+//	graphctl graph import copy demo.gsnap   # upload it as a new graph
 //	graphctl stats demo
 //	graphctl delete demo
 //
@@ -127,6 +130,9 @@ usage: graphctl [global flags] <command> [command flags] [args]
 
 graphs:
   graphs                         list stored graphs
+  graph get <name>               one graph's record (incl. persistence)
+  graph export <name> <file|->   download the binary .gsnap snapshot
+  graph import <name> <file|->   upload a .gsnap snapshot as a sealed graph
   load <name> <file>             upload an edge list (plain or .gz)
   generate <name> [flags]        synthesize a graph server-side
   stream <name> -nodes N         open an incremental graph

@@ -7,6 +7,7 @@
 //
 //	gengraph -family forestfire -n 20000 | ncp
 //	ncp -in graph.txt -method spectral -minsize 8 -maxsize 1024
+//	ncp -in graph.gsnap          # binary CSR snapshot, parsed-once input
 package main
 
 import (
@@ -15,13 +16,13 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/graph"
 	"repro/internal/ncp"
+	"repro/internal/persist"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input edge list (default stdin)")
+		in      = flag.String("in", "", "input graph: edge list (.gz ok) or .gsnap snapshot (default stdin)")
 		method  = flag.String("method", "both", "spectral|flow|both")
 		seeds   = flag.Int("seeds", 20, "spectral profile seeds per scale")
 		minSize = flag.Int("minsize", 8, "min cluster size for niceness evaluation")
@@ -31,7 +32,7 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := graph.ReadEdgeListFile(*in)
+	g, err := persist.ReadGraphFile(*in)
 	if err != nil {
 		fatal(err)
 	}

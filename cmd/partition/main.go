@@ -6,6 +6,7 @@
 //
 //	gengraph -family dumbbell -clique 12 -path 4 | partition -method all
 //	partition -in graph.txt -method metismqi
+//	partition -in graph.gsnap            # binary CSR snapshot input
 //
 // Methods: spectral, multilevel, metismqi, bfs, random, all.
 package main
@@ -16,20 +17,20 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/persist"
 	"repro/internal/spectral"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input edge list (default stdin)")
+		in     = flag.String("in", "", "input graph: edge list (.gz ok) or .gsnap snapshot (default stdin)")
 		method = flag.String("method", "all", "spectral|multilevel|metismqi|bfs|random|all")
 		seed   = flag.Int64("seed", 1, "RNG seed")
 	)
 	flag.Parse()
 
-	g, err := graph.ReadEdgeListFile(*in)
+	g, err := persist.ReadGraphFile(*in)
 	if err != nil {
 		fatal(err)
 	}

@@ -25,7 +25,8 @@ import (
 )
 
 func main() {
-	srv := service.NewServer(service.Config{JobWorkers: 2})
+	srv, err := service.NewServer(service.Config{JobWorkers: 2})
+	must(err)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

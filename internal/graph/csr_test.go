@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// buildTestGraph returns a small weighted graph with a known CSR.
+func buildTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 0.5)
+	b.AddWeightedEdge(0, 2, 1)
+	b.AddWeightedEdge(3, 4, 3)
+	b.AddWeightedEdge(0, 1, 1) // parallel, merges to 3
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	g := buildTestGraph(t)
+	rowPtr, adj, w := g.CSR()
+	// Copy: FromCSR takes ownership.
+	g2, err := FromCSR(
+		append([]int(nil), rowPtr...),
+		append([]int(nil), adj...),
+		append([]float64(nil), w...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, a2, w2 := g2.CSR()
+	if !reflect.DeepEqual(rowPtr, r2) || !reflect.DeepEqual(adj, a2) || !reflect.DeepEqual(w, w2) {
+		t.Fatal("CSR arrays changed through FromCSR")
+	}
+	if !reflect.DeepEqual(g.Degrees(), g2.Degrees()) {
+		t.Fatalf("degrees differ: %v vs %v", g.Degrees(), g2.Degrees())
+	}
+	if g.Volume() != g2.Volume() || g.N() != g2.N() || g.M() != g2.M() {
+		t.Fatalf("scalars differ: (%v,%d,%d) vs (%v,%d,%d)",
+			g.Volume(), g.N(), g.M(), g2.Volume(), g2.N(), g2.M())
+	}
+}
+
+func TestFromCSRRejectsInvalid(t *testing.T) {
+	cases := map[string]struct {
+		rowPtr []int
+		adj    []int
+		w      []float64
+	}{
+		"empty rowPtr":        {[]int{}, nil, nil},
+		"rowPtr not 0-based":  {[]int{1, 1}, nil, nil},
+		"rowPtr decreases":    {[]int{0, 2, 1, 2}, []int{1, 2}, []float64{1, 1}},
+		"rowPtr/adj mismatch": {[]int{0, 1}, []int{0, 0}, []float64{1, 1}},
+		"w length mismatch":   {[]int{0, 1, 2}, []int{1, 0}, []float64{1}},
+		"odd entries":         {[]int{0, 1}, []int{0}, []float64{1}},
+		"self-loop":           {[]int{0, 1, 2}, []int{0, 0}, []float64{1, 1}},
+		"neighbor range":      {[]int{0, 1, 2}, []int{5, 0}, []float64{1, 1}},
+		"row not sorted":      {[]int{0, 2, 3, 4, 5}, []int{2, 1, 0, 0, 0}, []float64{1, 1, 1, 1, 1}},
+		"duplicate neighbor":  {[]int{0, 2, 3, 3}, []int{1, 1, 0}, []float64{1, 1, 2}},
+		"zero weight":         {[]int{0, 1, 2}, []int{1, 0}, []float64{0, 0}},
+		"nan weight":          {[]int{0, 1, 2}, []int{1, 0}, []float64{math.NaN(), math.NaN()}},
+		"asymmetric weight":   {[]int{0, 1, 2}, []int{1, 0}, []float64{1, 2}},
+		"missing mirror":      {[]int{0, 1, 1, 2}, []int{1, 1}, []float64{1, 1}},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := FromCSR(c.rowPtr, c.adj, c.w); err == nil {
+				t.Fatalf("FromCSR accepted %s", name)
+			}
+		})
+	}
+}

@@ -104,6 +104,9 @@ func (b *Builder) Build() (*Graph, error) {
 			w += es[j].w
 			j++
 		}
+		if math.IsInf(w, 0) {
+			return nil, fmt.Errorf("graph: edge (%d,%d) merged weight overflows", es[i].u, es[i].v)
+		}
 		merged = append(merged, edge{es[i].u, es[i].v, w})
 		i = j
 	}
@@ -159,6 +162,86 @@ func (s *adjSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
 func (s *adjSorter) Swap(i, j int) {
 	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
 	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// CSR returns the graph's raw CSR arrays: rowPtr (length n+1), the
+// concatenated adjacency lists (length rowPtr[n] = 2m), and the parallel
+// edge weights. All three slices alias internal storage and must not be
+// modified. This is the encoding surface of the binary snapshot format
+// (internal/persist); FromCSR is its inverse.
+func (g *Graph) CSR() (rowPtr, adj []int, w []float64) {
+	return g.rowPtr, g.adj, g.w
+}
+
+// FromCSR rebuilds a Graph directly from CSR arrays, taking ownership of
+// the slices. It validates every structural invariant Build guarantees —
+// rowPtr monotone and anchored at 0, neighbor lists strictly ascending
+// (no self-loops, no duplicates), weights positive and finite, and exact
+// symmetry (every {u,v} present in both rows with bit-identical weight) —
+// so that a graph decoded from an untrusted snapshot is indistinguishable
+// from one assembled by Builder. Degrees are accumulated in row order,
+// which matches Build's edge order, so a Build → CSR → FromCSR round
+// trip reproduces the degree and volume floats bit-for-bit.
+func FromCSR(rowPtr, adj []int, w []float64) (*Graph, error) {
+	if len(rowPtr) < 1 {
+		return nil, fmt.Errorf("graph: FromCSR: rowPtr is empty")
+	}
+	n := len(rowPtr) - 1
+	if rowPtr[0] != 0 {
+		return nil, fmt.Errorf("graph: FromCSR: rowPtr[0] = %d, want 0", rowPtr[0])
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i+1] < rowPtr[i] {
+			return nil, fmt.Errorf("graph: FromCSR: rowPtr decreases at %d (%d -> %d)", i, rowPtr[i], rowPtr[i+1])
+		}
+	}
+	if rowPtr[n] != len(adj) {
+		return nil, fmt.Errorf("graph: FromCSR: rowPtr[n] = %d but len(adj) = %d", rowPtr[n], len(adj))
+	}
+	if len(w) != len(adj) {
+		return nil, fmt.Errorf("graph: FromCSR: len(w) = %d but len(adj) = %d", len(w), len(adj))
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: FromCSR: odd entry count %d cannot be symmetric", len(adj))
+	}
+	g := &Graph{n: n, rowPtr: rowPtr, adj: adj, w: w, deg: make([]float64, n), edges: len(adj) / 2}
+	pairs := 0
+	for u := 0; u < n; u++ {
+		prev := -1
+		for k := rowPtr[u]; k < rowPtr[u+1]; k++ {
+			v := adj[k]
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: FromCSR: neighbor %d of node %d out of range [0,%d)", v, u, n)
+			}
+			if v == u {
+				return nil, fmt.Errorf("graph: FromCSR: self-loop at node %d", u)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("graph: FromCSR: row %d not strictly ascending at entry %d", u, k-rowPtr[u])
+			}
+			prev = v
+			wt := w[k]
+			if wt <= 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+				return nil, fmt.Errorf("graph: FromCSR: edge (%d,%d) has invalid weight %v", u, v, wt)
+			}
+			g.deg[u] += wt
+			if u < v {
+				// Symmetry: the mirror entry must exist with the same bits.
+				mw, ok := g.HasEdge(v, u)
+				if !ok || mw != wt {
+					return nil, fmt.Errorf("graph: FromCSR: edge (%d,%d) weight %v has no symmetric mirror", u, v, wt)
+				}
+				pairs++
+			}
+		}
+	}
+	if 2*pairs != len(adj) {
+		return nil, fmt.Errorf("graph: FromCSR: %d upper-triangle edges cannot cover %d entries", pairs, len(adj))
+	}
+	for _, d := range g.deg {
+		g.volume += d
+	}
+	return g, nil
 }
 
 // N returns the number of nodes.

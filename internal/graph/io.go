@@ -78,6 +78,11 @@ func ReadEdgeListFile(path string) (*Graph, error) {
 	return g, nil
 }
 
+// MaxEdgeListNodes caps the node count an edge list may declare or
+// imply. Beyond it the CSR arrays could not be allocated anyway; failing
+// with an error keeps a hostile header from panicking the allocator.
+const MaxEdgeListNodes = 1 << 31
+
 // ReadEdgeList parses the format produced by WriteEdgeList, tolerating
 // the dialects found in the wild: blank lines and '#'- or '%'-prefixed
 // comment lines anywhere in the file (SNAP and Matrix-Market style),
@@ -108,6 +113,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 				if err != nil {
 					return nil, fmt.Errorf("graph: line %d %q: bad node count %q: %w", lineNo, line, fields[2], err)
 				}
+				if v > MaxEdgeListNodes {
+					return nil, fmt.Errorf("graph: line %d %q: node count %d exceeds limit %d", lineNo, line, v, MaxEdgeListNodes)
+				}
 				n = v
 			}
 			continue
@@ -133,6 +141,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graph: line %d %q: negative node id", lineNo, line)
+		}
+		if u >= MaxEdgeListNodes || v >= MaxEdgeListNodes {
+			return nil, fmt.Errorf("graph: line %d %q: node id exceeds limit %d", lineNo, line, MaxEdgeListNodes)
 		}
 		if u > maxID {
 			maxID = u

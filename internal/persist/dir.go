@@ -1,0 +1,159 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Counters are the persistence subsystem's monotonic event counts,
+// exported by graphd's /metrics endpoint.
+type Counters struct {
+	SnapshotsWritten atomic.Uint64
+	SnapshotsLoaded  atomic.Uint64
+	WALCreated       atomic.Uint64
+	WALAppends       atomic.Uint64
+	WALReplayed      atomic.Uint64
+	Quarantined      atomic.Uint64
+}
+
+// Dir manages graphd's data directory: one "<name>.gsnap" snapshot per
+// sealed graph, one "<name>.wal" log per streaming graph, and
+// "<file>.corrupt" quarantine renames for artifacts that fail
+// validation. Graph names are already restricted to [A-Za-z0-9._-] by
+// the store, so they embed into filenames verbatim.
+type Dir struct {
+	root     string
+	counters Counters
+}
+
+// QuarantineExt is the suffix appended to corrupt files set aside during
+// recovery.
+const QuarantineExt = ".corrupt"
+
+// OpenDir opens (creating if needed) a data directory.
+func OpenDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: data dir: %w", err)
+	}
+	return &Dir{root: root}, nil
+}
+
+// Root returns the directory path.
+func (d *Dir) Root() string { return d.root }
+
+// Counters exposes the live event counters.
+func (d *Dir) Counters() *Counters { return &d.counters }
+
+// SnapshotPath returns the snapshot file path for a graph name.
+func (d *Dir) SnapshotPath(name string) string {
+	return filepath.Join(d.root, name+SnapshotExt)
+}
+
+// WALPath returns the write-ahead-log file path for a graph name.
+func (d *Dir) WALPath(name string) string {
+	return filepath.Join(d.root, name+WALExt)
+}
+
+// SaveSnapshot atomically writes the graph's snapshot.
+func (d *Dir) SaveSnapshot(name string, g *graph.Graph) error {
+	if err := WriteSnapshotFile(d.SnapshotPath(name), g); err != nil {
+		return err
+	}
+	d.counters.SnapshotsWritten.Add(1)
+	return nil
+}
+
+// LoadSnapshot reads and validates the graph's snapshot.
+func (d *Dir) LoadSnapshot(name string) (*graph.Graph, error) {
+	g, err := ReadSnapshotFile(d.SnapshotPath(name))
+	if err != nil {
+		return nil, err
+	}
+	d.counters.SnapshotsLoaded.Add(1)
+	return g, nil
+}
+
+// CreateWAL opens a fresh write-ahead log for a streaming graph.
+func (d *Dir) CreateWAL(name string, nodes int) (*WAL, error) {
+	w, err := CreateWAL(d.WALPath(name), nodes)
+	if err != nil {
+		return nil, err
+	}
+	d.counters.WALCreated.Add(1)
+	return w, nil
+}
+
+// OpenWAL reopens and replays a graph's write-ahead log.
+func (d *Dir) OpenWAL(name string) (*WAL, int, [][]Edge, error) {
+	w, nodes, batches, err := OpenWAL(d.WALPath(name))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	d.counters.WALReplayed.Add(1)
+	return w, nodes, batches, nil
+}
+
+// Remove deletes the graph's on-disk artifacts (snapshot and WAL).
+// Missing files are not an error.
+func (d *Dir) Remove(name string) error {
+	var firstErr error
+	for _, p := range []string{d.SnapshotPath(name), d.WALPath(name)} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = fmt.Errorf("persist: remove %s: %w", p, err)
+		}
+	}
+	return firstErr
+}
+
+// Quarantine renames a corrupt file aside (to "<path>.corrupt",
+// uniquified when a previous quarantine already claimed that name) so
+// boot can proceed while the bytes stay available for inspection. It
+// returns the quarantine path.
+func (d *Dir) Quarantine(path string) (string, error) {
+	dst := path + QuarantineExt
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s%s.%d", path, QuarantineExt, i)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("persist: quarantine %s: %w", path, err)
+	}
+	d.counters.Quarantined.Add(1)
+	syncDir(d.root)
+	return dst, nil
+}
+
+// Scan lists the graph names that have a snapshot and the names that
+// have a write-ahead log, each sorted. Quarantined ("….corrupt[.N]")
+// and temporary ("….tmp-N") files never end in the live extensions, so
+// the suffix match alone excludes them — and graph names that merely
+// contain such substrings (e.g. "run.tmp-1") are still recovered.
+func (d *Dir) Scan() (snapshots, wals []string, err error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: scan data dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, SnapshotExt):
+			snapshots = append(snapshots, strings.TrimSuffix(name, SnapshotExt))
+		case strings.HasSuffix(name, WALExt):
+			wals = append(wals, strings.TrimSuffix(name, WALExt))
+		}
+	}
+	sort.Strings(snapshots)
+	sort.Strings(wals)
+	return snapshots, wals, nil
+}

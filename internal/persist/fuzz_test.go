@@ -1,0 +1,58 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// FuzzReadSnapshot drives the snapshot decoder with arbitrary bytes: it
+// must never panic, and anything it accepts must be a structurally valid
+// graph that re-encodes to the exact same bytes (the format has one
+// canonical encoding per graph).
+func FuzzReadSnapshot(f *testing.F) {
+	seed := func(g *graph.Graph) []byte {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	empty, err := graph.NewBuilder(3).Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	wb := graph.NewBuilder(5)
+	wb.AddWeightedEdge(0, 4, 2.25)
+	wb.AddWeightedEdge(1, 4, 0.5)
+	weighted, err := wb.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed(gen.RingOfCliques(3, 4)))
+	f.Add(seed(empty))
+	f.Add(seed(weighted))
+	f.Add([]byte("GSNAP\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		g, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to re-encode: %v", err)
+		}
+		// The canonical re-encoding must match the accepted prefix of
+		// the input (trailing garbage after a complete snapshot is the
+		// one liberty the reader takes, since it consumes a stream).
+		if len(data) < buf.Len() || !bytes.Equal(data[:buf.Len()], buf.Bytes()) {
+			t.Fatalf("accepted bytes are not the canonical encoding of the decoded graph")
+		}
+	})
+}

@@ -1,0 +1,370 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// testGraphs builds a spread of shapes: structured, random, weighted
+// (parallel edges merged into non-integer weights), a graph with
+// isolated nodes, a single-edge graph, and an empty graph.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	er, err := gen.ErdosRenyi(200, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := gen.ForestFire(gen.ForestFireConfig{N: 500, FwdProb: 0.35, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := graph.NewBuilder(10)
+	for i := 0; i < 40; i++ {
+		u, v := rng.Intn(10), rng.Intn(10)
+		wb.AddWeightedEdge(u, v, 0.1+rng.Float64())
+	}
+	weighted, err := wb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib := graph.NewBuilder(6)
+	ib.AddEdge(0, 3) // nodes 1,2,4,5 isolated
+	isolated, err := ib.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := graph.NewBuilder(4)
+	empty, err := eb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"ring":     gen.RingOfCliques(6, 5),
+		"er":       er,
+		"ff":       ff,
+		"weighted": weighted,
+		"isolated": isolated,
+		"empty":    empty,
+	}
+}
+
+// assertSameCSR asserts that two graphs are bit-identical: CSR arrays,
+// degrees, volume, node and edge counts.
+func assertSameCSR(t *testing.T, want, got *graph.Graph) {
+	t.Helper()
+	if want.N() != got.N() || want.M() != got.M() {
+		t.Fatalf("shape mismatch: want n=%d m=%d, got n=%d m=%d", want.N(), want.M(), got.N(), got.M())
+	}
+	wr, wa, ww := want.CSR()
+	gr, ga, gw := got.CSR()
+	if !reflect.DeepEqual(wr, gr) {
+		t.Fatalf("rowPtr differs")
+	}
+	if !reflect.DeepEqual(wa, ga) {
+		t.Fatalf("adjacency differs")
+	}
+	if !reflect.DeepEqual(ww, gw) {
+		t.Fatalf("weights differ")
+	}
+	if !reflect.DeepEqual(want.Degrees(), got.Degrees()) {
+		t.Fatalf("degrees differ")
+	}
+	if want.Volume() != got.Volume() {
+		t.Fatalf("volume differs: %v vs %v", want.Volume(), got.Volume())
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameCSR(t, g, got)
+		})
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraphs(t)["weighted"]
+	path := filepath.Join(dir, "g.gsnap")
+	if err := WriteSnapshotFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCSR(t, g, got)
+	// No temp litter after the atomic rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly the snapshot file, found %d entries", len(entries))
+	}
+	// ReadGraphFile dispatches on the extension.
+	auto, err := ReadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCSR(t, g, auto)
+}
+
+// TestSnapshotEveryPrefixFails asserts the truncation property: no
+// proper prefix of a valid snapshot decodes successfully (and none
+// panics).
+func TestSnapshotEveryPrefixFails(t *testing.T) {
+	g := gen.RingOfCliques(3, 4)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := 0; i < len(data); i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(data[:i])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", i, len(data))
+		}
+	}
+}
+
+// TestSnapshotEveryByteFlipFails asserts the checksum property: any
+// single-bit corruption anywhere in the file is detected.
+func TestSnapshotEveryByteFlipFails(t *testing.T) {
+	g := gen.RingOfCliques(3, 4)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			if _, err := ReadSnapshot(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestWALRoundTripAndSealEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.wal")
+	const nodes = 50
+	w, err := CreateWAL(path, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var logged [][]Edge
+	for b := 0; b < 7; b++ {
+		batch := make([]Edge, 0, 20)
+		for i := 0; i < 20; i++ {
+			batch = append(batch, Edge{U: rng.Intn(nodes), V: rng.Intn(nodes), W: 0.5 + rng.Float64()})
+		}
+		if err := w.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		logged = append(logged, batch)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op, got %v", err)
+	}
+
+	w2, gotNodes, batches, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNodes != nodes {
+		t.Fatalf("replayed node count %d, want %d", gotNodes, nodes)
+	}
+	if !reflect.DeepEqual(batches, logged) {
+		t.Fatalf("replayed batches differ from logged batches")
+	}
+
+	// Replay → seal reproduces the CSR the direct build produces.
+	direct := graph.NewBuilder(nodes)
+	replayed := graph.NewBuilder(nodes)
+	for _, batch := range logged {
+		for _, e := range batch {
+			direct.AddWeightedEdge(e.U, e.V, e.W)
+		}
+	}
+	for _, batch := range batches {
+		for _, e := range batch {
+			replayed.AddWeightedEdge(e.U, e.V, e.W)
+		}
+	}
+	dg, err := direct.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := replayed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCSR(t, dg, rg)
+
+	// The reopened WAL keeps accepting durable appends.
+	extra := []Edge{{U: 1, V: 2, W: 1}}
+	if err := w2.AppendBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, batches3, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches3) != len(logged)+1 || !reflect.DeepEqual(batches3[len(batches3)-1], extra) {
+		t.Fatalf("append after replay not recovered")
+	}
+}
+
+// walFixture writes a small valid WAL and returns its bytes.
+func walFixture(t *testing.T) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.wal")
+	w, err := CreateWAL(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]Edge{{0, 1, 1}, {1, 2, 2.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]Edge{{2, 3, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestWALAnomaliesFailOpen(t *testing.T) {
+	valid := walFixture(t)
+	cases := map[string]func([]byte) []byte{
+		"torn final record": func(b []byte) []byte { return b[:len(b)-5] },
+		"torn record header": func(b []byte) []byte {
+			return b[:len(b)-28] // final record is 8+24 bytes; leave 4 header bytes
+		},
+		"flipped payload byte": func(b []byte) []byte {
+			mut := append([]byte(nil), b...)
+			mut[len(mut)-1] ^= 0x40
+			return mut
+		},
+		"bad magic": func(b []byte) []byte {
+			mut := append([]byte(nil), b...)
+			mut[0] = 'X'
+			return mut
+		},
+		"bad header checksum": func(b []byte) []byte {
+			mut := append([]byte(nil), b...)
+			mut[16] ^= 0xff
+			return mut
+		},
+		"empty file": func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "g.wal")
+			if err := os.WriteFile(path, corrupt(valid), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, _, err := OpenWAL(path); err == nil {
+				t.Fatalf("OpenWAL accepted a %s", name)
+			}
+		})
+	}
+	// And the unmodified fixture still opens.
+	path := filepath.Join(t.TempDir(), "g.wal")
+	if err := os.WriteFile(path, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, _, batches, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("valid WAL rejected: %v", err)
+	}
+	w.Close()
+	if len(batches) != 2 {
+		t.Fatalf("want 2 batches, got %d", len(batches))
+	}
+}
+
+func TestDirQuarantineAndScan(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.RingOfCliques(3, 3)
+	if err := d.SaveSnapshot("a", g); err != nil {
+		t.Fatal(err)
+	}
+	w, err := d.CreateWAL("b", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	snaps, wals, err := d.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snaps, []string{"a"}) || !reflect.DeepEqual(wals, []string{"b"}) {
+		t.Fatalf("scan: snaps=%v wals=%v", snaps, wals)
+	}
+	q1, err := d.Quarantine(d.SnapshotPath("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(q1, QuarantineExt) {
+		t.Fatalf("quarantine path %q missing %s", q1, QuarantineExt)
+	}
+	// A second quarantine of the same logical name must not clobber the
+	// first.
+	if err := d.SaveSnapshot("a", g); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := d.Quarantine(d.SnapshotPath("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 == q2 {
+		t.Fatalf("second quarantine reused path %q", q1)
+	}
+	snaps, wals, err = d.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 0 || !reflect.DeepEqual(wals, []string{"b"}) {
+		t.Fatalf("post-quarantine scan: snaps=%v wals=%v", snaps, wals)
+	}
+	if got := d.Counters().Quarantined.Load(); got != 2 {
+		t.Fatalf("quarantine counter = %d, want 2", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/graph"
+	"repro/internal/persist"
 	"repro/pkg/api"
 )
 
@@ -35,7 +36,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WriteTo(w, s.cache, s.jobs)
+	s.metrics.WriteTo(w, s.cache, s.jobs, s.store.PersistCounters())
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
@@ -71,19 +72,61 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, storeErrf(ErrBadInput, "%v", err))
 		return
 	}
-	if err := s.store.Put(name, g); err != nil {
+	info, err := s.store.Put(name, g)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, sealedInfo(name, g))
+	writeJSON(w, http.StatusCreated, info)
 }
 
-// sealedInfo is the GraphInfo for a freshly sealed graph.
-func sealedInfo(name string, g *graph.Graph) api.GraphInfo {
-	return api.GraphInfo{
-		Name: name, State: api.GraphSealed, Sealed: true,
-		Nodes: g.N(), Edges: g.M(), Volume: g.Volume(),
+// handleGetGraph reports one graph's descriptive record (state, sizes,
+// persistence), for sealed and streaming graphs alike.
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Info(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleExportSnapshot streams the sealed graph as a binary GSNAP
+// snapshot (application/octet-stream), encoded directly from the
+// in-memory CSR — export works whether or not the server runs with a
+// data directory.
+func (s *Server) handleExportSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, _, err := s.store.Get(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name+persist.SnapshotExt))
+	if err := persist.WriteSnapshot(w, g); err != nil {
+		// Headers are out; all we can do is cut the response short so
+		// the client sees a truncated (and checksum-failing) stream.
+		s.logOp("graphd: exporting snapshot of %q: %v", name, err)
+	}
+}
+
+// handleImportSnapshot registers a sealed graph from an uploaded GSNAP
+// snapshot. The body is capped by the MaxBytes middleware and fully
+// validated (checksums + CSR invariants) before the graph is stored.
+func (s *Server) handleImportSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, err := persist.ReadSnapshot(r.Body)
+	if err != nil {
+		writeError(w, storeErrf(ErrBadInput, "%v", err))
+		return
+	}
+	info, err := s.store.Put(name, g)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
@@ -104,11 +147,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.store.Put(r.PathValue("name"), g); err != nil {
+	info, err := s.store.Put(r.PathValue("name"), g)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, sealedInfo(r.PathValue("name"), g))
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
@@ -117,13 +161,12 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	if err := s.store.BeginStream(name, req.Nodes); err != nil {
+	info, err := s.store.BeginStream(name, req.Nodes)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, api.GraphInfo{
-		Name: name, State: api.GraphStreaming, Nodes: req.Nodes,
-	})
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
@@ -139,13 +182,12 @@ func (s *Server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	g, err := s.store.Seal(name)
+	info, err := s.store.Seal(r.PathValue("name"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sealedInfo(name, g))
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

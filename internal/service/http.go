@@ -45,6 +45,10 @@ func toAPIError(err error) *api.Error {
 			return api.Errorf(api.CodeNotFound, "%s", se.Msg)
 		case ErrConflict:
 			return api.Errorf(api.CodeConflict, "%s", se.Msg)
+		case ErrInternal:
+			return api.Errorf(api.CodeInternal, "%s", se.Msg)
+		case ErrUnavailable:
+			return api.Errorf(api.CodeUnavailable, "%s", se.Msg)
 		default:
 			return api.Errorf(api.CodeInvalidArgument, "%s", se.Msg)
 		}

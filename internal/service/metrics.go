@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/persist"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning
@@ -79,8 +81,9 @@ func (m *Metrics) ObserveJob(jobType string, dur time.Duration) {
 }
 
 // WriteTo renders the registry in Prometheus text exposition format,
-// merging in the live cache and job-queue gauges.
-func (m *Metrics) WriteTo(w io.Writer, cache *LRUCache, jobs *JobManager) {
+// merging in the live cache and job-queue gauges and — when the store
+// is durable — the persistence event counters.
+func (m *Metrics) WriteTo(w io.Writer, cache *LRUCache, jobs *JobManager, pc *persist.Counters) {
 	m.mu.Lock()
 	reqKeys := sortedKeys(m.requests)
 	fmt.Fprintln(w, "# TYPE graphd_requests_total counter")
@@ -105,6 +108,23 @@ func (m *Metrics) WriteTo(w io.Writer, cache *LRUCache, jobs *JobManager) {
 		fmt.Fprintf(w, "graphd_cache_evictions_total %d\n", evictions)
 		fmt.Fprintln(w, "# TYPE graphd_cache_entries gauge")
 		fmt.Fprintf(w, "graphd_cache_entries %d\n", cache.Len())
+	}
+	if pc != nil {
+		persistCounters := []struct {
+			name string
+			v    uint64
+		}{
+			{"graphd_persist_snapshots_written_total", pc.SnapshotsWritten.Load()},
+			{"graphd_persist_snapshots_loaded_total", pc.SnapshotsLoaded.Load()},
+			{"graphd_persist_wal_created_total", pc.WALCreated.Load()},
+			{"graphd_persist_wal_appends_total", pc.WALAppends.Load()},
+			{"graphd_persist_wal_replayed_total", pc.WALReplayed.Load()},
+			{"graphd_persist_quarantined_files_total", pc.Quarantined.Load()},
+		}
+		for _, c := range persistCounters {
+			fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+			fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+		}
 	}
 	if jobs != nil {
 		queued, running, done := jobs.Depths()

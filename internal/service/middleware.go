@@ -4,6 +4,7 @@ import (
 	"context"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -24,11 +25,18 @@ func chain(h http.Handler, mws ...middleware) http.Handler {
 
 // withMaxBytes caps every request body at the configured limit. JSON
 // decoding and edge-list ingestion both read through this cap, so no
-// handler needs its own wrapping.
+// handler needs its own wrapping. Binary snapshot imports get the same
+// 4x headroom the gzip-decompression cap uses: a GSNAP encoding is a
+// few times larger than the text edge list of the same graph, and an
+// export must remain importable under the default config.
 func (s *Server) withMaxBytes(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+			limit := s.cfg.MaxBodyBytes
+			if r.Method == http.MethodPut && strings.HasSuffix(r.URL.Path, "/snapshot") {
+				limit = 4 * s.cfg.MaxBodyBytes
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
 		next.ServeHTTP(w, r)
 	})

@@ -26,6 +26,14 @@ type Config struct {
 	// AccessLog receives one line per served request; nil disables
 	// access logging.
 	AccessLog *log.Logger
+	// DataDir, when set, makes the graph store durable: sealed graphs
+	// persist as binary CSR snapshots, streaming graphs as write-ahead
+	// logs, and boot recovers both (quarantining corrupt files).
+	// Empty keeps the store in-memory only.
+	DataDir string
+	// OpLog receives operational log lines (recovery, quarantine,
+	// persistence failures). Nil uses the process-default logger.
+	OpLog *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -62,11 +70,29 @@ type Server struct {
 }
 
 // NewServer assembles a Server with the default job types registered.
-func NewServer(cfg Config) *Server {
+// When cfg.DataDir is set, the store is opened durable and boot-time
+// recovery runs before the server is returned; recovery quarantines
+// corrupt files rather than failing, so the only errors here are
+// directory-level (unreadable/uncreatable data dir).
+func NewServer(cfg Config) (*Server, error) {
 	c := cfg.withDefaults()
+	var store *GraphStore
+	if c.DataDir != "" {
+		logf := log.Printf
+		if c.OpLog != nil {
+			logf = c.OpLog.Printf
+		}
+		var err error
+		store, err = NewPersistentGraphStore(c.DataDir, logf)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = NewGraphStore()
+	}
 	s := &Server{
 		cfg:     c,
-		store:   NewGraphStore(),
+		store:   store,
 		cache:   NewLRUCache(c.CacheEntries),
 		metrics: NewMetrics(),
 		started: time.Now(),
@@ -79,7 +105,17 @@ func NewServer(cfg Config) *Server {
 		s.withMaxBytes,
 		s.withDeadline,
 	)
-	return s
+	return s, nil
+}
+
+// logOp writes one operational log line (to cfg.OpLog, defaulting to
+// the process logger).
+func (s *Server) logOp(format string, args ...any) {
+	if s.cfg.OpLog != nil {
+		s.cfg.OpLog.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Store exposes the graph registry, e.g. for preloading graphs at boot.
@@ -91,8 +127,15 @@ func (s *Server) Jobs() *JobManager { return s.jobs }
 // Handler returns the fully-wired HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Close cancels running jobs and stops the worker pool.
-func (s *Server) Close() { s.jobs.Close() }
+// Close cancels running jobs, stops the worker pool, and flushes and
+// closes every open write-ahead log so a clean shutdown leaves no
+// dangling file handles and a restart replays to the identical state.
+func (s *Server) Close() {
+	s.jobs.Close()
+	if err := s.store.Close(); err != nil {
+		log.Printf("graphd: closing graph store: %v", err)
+	}
+}
 
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -100,8 +143,11 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("POST /v1/graphs/{name}", s.handleLoadGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("GET /v1/graphs/{name}/snapshot", s.handleExportSnapshot)
+	mux.HandleFunc("PUT /v1/graphs/{name}/snapshot", s.handleImportSnapshot)
 	mux.HandleFunc("POST /v1/graphs/{name}/generate", s.handleGenerate)
 	mux.HandleFunc("POST /v1/graphs/{name}/stream", s.handleStreamCreate)
 	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleAppendEdges)

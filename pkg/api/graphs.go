@@ -12,8 +12,23 @@ const (
 	GraphSealed GraphState = "sealed"
 )
 
+// GraphPersistence describes how a stored graph is held on disk.
+type GraphPersistence string
+
+const (
+	// PersistNone: the graph lives only in memory (no -data-dir, or the
+	// server predates durability). A restart loses it.
+	PersistNone GraphPersistence = "none"
+	// PersistSnapshot: the sealed graph has a durable binary CSR
+	// snapshot; a restart reloads it.
+	PersistSnapshot GraphPersistence = "snapshot"
+	// PersistWAL: the streaming graph's edge batches are in a durable
+	// write-ahead log; a restart replays them back into streaming state.
+	PersistWAL GraphPersistence = "wal"
+)
+
 // GraphInfo describes one stored graph; returned by the load, generate,
-// seal and list endpoints.
+// stream, seal, import, get and list endpoints.
 type GraphInfo struct {
 	Name   string     `json:"name"`
 	State  GraphState `json:"state"`
@@ -21,6 +36,9 @@ type GraphInfo struct {
 	Nodes  int        `json:"nodes"`
 	Edges  int        `json:"edges"`
 	Volume float64    `json:"volume,omitempty"`
+	// Persistence reports the graph's durability: "none", "snapshot" or
+	// "wal".
+	Persistence GraphPersistence `json:"persistence,omitempty"`
 }
 
 // GraphList is the reply of GET /v1/graphs.

@@ -242,6 +242,46 @@ func (c *Client) doRaw(ctx context.Context, method, path string, q url.Values, b
 	return nil, nil, lastErr
 }
 
+// doStream performs a GET with the usual connection-error/5xx retry
+// policy but hands back the undecoded response body for the caller to
+// stream, so large downloads (snapshot export) never buffer in memory.
+// The caller must Close the returned body.
+func (c *Client) doStream(ctx context.Context, path string) (io.ReadCloser, error) {
+	u := c.baseURL + path
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, fmt.Errorf("client: GET %s: %w", path, err)
+		}
+		resp, err := c.httpClient.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: GET %s: %w", path, err)
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			apiErr := decodeError(resp.StatusCode, data)
+			if resp.StatusCode >= 500 {
+				lastErr = apiErr
+				continue
+			}
+			return nil, apiErr
+		}
+		return resp.Body, nil
+	}
+	return nil, lastErr
+}
+
 // sleep blocks for the attempt's backoff delay or until ctx is done.
 func (c *Client) sleep(ctx context.Context, attempt int) error {
 	d := c.backoff << (attempt - 1)

@@ -78,6 +78,76 @@ func (s *GraphsService) upload(ctx context.Context, name string, data []byte, co
 	return info, nil
 }
 
+// Get returns the descriptive record (state, sizes, persistence) for
+// one graph, sealed or streaming.
+func (s *GraphsService) Get(ctx context.Context, name string) (api.GraphInfo, error) {
+	var out api.GraphInfo
+	err := s.c.doJSON(ctx, http.MethodGet, v1("graphs", name), nil, nil, &out)
+	return out, err
+}
+
+// Export downloads the sealed graph as a binary GSNAP snapshot
+// (application/octet-stream), streaming it into w without buffering
+// the whole file, and returns the byte count. The snapshot is the
+// exact CSR of the stored graph; importing it (here or on another
+// server) reproduces the graph bit-for-bit. A download cut short by a
+// failure mid-stream returns an error, and a partial file never
+// imports: every section is checksummed.
+func (s *GraphsService) Export(ctx context.Context, name string, w io.Writer) (int64, error) {
+	body, err := s.c.doStream(ctx, v1("graphs", name, "snapshot"))
+	if err != nil {
+		return 0, err
+	}
+	defer body.Close()
+	n, err := io.Copy(w, body)
+	if err != nil {
+		return n, fmt.Errorf("client: downloading snapshot: %w", err)
+	}
+	return n, nil
+}
+
+// ExportFile downloads the sealed graph's snapshot to path.
+func (s *GraphsService) ExportFile(ctx context.Context, name, path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("client: %w", err)
+	}
+	n, err := s.Export(ctx, name, f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("client: closing %s: %w", path, cerr)
+	}
+	return n, err
+}
+
+// Import uploads a GSNAP snapshot and registers it as a sealed graph
+// named name. The server validates the checksums and CSR invariants
+// before storing anything.
+func (s *GraphsService) Import(ctx context.Context, name string, snapshot io.Reader) (api.GraphInfo, error) {
+	data, err := io.ReadAll(snapshot)
+	if err != nil {
+		return api.GraphInfo{}, fmt.Errorf("client: reading snapshot: %w", err)
+	}
+	body, _, err := s.c.doRaw(ctx, http.MethodPut, v1("graphs", name, "snapshot"), nil, data, "application/octet-stream")
+	if err != nil {
+		return api.GraphInfo{}, err
+	}
+	var info api.GraphInfo
+	if err := unmarshalInto(body, &info); err != nil {
+		return api.GraphInfo{}, err
+	}
+	return info, nil
+}
+
+// ImportFile uploads the snapshot file at path as a sealed graph.
+func (s *GraphsService) ImportFile(ctx context.Context, name, path string) (api.GraphInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return api.GraphInfo{}, fmt.Errorf("client: %w", err)
+	}
+	defer f.Close()
+	return s.Import(ctx, name, f)
+}
+
 // Generate asks the server to synthesize a graph named name from one of
 // the generator families.
 func (s *GraphsService) Generate(ctx context.Context, name string, req api.GenerateRequest) (api.GraphInfo, error) {
