@@ -27,12 +27,16 @@ graphd:
 # trajectory accumulates a machine-readable record per commit. The
 # persistence slice of the same run (binary snapshot load vs text
 # edge-list parse, snapshot write, WAL append fsync cost) is filtered
-# into BENCH_persist.json — one execution, two records. Use
-# BENCHTIME=5s for a statistically meaningful local run.
+# into BENCH_persist.json, and the diffusion-kernel slice (map vs
+# indexed push/Nibble/heat kernel, graphd ppr steady state) into
+# BENCH_kernel.json — one execution, three records. Use BENCHTIME=5s
+# for a statistically meaningful local run.
 BENCHTIME ?= 1x
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -json . > BENCH_ncp.json
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json . > BENCH_ncp.json
 	@grep -c '"Action":"output"' BENCH_ncp.json >/dev/null && \
 	  echo "wrote BENCH_ncp.json ($$(wc -c < BENCH_ncp.json) bytes)"
 	@grep '"Test":"BenchmarkPersist' BENCH_ncp.json > BENCH_persist.json && \
 	  echo "wrote BENCH_persist.json ($$(wc -c < BENCH_persist.json) bytes)"
+	@grep -E '"Test":"Benchmark(Push(Map|Indexed)|Nibble|HeatKernel|GraphdPPRSteadyState)' BENCH_ncp.json > BENCH_kernel.json && \
+	  echo "wrote BENCH_kernel.json ($$(wc -c < BENCH_kernel.json) bytes)"

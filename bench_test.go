@@ -10,10 +10,13 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -22,6 +25,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/linsolve"
 	"repro/internal/local"
 	"repro/internal/ncp"
@@ -29,6 +33,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/rank"
 	"repro/internal/regsdp"
+	"repro/internal/service"
 	"repro/internal/spectral"
 	"repro/internal/stream"
 	"repro/internal/vec"
@@ -831,4 +836,240 @@ func median(xs []float64) float64 {
 		return s[len(s)/2]
 	}
 	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// ---- kernel: indexed sparse workspaces vs the legacy map vectors ----
+
+// benchPushMap is the pre-kernel map-based ACL push, kept verbatim as
+// the allocation/latency baseline for BenchmarkPushMap (the kernel
+// engine is required to reproduce it bit for bit; the parity tests in
+// internal/local assert that). Twin copy: mapPush in
+// internal/local/parity_test.go is the same legacy code serving as the
+// correctness oracle — change both together.
+func benchPushMap(g *graph.Graph, seeds []int, alpha, eps float64) (local.SparseVec, int) {
+	p := make(local.SparseVec)
+	r := make(local.SparseVec)
+	w := 1 / float64(len(seeds))
+	for _, u := range seeds {
+		r[u] += w
+	}
+	queue := append([]int(nil), r.Support()...)
+	inQueue := make(map[int]bool)
+	for _, u := range queue {
+		inQueue[u] = true
+	}
+	pushes := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		du := g.Degree(u)
+		if du == 0 {
+			p[u] += r[u]
+			delete(r, u)
+			continue
+		}
+		if r[u] < eps*du {
+			continue
+		}
+		ru := r[u]
+		p[u] += alpha * ru
+		keep := (1 - alpha) * ru / 2
+		r[u] = keep
+		if keep >= eps*du && !inQueue[u] {
+			queue = append(queue, u)
+			inQueue[u] = true
+		}
+		spread := (1 - alpha) * ru / 2
+		nbrs, ws := g.Neighbors(u)
+		for i, v := range nbrs {
+			r[v] += spread * ws[i] / du
+			if r[v] >= eps*g.Degree(v) && !inQueue[v] {
+				queue = append(queue, v)
+				inQueue[v] = true
+			}
+		}
+		pushes++
+	}
+	return p, pushes
+}
+
+// benchWalkMap is one legacy map-based lazy-walk step + truncation with
+// iteration pinned to sorted order, the baseline step shared by the
+// Nibble and heat-kernel map baselines below. Twin copy: mapWalkStep in
+// internal/local/parity_test.go — change both together.
+func benchWalkMap(g *graph.Graph, q local.SparseVec, eps float64) local.SparseVec {
+	keys := q.Support()
+	next := make(local.SparseVec, len(q)*2)
+	for _, u := range keys {
+		mass := q[u]
+		du := g.Degree(u)
+		if du == 0 {
+			next[u] += mass
+			continue
+		}
+		next[u] += mass / 2
+		nbrs, ws := g.Neighbors(u)
+		for i, v := range nbrs {
+			next[v] += mass / 2 * ws[i] / du
+		}
+	}
+	for u, mass := range next {
+		if mass < eps*g.Degree(u) {
+			delete(next, u)
+		}
+	}
+	return next
+}
+
+// BenchmarkPushMap measures the legacy map-based ACL push on the
+// ≥100k-edge Kronecker graph: one hash probe plus amortized map growth
+// per touched node, every run from a cold sparse vector.
+func BenchmarkPushMap(b *testing.B) {
+	g := ncpBenchGraph(b)
+	seed := []int{g.N() / 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var support int
+	for i := 0; i < b.N; i++ {
+		p, _ := benchPushMap(g, seed, 0.1, 1e-4)
+		support = len(p)
+	}
+	b.Logf("kernel: map push support %d on n=%d m=%d", support, g.N(), g.M())
+}
+
+// BenchmarkPushIndexed measures the same push on the kernel's pooled
+// indexed workspace — the steady-state configuration every layer
+// (ncp, stream, graphd) now runs: dense epoch-stamped scratch, reset in
+// O(touched), no allocation in the inner loop. The acceptance bar is
+// ≥2x fewer allocs/op and lower ns/op than BenchmarkPushMap.
+func BenchmarkPushIndexed(b *testing.B) {
+	g := ncpBenchGraph(b)
+	seed := []int{g.N() / 2}
+	pool := kernel.NewPool(g.N())
+	pool.Put(pool.Get()) // pre-warm one workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	var support int
+	for i := 0; i < b.N; i++ {
+		ws := pool.Get()
+		if _, err := (kernel.PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(g, ws, seed); err != nil {
+			b.Fatal(err)
+		}
+		support = ws.PSupport()
+		pool.Put(ws)
+	}
+	b.Logf("kernel: indexed push support %d on n=%d m=%d", support, g.N(), g.M())
+}
+
+// BenchmarkNibble compares the truncated-walk engine on its two sparse
+// representations: the legacy per-step maps against the kernel
+// workspace.
+func BenchmarkNibble(b *testing.B) {
+	g := ncpBenchGraph(b)
+	seeds := []int{g.N() / 2}
+	const eps, steps = 1e-5, 25
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := local.SparseVec{seeds[0]: 1}
+			for s := 0; s < steps && len(q) > 0; s++ {
+				q = benchWalkMap(g, q, eps)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		pool := kernel.NewPool(g.N())
+		pool.Put(pool.Get())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ws := pool.Get()
+			if _, err := (kernel.NibbleWalk{Eps: eps, Steps: steps}).Diffuse(g, ws, seeds); err != nil {
+				b.Fatal(err)
+			}
+			pool.Put(ws)
+		}
+	})
+}
+
+// BenchmarkHeatKernel compares the truncated Taylor heat-kernel engine
+// on maps vs the kernel workspace.
+func BenchmarkHeatKernel(b *testing.B) {
+	g := ncpBenchGraph(b)
+	seeds := []int{g.N() / 2}
+	const tVal, eps = 5.0, 1e-5
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur := local.SparseVec{seeds[0]: 1}
+			out := local.SparseVec{seeds[0]: math.Exp(-tVal)}
+			weight := math.Exp(-tVal)
+			for kk := 1; kk <= 40 && len(cur) > 0; kk++ {
+				cur = benchWalkMap(g, cur, eps)
+				weight *= tVal / float64(kk)
+				for _, u := range cur.Support() {
+					out[u] += weight * cur[u]
+				}
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		pool := kernel.NewPool(g.N())
+		pool.Put(pool.Get())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ws := pool.Get()
+			if _, err := (kernel.HeatKernel{T: tVal, Eps: eps}).Diffuse(g, ws, seeds); err != nil {
+				b.Fatal(err)
+			}
+			pool.Put(ws)
+		}
+	})
+}
+
+// BenchmarkGraphdPPRSteadyState drives the full graphd ppr query path —
+// HTTP mux, decode/validate, pooled kernel push, sweep, JSON encode —
+// in process, with a distinct seed per request so the LRU cache never
+// hits and every iteration exercises the compute path. allocs/op is the
+// serving-layer regression guard: the diffusion itself borrows pooled
+// workspace scratch, so steady-state allocations are request plumbing
+// (JSON, response assembly), not sparse-vector churn.
+func BenchmarkGraphdPPRSteadyState(b *testing.B) {
+	g := ncpBenchGraph(b)
+	srv, err := service.NewServer(service.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Store().Put("bench", g); err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	// Seeds cycle over non-isolated nodes: a zero-degree seed has no
+	// sweepable support and would (correctly) answer 400.
+	var seedIDs []int
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) > 0 {
+			seedIDs = append(seedIDs, u)
+		}
+	}
+	// Warm up one request so pools and mux state are steady.
+	do := func(seed int) int {
+		body := fmt.Sprintf(`{"seeds":[%d],"alpha":0.1,"eps":0.0001,"sweep":true,"topk":8}`, seed)
+		req := httptest.NewRequest("POST", "/v1/graphs/bench/ppr", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := do(seedIDs[0]); code != 200 {
+		b.Fatalf("warmup request returned %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := do(seedIDs[i%len(seedIDs)]); code != 200 {
+			b.Fatalf("request %d returned %d", i, code)
+		}
+	}
 }

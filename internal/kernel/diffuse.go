@@ -1,0 +1,274 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Stats reports the work one diffusion performed. Only the fields a
+// given Diffuser produces are set; the zero value means "not measured".
+type Stats struct {
+	// Pushes counts ACL push operations; the bound of [1] says
+	// Σ deg(u) over pushes ≤ 1/(ε·α), independent of n.
+	Pushes int
+	// WorkVolume is Σ deg(u) over pushes, the true ACL cost measure.
+	WorkVolume float64
+	// Steps is the number of truncated-walk steps taken (Nibble).
+	Steps int
+	// Terms is the number of Taylor terms applied (heat kernel).
+	Terms int
+	// MaxSupport is the largest live support reached by a walk, the
+	// locality measure bounded by the truncation threshold, not by n.
+	MaxSupport int
+}
+
+// Diffuser is one strongly-local diffusion strategy over the shared
+// workspace. After Diffuse returns, the workspace's P plane holds the
+// method's primary output vector (the PPR approximation, the truncated
+// walk distribution, the heat-kernel approximation); PushACL leaves its
+// residual in the R plane. The workspace is Reset at entry, so a pooled
+// workspace needs no cleaning between uses.
+type Diffuser interface {
+	Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, error)
+}
+
+// seedR spreads the uniform seed distribution into the R plane (mass
+// accumulates over duplicate seeds, in seed order) and sorts its
+// touched list ascending, the deterministic starting state every
+// diffusion shares.
+func seedR(g *graph.Graph, ws *Workspace, seeds []int) error {
+	if len(seeds) == 0 {
+		return errors.New("kernel: diffusion needs a nonempty seed set")
+	}
+	if ws.n != g.N() {
+		return fmt.Errorf("kernel: workspace sized for %d nodes used on a %d-node graph", ws.n, g.N())
+	}
+	w := 1 / float64(len(seeds))
+	for _, u := range seeds {
+		if u < 0 || u >= g.N() {
+			return fmt.Errorf("kernel: seed %d out of range [0,%d)", u, g.N())
+		}
+		ws.r.add(u, w)
+	}
+	ws.r.sortList()
+	return nil
+}
+
+// PushACL is the Andersen–Chung–Lang push algorithm [1]: compute an
+// ε-approximate Personalized PageRank vector with teleportation α in
+// work O(1/(εα)) independent of the graph size, under the lazy-walk
+// convention pr = α·s + (1−α)·pr·W with W = (I + AD^{-1})/2.
+//
+// Each push banks an α fraction of a node's residual into p, keeps half
+// of the rest and spreads the other half over the neighbors; residuals
+// below ε·deg(u) are never pushed — the implicit regularization by
+// truncation that §3.3 identifies. The FIFO processing order and the
+// per-operation arithmetic reproduce the legacy map-based
+// implementation bit-for-bit, which is what keeps NCP profile output
+// byte-identical across the engine swap.
+type PushACL struct {
+	Alpha float64 // teleportation, in (0,1)
+	Eps   float64 // truncation threshold, > 0
+}
+
+// Diffuse runs the push. P gets the approximation, R the residual; the
+// invariant p + pr_α(r) = pr_α(s) holds.
+func (d PushACL) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, error) {
+	if d.Alpha <= 0 || d.Alpha >= 1 {
+		return Stats{}, fmt.Errorf("kernel: push alpha=%v outside (0,1)", d.Alpha)
+	}
+	if d.Eps <= 0 {
+		return Stats{}, fmt.Errorf("kernel: push eps=%v must be positive", d.Eps)
+	}
+	ws.Reset()
+	if err := seedR(g, ws, seeds); err != nil {
+		return Stats{}, err
+	}
+	// Work queue of nodes that may violate r(u) < ε·deg(u), seeded in
+	// ascending node order so runs are deterministic.
+	for _, u := range ws.r.list {
+		ws.q.push(u)
+	}
+	var st Stats
+	for {
+		u, ok := ws.q.pop()
+		if !ok {
+			break
+		}
+		du := g.Degree(u)
+		if du == 0 {
+			// Isolated node: its residual can only go to p.
+			ws.p.add(u, ws.r.get(u))
+			ws.r.set(u, 0)
+			continue
+		}
+		ru := ws.r.get(u)
+		if ru < d.Eps*du {
+			continue
+		}
+		ws.p.add(u, d.Alpha*ru)
+		keep := (1 - d.Alpha) * ru / 2
+		ws.r.set(u, keep)
+		if keep >= d.Eps*du {
+			ws.q.push(u)
+		}
+		spread := (1 - d.Alpha) * ru / 2
+		nbrs, wts := g.Neighbors(u)
+		for i, v := range nbrs {
+			rv := ws.r.get(v) + spread*wts[i]/du
+			ws.r.set(v, rv)
+			if rv >= d.Eps*g.Degree(v) {
+				ws.q.push(v)
+			}
+		}
+		st.Pushes++
+		st.WorkVolume += du
+	}
+	return st, nil
+}
+
+// NibbleWalk is the Spielman–Teng truncated lazy random walk [39]:
+// evolve the seed distribution with W = (I + AD^{-1})/2 and after every
+// step zero out every entry with q(u) < eps·deg(u). The truncation
+// keeps the support — and hence the work — small and independent of n.
+//
+// Unlike the legacy map implementation, each step processes nodes in
+// ascending id order, so the floating-point result is deterministic
+// (the map version depended on Go's randomized map iteration).
+type NibbleWalk struct {
+	Eps   float64 // truncation threshold, > 0
+	Steps int     // walk steps, >= 1
+	// OnStep, when non-nil, is called after each step's truncation
+	// while the R plane holds the current (post-truncation, nonempty)
+	// distribution with its touched list sorted ascending. Returning an
+	// error aborts the walk. internal/local uses it to sweep every step.
+	OnStep func(step int, ws *Workspace) error
+}
+
+// Diffuse runs the walk. P (and R) hold the final distribution.
+func (d NibbleWalk) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, error) {
+	if d.Eps <= 0 {
+		return Stats{}, fmt.Errorf("kernel: nibble eps=%v must be positive", d.Eps)
+	}
+	if d.Steps < 1 {
+		return Stats{}, fmt.Errorf("kernel: nibble steps=%d must be >= 1", d.Steps)
+	}
+	ws.Reset()
+	if err := seedR(g, ws, seeds); err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	for step := 1; step <= d.Steps; step++ {
+		ws.walkStep(g, d.Eps)
+		if len(ws.r.list) == 0 {
+			break
+		}
+		if len(ws.r.list) > st.MaxSupport {
+			st.MaxSupport = len(ws.r.list)
+		}
+		st.Steps = step
+		if d.OnStep != nil {
+			if err := d.OnStep(step, ws); err != nil {
+				return st, err
+			}
+		}
+	}
+	// Mirror the final distribution into the output plane.
+	for _, u := range ws.r.list {
+		ws.p.add(u, ws.r.val[u])
+	}
+	return st, nil
+}
+
+// walkStep advances the R-plane distribution one lazy-walk step into
+// the scratch plane, truncates entries below eps·deg, and swaps the
+// result back into R with its touched list sorted ascending.
+func (ws *Workspace) walkStep(g *graph.Graph, eps float64) {
+	ws.s.reset()
+	for _, u := range ws.r.list {
+		mass := ws.r.val[u]
+		du := g.Degree(u)
+		if du == 0 {
+			ws.s.add(u, mass)
+			continue
+		}
+		ws.s.add(u, mass/2)
+		nbrs, wts := g.Neighbors(u)
+		for i, v := range nbrs {
+			ws.s.add(v, mass/2*wts[i]/du)
+		}
+	}
+	// Truncate: the regularization step. Compact the touched list in
+	// place, killing dropped entries so a later touch re-adds them.
+	live := ws.s.list[:0]
+	for _, u := range ws.s.list {
+		if ws.s.val[u] < eps*g.Degree(u) {
+			ws.s.kill(u)
+			continue
+		}
+		live = append(live, u)
+	}
+	ws.s.list = live
+	ws.r, ws.s = ws.s, ws.r
+	ws.r.sortList()
+}
+
+// HeatKernel approximates Chung's heat-kernel PageRank [15]
+// exp(−t(I−W))·s with a truncated Taylor expansion over the lazy walk
+// W, zeroing entries below eps·deg(u) after every term — the same
+// truncation-as-regularization design as Nibble applied to the heat
+// dynamics. The number of terms K is chosen so the series tail is below
+// eps/2 (K grows like t + log(1/eps), independent of n). Like
+// NibbleWalk, term evaluation processes nodes in ascending id order, so
+// the result is deterministic.
+type HeatKernel struct {
+	T   float64 // diffusion time, > 0 and finite
+	Eps float64 // truncation threshold, > 0
+}
+
+// Diffuse runs the expansion. P holds the heat-kernel approximation; R
+// holds the final Taylor iterate (usually empty after truncation).
+func (d HeatKernel) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, error) {
+	if d.T <= 0 || math.IsNaN(d.T) || math.IsInf(d.T, 0) {
+		return Stats{}, fmt.Errorf("kernel: heat kernel t=%v must be positive and finite", d.T)
+	}
+	if d.Eps <= 0 {
+		return Stats{}, fmt.Errorf("kernel: heat kernel eps=%v must be positive", d.Eps)
+	}
+	ws.Reset()
+	if err := seedR(g, ws, seeds); err != nil {
+		return Stats{}, err
+	}
+	// Choose K: tail Σ_{k>K} e^{-t} t^k/k! < eps/2.
+	k := 1
+	tail := 1 - math.Exp(-d.T)
+	term := math.Exp(-d.T)
+	for tail > d.Eps/2 && k < 10000 {
+		term *= d.T / float64(k)
+		tail -= term
+		k++
+	}
+	for _, u := range ws.r.list {
+		ws.p.add(u, math.Exp(-d.T)*ws.r.val[u])
+	}
+	weight := math.Exp(-d.T)
+	var st Stats
+	for kk := 1; kk <= k; kk++ {
+		ws.walkStep(g, d.Eps)
+		weight *= d.T / float64(kk)
+		for _, u := range ws.r.list {
+			ws.p.add(u, weight*ws.r.val[u])
+		}
+		if len(ws.r.list) > st.MaxSupport {
+			st.MaxSupport = len(ws.r.list)
+		}
+		st.Terms = kk
+		if len(ws.r.list) == 0 {
+			break
+		}
+	}
+	return st, nil
+}

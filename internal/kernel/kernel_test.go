@@ -1,0 +1,291 @@
+package kernel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestWorkspacePlaneBasics(t *testing.T) {
+	ws := NewWorkspace(8)
+	if ws.N() != 8 {
+		t.Fatalf("N = %d", ws.N())
+	}
+	ws.p.add(3, 0.5)
+	ws.p.add(3, 0.25)
+	ws.p.add(1, 1)
+	if got := ws.P(3); got != 0.75 {
+		t.Fatalf("P(3) = %v", got)
+	}
+	if got := ws.P(0); got != 0 {
+		t.Fatalf("P(0) = %v, want 0", got)
+	}
+	if got := ws.PSupport(); got != 2 {
+		t.Fatalf("PSupport = %d", got)
+	}
+	if got := ws.PSum(); got != 1.75 {
+		t.Fatalf("PSum = %v", got)
+	}
+	var seen []int
+	ws.ForEachP(func(u int, x float64) { seen = append(seen, u) })
+	if len(seen) != 2 || seen[0] != 3 || seen[1] != 1 {
+		t.Fatalf("ForEachP touch order = %v, want [3 1]", seen)
+	}
+	// Reset is O(touched) but must make every entry read as zero.
+	ws.Reset()
+	if ws.P(3) != 0 || ws.P(1) != 0 || ws.PSupport() != 0 {
+		t.Fatal("Reset left live entries")
+	}
+	// Stale dense values must not resurrect through add after reset.
+	ws.p.add(3, 1)
+	if got := ws.P(3); got != 1 {
+		t.Fatalf("post-reset P(3) = %v, want 1 (stale value leaked)", got)
+	}
+}
+
+func TestWorkspaceKillThenRetouch(t *testing.T) {
+	ws := NewWorkspace(4)
+	ws.s.add(2, 0.5)
+	ws.s.kill(2)
+	ws.s.list = ws.s.list[:0] // caller-side compaction, as walkStep does
+	if got := ws.s.get(2); got != 0 {
+		t.Fatalf("killed entry reads %v, want 0", got)
+	}
+	ws.s.add(2, 0.125)
+	if got := ws.s.get(2); got != 0.125 {
+		t.Fatalf("re-touched entry reads %v (stale value survived kill)", got)
+	}
+	if len(ws.s.list) != 1 || ws.s.list[0] != 2 {
+		t.Fatalf("re-touched entry missing from list: %v", ws.s.list)
+	}
+}
+
+func TestWorkspaceEpochWraparound(t *testing.T) {
+	ws := NewWorkspace(4)
+	ws.p.add(1, 42)
+	// Force the uint32 epoch to wrap; the entry from before the wrap
+	// must not read as live once the epochs collide again.
+	ws.p.epoch = ^uint32(0) - 1
+	ws.p.stamp[1] = ws.p.epoch // keep the entry live at the pre-wrap epoch
+	ws.p.reset()               // -> max uint32
+	ws.p.reset()               // wraps: stamps cleared, epoch back to 1
+	if ws.p.epoch != 1 {
+		t.Fatalf("post-wrap epoch = %d, want 1", ws.p.epoch)
+	}
+	if got := ws.P(1); got != 0 {
+		t.Fatalf("entry survived epoch wraparound: %v", got)
+	}
+	// Queue wraps the same way.
+	ws.q.push(2)
+	ws.q.epoch = ^uint32(0)
+	ws.q.inQ[3] = ws.q.epoch
+	ws.q.reset()
+	if ws.q.epoch != 1 {
+		t.Fatalf("queue post-wrap epoch = %d, want 1", ws.q.epoch)
+	}
+	ws.q.push(3) // must not be treated as already queued
+	if u, ok := ws.q.pop(); !ok || u != 3 {
+		t.Fatalf("pop after wrap = (%d,%v), want (3,true)", u, ok)
+	}
+}
+
+func TestFIFODeduplicatesAndOrders(t *testing.T) {
+	ws := NewWorkspace(8)
+	for _, u := range []int{5, 2, 5, 7, 2} {
+		ws.q.push(u)
+	}
+	var got []int
+	for {
+		u, ok := ws.q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, u)
+	}
+	want := []int{5, 2, 7}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+	// A popped node can be re-queued.
+	ws.q.push(5)
+	if u, ok := ws.q.pop(); !ok || u != 5 {
+		t.Fatalf("re-queue after pop failed: (%d,%v)", u, ok)
+	}
+}
+
+func TestPushACLDeterministicAcrossReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 800, FwdProb: 0.35, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace(g.N())
+	run := func() (map[int]float64, Stats) {
+		st, err := (PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(g, ws, []int{17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[int]float64{}
+		ws.ForEachP(func(u int, x float64) { out[u] = x })
+		return out, st
+	}
+	p1, st1 := run()
+	// Dirty the workspace between uses; Diffuse must reset it.
+	ws.p.add(3, 99)
+	ws.r.add(4, 99)
+	ws.q.push(5)
+	p2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats differ across reuse: %+v vs %+v", st1, st2)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("support differs across reuse: %d vs %d", len(p1), len(p2))
+	}
+	for u, x := range p1 {
+		if p2[u] != x {
+			t.Fatalf("p[%d] differs across reuse: %v vs %v", u, x, p2[u])
+		}
+	}
+}
+
+func TestDiffuserValidation(t *testing.T) {
+	g := gen.Path(5)
+	ws := NewWorkspace(g.N())
+	cases := []struct {
+		name string
+		d    Diffuser
+	}{
+		{"push alpha 0", PushACL{Alpha: 0, Eps: 1e-3}},
+		{"push alpha 1", PushACL{Alpha: 1, Eps: 1e-3}},
+		{"push eps 0", PushACL{Alpha: 0.5, Eps: 0}},
+		{"nibble eps 0", NibbleWalk{Eps: 0, Steps: 3}},
+		{"nibble steps 0", NibbleWalk{Eps: 1e-3, Steps: 0}},
+		{"heat t 0", HeatKernel{T: 0, Eps: 1e-3}},
+		{"heat eps 0", HeatKernel{T: 1, Eps: 0}},
+	}
+	for _, c := range cases {
+		if _, err := c.d.Diffuse(g, ws, []int{0}); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(g, ws, nil); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(g, ws, []int{9}); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(g, NewWorkspace(3), []int{0}); err == nil {
+		t.Error("mis-sized workspace accepted")
+	}
+}
+
+func TestPoolReuseAndSizeGuard(t *testing.T) {
+	p := NewPool(16)
+	ws := p.Get()
+	if ws.N() != 16 {
+		t.Fatalf("pool workspace N = %d", ws.N())
+	}
+	ws.p.add(1, 1)
+	p.Put(ws)
+	ws2 := p.Get()
+	if ws2.PSupport() != 0 {
+		t.Fatal("pooled workspace not reset on Get")
+	}
+	// A workspace of the wrong size must be dropped, not recycled.
+	p.Put(NewWorkspace(8))
+	for i := 0; i < 64; i++ {
+		if got := p.Get().N(); got != 16 {
+			t.Fatalf("pool handed out a %d-node workspace", got)
+		}
+	}
+}
+
+func TestAcquireReleaseGlobalRegistry(t *testing.T) {
+	ws := Acquire(32)
+	if ws.N() != 32 {
+		t.Fatalf("Acquire(32).N() = %d", ws.N())
+	}
+	Release(ws)
+	Release(nil) // must not panic
+	ws2 := Acquire(32)
+	if ws2.PSupport() != 0 || ws2.N() != 32 {
+		t.Fatal("registry returned a dirty or mis-sized workspace")
+	}
+	Release(ws2)
+}
+
+// TestPoolConcurrentPush hammers one pool from many goroutines; with
+// -race this locks the claim that pooled workspace reuse is safe as
+// long as each workspace has a single holder at a time.
+func TestPoolConcurrentPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := gen.ForestFire(gen.ForestFireConfig{N: 500, FwdProb: 0.3, Ambs: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (PushACL{Alpha: 0.1, Eps: 1e-3}).Diffuse(g, NewWorkspace(g.N()), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(g.N())
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				ws := pool.Get()
+				st, err := (PushACL{Alpha: 0.1, Eps: 1e-3}).Diffuse(g, ws, []int{1})
+				if err != nil {
+					t.Errorf("concurrent push: %v", err)
+				} else if st != want {
+					t.Errorf("stats drifted under concurrency: %+v vs %+v", st, want)
+				}
+				pool.Put(ws)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestWalkStepMatchesDenseStep cross-checks one truncated lazy-walk
+// step against a dense computation of W = (I + AD^{-1})/2.
+func TestWalkStepMatchesDenseStep(t *testing.T) {
+	g := gen.RingOfCliques(3, 4)
+	ws := NewWorkspace(g.N())
+	if err := seedR(g, ws, []int{0, 5}); err != nil {
+		t.Fatal(err)
+	}
+	dense := make([]float64, g.N())
+	dense[0], dense[5] = 0.5, 0.5
+	next := make([]float64, g.N())
+	for u, x := range dense {
+		if x == 0 {
+			continue
+		}
+		du := g.Degree(u)
+		next[u] += x / 2
+		nbrs, wts := g.Neighbors(u)
+		for i, v := range nbrs {
+			next[v] += x / 2 * wts[i] / du
+		}
+	}
+	ws.walkStep(g, 1e-12)
+	for u := 0; u < g.N(); u++ {
+		got := ws.r.get(u)
+		want := next[u]
+		if want < 1e-12*g.Degree(u) {
+			want = 0
+		}
+		if got != want {
+			t.Fatalf("node %d: walk step %v, dense %v", u, got, want)
+		}
+	}
+}

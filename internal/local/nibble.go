@@ -1,11 +1,11 @@
 package local
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/partition"
 )
 
@@ -23,67 +23,52 @@ type NibbleResult struct {
 	MaxSupport int
 }
 
-// Nibble runs the Spielman–Teng truncated lazy random walk [39]: evolve
-// the seed distribution with W = (I + AD^{-1})/2, and after every step
-// zero out ("truncate") every entry with q(u) < eps·deg(u). The
-// truncation keeps the support — and hence the work — small and
-// independent of n; §3.3 identifies it as the implicit regularizer, "a
-// bias analogous to early stopping".
+// Nibble runs the Spielman–Teng truncated lazy random walk [39] on a
+// pooled kernel workspace: evolve the seed distribution with
+// W = (I + AD^{-1})/2, and after every step zero out ("truncate") every
+// entry with q(u) < eps·deg(u). The truncation keeps the support — and
+// hence the work — small and independent of n; §3.3 identifies it as
+// the implicit regularizer, "a bias analogous to early stopping".
 func Nibble(g *graph.Graph, seeds []int, eps float64, steps int) (*NibbleResult, error) {
-	if eps <= 0 {
-		return nil, fmt.Errorf("local: nibble eps=%v must be positive", eps)
+	ws := kernel.Acquire(g.N())
+	defer kernel.Release(ws)
+	st, best, err := NibbleWorkspace(g, ws, seeds, eps, steps)
+	if err != nil {
+		return nil, err
 	}
-	if steps < 1 {
-		return nil, fmt.Errorf("local: nibble steps=%d must be >= 1", steps)
-	}
-	if len(seeds) == 0 {
-		return nil, errors.New("local: nibble needs a nonempty seed set")
-	}
-	q := make(SparseVec)
-	w := 1 / float64(len(seeds))
-	for _, u := range seeds {
-		if u < 0 || u >= g.N() {
-			return nil, fmt.Errorf("local: seed %d out of range [0,%d)", u, g.N())
-		}
-		q[u] += w
-	}
-	res := &NibbleResult{}
-	var bestPhi = math.Inf(1)
-	for step := 1; step <= steps; step++ {
-		next := make(SparseVec, len(q)*2)
-		for u, mass := range q {
-			du := g.Degree(u)
-			if du == 0 {
-				next[u] += mass
-				continue
+	return &NibbleResult{
+		Dist: FromWorkspaceP(ws), Best: best,
+		Steps: st.Steps, MaxSupport: st.MaxSupport,
+	}, nil
+}
+
+// NibbleWorkspace is Nibble on a caller-provided workspace: it runs the
+// truncated walk, sweeping the distribution after every step and
+// keeping the best cut. The final distribution is left in the
+// workspace's P plane (snapshot with FromWorkspaceP if a map is
+// needed). Layers that pool workspaces per graph call this directly.
+func NibbleWorkspace(g *graph.Graph, ws *kernel.Workspace, seeds []int, eps float64, steps int) (kernel.Stats, *partition.SweepResult, error) {
+	var best *partition.SweepResult
+	bestPhi := math.Inf(1)
+	walk := kernel.NibbleWalk{
+		Eps: eps, Steps: steps,
+		OnStep: func(_ int, w *kernel.Workspace) error {
+			order := sweepOrderOf(g, w.ForEachR)
+			if len(order) == 0 {
+				return nil
 			}
-			next[u] += mass / 2
-			nbrs, ws := g.Neighbors(u)
-			for i, v := range nbrs {
-				next[v] += mass / 2 * ws[i] / du
+			if sw, err := partition.SweepCutOrdered(g, order, len(order)); err == nil && sw.Conductance < bestPhi {
+				bestPhi = sw.Conductance
+				best = sw
 			}
-		}
-		// Truncate: the regularization step.
-		for u, mass := range next {
-			if mass < eps*g.Degree(u) {
-				delete(next, u)
-			}
-		}
-		q = next
-		if len(q) == 0 {
-			break
-		}
-		if len(q) > res.MaxSupport {
-			res.MaxSupport = len(q)
-		}
-		res.Steps = step
-		if sw, err := SweepCut(g, q); err == nil && sw.Conductance < bestPhi {
-			bestPhi = sw.Conductance
-			res.Best = sw
-		}
+			return nil
+		},
 	}
-	res.Dist = q
-	return res, nil
+	st, err := walk.Diffuse(g, ws, seeds)
+	if err != nil {
+		return st, nil, fmt.Errorf("local: %w", err)
+	}
+	return st, best, nil
 }
 
 // HeatKernelResult reports a truncated heat-kernel computation.
@@ -98,74 +83,17 @@ type HeatKernelResult struct {
 // zeroing entries below eps·deg(u) after every term — the same
 // truncation-as-regularization design as Nibble, applied to the heat
 // dynamics. The number of terms K is chosen so the series tail is below
-// eps (K grows like t + log(1/eps), independent of n).
+// eps (K grows like t + log(1/eps), independent of n). Runs on a pooled
+// kernel workspace; layers that hold a workspace should run
+// kernel.HeatKernel directly.
 func HeatKernelLocal(g *graph.Graph, seeds []int, t, eps float64) (*HeatKernelResult, error) {
-	if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-		return nil, fmt.Errorf("local: heat kernel t=%v must be positive and finite", t)
+	ws := kernel.Acquire(g.N())
+	defer kernel.Release(ws)
+	st, err := kernel.HeatKernel{T: t, Eps: eps}.Diffuse(g, ws, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("local: %w", err)
 	}
-	if eps <= 0 {
-		return nil, fmt.Errorf("local: heat kernel eps=%v must be positive", eps)
-	}
-	if len(seeds) == 0 {
-		return nil, errors.New("local: heat kernel needs a nonempty seed set")
-	}
-	seed := make(SparseVec)
-	w := 1 / float64(len(seeds))
-	for _, u := range seeds {
-		if u < 0 || u >= g.N() {
-			return nil, fmt.Errorf("local: seed %d out of range [0,%d)", u, g.N())
-		}
-		seed[u] += w
-	}
-	// Choose K: tail Σ_{k>K} e^{-t} t^k/k! < eps/2.
-	k := 1
-	tail := 1 - math.Exp(-t)
-	term := math.Exp(-t)
-	for tail > eps/2 && k < 10000 {
-		term *= t / float64(k)
-		tail -= term
-		k++
-	}
-	res := &HeatKernelResult{}
-	out := make(SparseVec, len(seed))
-	cur := make(SparseVec, len(seed))
-	for u, m := range seed {
-		cur[u] = m
-		out[u] = math.Exp(-t) * m
-	}
-	weight := math.Exp(-t)
-	for kk := 1; kk <= k; kk++ {
-		next := make(SparseVec, len(cur)*2)
-		for u, mass := range cur {
-			du := g.Degree(u)
-			if du == 0 {
-				next[u] += mass
-				continue
-			}
-			next[u] += mass / 2
-			nbrs, ws := g.Neighbors(u)
-			for i, v := range nbrs {
-				next[v] += mass / 2 * ws[i] / du
-			}
-		}
-		for u, mass := range next {
-			if mass < eps*g.Degree(u) {
-				delete(next, u)
-			}
-		}
-		cur = next
-		weight *= t / float64(kk)
-		for u, mass := range cur {
-			out[u] += weight * mass
-		}
-		if len(cur) > res.MaxSupport {
-			res.MaxSupport = len(cur)
-		}
-		res.Terms = kk
-		if len(cur) == 0 {
-			break
-		}
-	}
-	res.Dist = out
-	return res, nil
+	return &HeatKernelResult{
+		Dist: FromWorkspaceP(ws), Terms: st.Terms, MaxSupport: st.MaxSupport,
+	}, nil
 }

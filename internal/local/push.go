@@ -5,11 +5,14 @@
 // "optimization approach", the Mahoney–Orecchia–Vishnoi (MOV)
 // locally-biased spectral program.
 //
-// The operational algorithms use sparse (map-based) vectors and touch
-// only the nodes their truncation thresholds allow: their work is
-// independent of the size of the graph, which is exactly the §3.3 claim
-// that the experiments measure. The truncation-to-zero is the implicit
-// regularizer.
+// The operational algorithms touch only the nodes their truncation
+// thresholds allow: their work is independent of the size of the graph,
+// which is exactly the §3.3 claim that the experiments measure, and the
+// truncation-to-zero is the implicit regularizer. They run on the
+// indexed sparse workspaces of internal/kernel (dense epoch-stamped
+// scratch, allocation-free in the inner loop); this package keeps the
+// map-based SparseVec only as a thin conversion type so callers that
+// want a self-contained sparse vector still get one.
 package local
 
 import (
@@ -19,10 +22,13 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/partition"
 )
 
-// SparseVec is a sparse nonnegative vector over graph nodes.
+// SparseVec is a sparse nonnegative vector over graph nodes. It is the
+// exported, self-contained snapshot form of a kernel workspace plane;
+// the engines themselves no longer compute on maps.
 type SparseVec map[int]float64
 
 // Sum returns the total mass of the vector.
@@ -44,6 +50,20 @@ func (v SparseVec) Support() []int {
 	return out
 }
 
+// FromWorkspaceP snapshots a workspace's output plane as a SparseVec.
+func FromWorkspaceP(ws *kernel.Workspace) SparseVec {
+	out := make(SparseVec)
+	ws.ForEachP(func(u int, x float64) { out[u] = x })
+	return out
+}
+
+// FromWorkspaceR snapshots a workspace's residual plane as a SparseVec.
+func FromWorkspaceR(ws *kernel.Workspace) SparseVec {
+	out := make(SparseVec)
+	ws.ForEachR(func(u int, x float64) { out[u] = x })
+	return out
+}
+
 // PushResult reports an approximate Personalized PageRank computation.
 type PushResult struct {
 	P SparseVec // the approximation: p ≈ pr_α(s), supported on few nodes
@@ -55,82 +75,23 @@ type PushResult struct {
 	WorkVolume float64
 }
 
-// ApproxPageRank runs the Andersen–Chung–Lang push algorithm [1]: compute
-// an ε-approximate Personalized PageRank vector with teleportation α in
-// work O(1/(εα)) independent of the graph size. The lazy-walk convention
-// of [1] is used: pr = α·s + (1−α)·pr·W with W = (I + AD^{-1})/2.
-//
-// Each push takes the residual at one node, banks an α fraction into p,
-// keeps half of the rest at the node and spreads the other half over its
-// neighbors — the "concentrate computational effort on the part of the
-// vector where most of the nonnegligible changes will take place" step
-// that §3.3 quotes; residuals below ε·deg(u) are never pushed, which is
-// the implicit regularization by truncation.
+// ApproxPageRank runs the Andersen–Chung–Lang push algorithm [1] on a
+// pooled kernel workspace and snapshots the result into SparseVec maps.
+// Layers that hold a workspace (ncp, stream, service) should run
+// kernel.PushACL directly and skip the map conversion; the numerical
+// output is identical either way, bit for bit.
 func ApproxPageRank(g *graph.Graph, seeds []int, alpha, eps float64) (*PushResult, error) {
-	if alpha <= 0 || alpha >= 1 {
-		return nil, fmt.Errorf("local: push alpha=%v outside (0,1)", alpha)
+	ws := kernel.Acquire(g.N())
+	defer kernel.Release(ws)
+	st, err := kernel.PushACL{Alpha: alpha, Eps: eps}.Diffuse(g, ws, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("local: %w", err)
 	}
-	if eps <= 0 {
-		return nil, fmt.Errorf("local: push eps=%v must be positive", eps)
-	}
-	if len(seeds) == 0 {
-		return nil, errors.New("local: push needs a nonempty seed set")
-	}
-	p := make(SparseVec)
-	r := make(SparseVec)
-	w := 1 / float64(len(seeds))
-	for _, u := range seeds {
-		if u < 0 || u >= g.N() {
-			return nil, fmt.Errorf("local: seed %d out of range [0,%d)", u, g.N())
-		}
-		r[u] += w
-	}
-	// Work queue of nodes that may violate r(u) < ε·deg(u), seeded in
-	// sorted order so runs are deterministic.
-	queue := make([]int, 0, len(seeds))
-	inQueue := make(map[int]bool)
-	for _, u := range r.Support() {
-		queue = append(queue, u)
-		inQueue[u] = true
-	}
-	res := &PushResult{P: p, R: r}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		inQueue[u] = false
-		du := g.Degree(u)
-		if du == 0 {
-			// Isolated node: its residual can only go to p.
-			p[u] += r[u]
-			delete(r, u)
-			continue
-		}
-		if r[u] < eps*du {
-			continue
-		}
-		ru := r[u]
-		p[u] += alpha * ru
-		keep := (1 - alpha) * ru / 2
-		r[u] = keep
-		if keep < eps*du && keep > 0 {
-			// stays below threshold; leave it
-		} else if keep >= eps*du && !inQueue[u] {
-			queue = append(queue, u)
-			inQueue[u] = true
-		}
-		spread := (1 - alpha) * ru / 2
-		nbrs, ws := g.Neighbors(u)
-		for i, v := range nbrs {
-			r[v] += spread * ws[i] / du
-			if r[v] >= eps*g.Degree(v) && !inQueue[v] {
-				queue = append(queue, v)
-				inQueue[v] = true
-			}
-		}
-		res.Pushes++
-		res.WorkVolume += du
-	}
-	return res, nil
+	return &PushResult{
+		P:      FromWorkspaceP(ws),
+		R:      FromWorkspaceR(ws),
+		Pushes: st.Pushes, WorkVolume: st.WorkVolume,
+	}, nil
 }
 
 // DegreeNormalized returns the degree-normalized profile p(u)/deg(u) over
@@ -160,6 +121,48 @@ func SweepOrder(v SparseVec) []int {
 	return order
 }
 
+// WorkspaceSweepOrder returns the sweep order of a workspace's output
+// plane — its support ordered by p(u)/deg(u) descending, ties by node
+// id, zero-degree nodes skipped — without materializing a map. The
+// permutation is identical to SweepOrder(DegreeNormalized(g, p)).
+func WorkspaceSweepOrder(g *graph.Graph, ws *kernel.Workspace) []int {
+	return sweepOrderOf(g, ws.ForEachP)
+}
+
+// sweepOrderOf builds the degree-normalized sweep order from any sparse
+// iteration.
+func sweepOrderOf(g *graph.Graph, forEach func(func(u int, x float64))) []int {
+	var order []int
+	var vals []float64
+	forEach(func(u int, x float64) {
+		if d := g.Degree(u); d > 0 {
+			order = append(order, u)
+			vals = append(vals, x/d)
+		}
+	})
+	sort.Sort(&sweepSorter{order: order, vals: vals})
+	return order
+}
+
+// sweepSorter orders nodes by value descending with node id as the
+// deterministic tiebreak.
+type sweepSorter struct {
+	order []int
+	vals  []float64
+}
+
+func (s *sweepSorter) Len() int { return len(s.order) }
+func (s *sweepSorter) Less(i, j int) bool {
+	if s.vals[i] != s.vals[j] {
+		return s.vals[i] > s.vals[j]
+	}
+	return s.order[i] < s.order[j]
+}
+func (s *sweepSorter) Swap(i, j int) {
+	s.order[i], s.order[j] = s.order[j], s.order[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
 // SweepCut performs the local sweep: order the support of p by
 // p(u)/deg(u) and return the best-conductance prefix. The cost depends
 // only on the support size and its boundary, not on n.
@@ -168,6 +171,18 @@ func SweepCut(g *graph.Graph, p SparseVec) (*partition.SweepResult, error) {
 		return nil, errors.New("local: sweep over empty vector")
 	}
 	order := SweepOrder(DegreeNormalized(g, p))
+	if len(order) == 0 {
+		return nil, errors.New("local: sweep support has only zero-degree nodes")
+	}
+	return partition.SweepCutOrdered(g, order, len(order))
+}
+
+// WorkspaceSweepCut is SweepCut over a workspace's output plane.
+func WorkspaceSweepCut(g *graph.Graph, ws *kernel.Workspace) (*partition.SweepResult, error) {
+	if ws.PSupport() == 0 {
+		return nil, errors.New("local: sweep over empty vector")
+	}
+	order := WorkspaceSweepOrder(g, ws)
 	if len(order) == 0 {
 		return nil, errors.New("local: sweep support has only zero-degree nodes")
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/local"
 	"repro/internal/par"
 	"repro/internal/partition"
@@ -88,23 +89,28 @@ func SpectralProfileCtx(ctx context.Context, g *graph.Graph, cfg SpectralConfig,
 	maxVol := c.MaxClusterFrac * g.Volume()
 	// One task per (α, seed) pair; each task appends only to its own
 	// slot, and the slots are concatenated in task order afterwards, so
-	// the assembled profile is the same for any worker count.
+	// the assembled profile is the same for any worker count. The push
+	// runs on kernel workspaces shared through a per-profile pool, so a
+	// run with W workers keeps exactly W workspaces live instead of
+	// allocating one sparse map pair per (α, seed) task.
 	tasks := len(c.Alphas) * c.Seeds
 	perTask := make([][]Cluster, tasks)
+	pool := kernel.NewPool(g.N())
 	err := par.ForEachCtx(ctx, c.Workers, tasks, func(t int) error {
 		ai, si := t/c.Seeds, t%c.Seeds
 		alpha := c.Alphas[ai]
 		eps := pushEps(alpha, g.Volume(), c.EpsFactor)
 		trng := rand.New(rand.NewSource(par.TaskSeed(base, ai, si)))
 		seed := trng.Intn(g.N())
-		res, err := local.ApproxPageRank(g, []int{seed}, alpha, eps)
-		if err != nil {
+		ws := pool.Get()
+		defer pool.Put(ws)
+		if _, err := (kernel.PushACL{Alpha: alpha, Eps: eps}).Diffuse(g, ws, []int{seed}); err != nil {
 			return fmt.Errorf("ncp: spectral profile push: %w", err)
 		}
-		if len(res.P) < 2 {
+		if ws.PSupport() < 2 {
 			return nil
 		}
-		order := local.SweepOrder(local.DegreeNormalized(g, res.P))
+		order := local.WorkspaceSweepOrder(g, ws)
 		sub := &Profile{}
 		collectSweepClusters(g, order, maxVol, sub, "spectral")
 		perTask[t] = sub.Clusters

@@ -35,12 +35,27 @@ func SweepCut(g *graph.Graph, embedding []float64) (*SweepResult, error) {
 	if n < 2 {
 		return nil, errors.New("partition: sweep cut needs at least 2 nodes")
 	}
-	order := make([]int, n)
+	return sweepOverOrder(g, embeddingOrder(embedding), n-1)
+}
+
+// embeddingOrder returns all nodes sorted by embedding value descending,
+// with node id as an explicit tiebreak: equal scores always sweep in
+// ascending-id order, so the sweep output can never depend on the sort
+// algorithm's treatment of ties (sort.Slice is not stable) or on the
+// floating-point provenance of the embedding.
+func embeddingOrder(embedding []float64) []int {
+	order := make([]int, len(embedding))
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return embedding[order[a]] > embedding[order[b]] })
-	return sweepOverOrder(g, order, n-1)
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := embedding[order[a]], embedding[order[b]]
+		if ea != eb {
+			return ea > eb
+		}
+		return order[a] < order[b]
+	})
+	return order
 }
 
 // SweepCutPrefix is SweepCut restricted to prefixes of at most maxPrefix
@@ -57,12 +72,7 @@ func SweepCutPrefix(g *graph.Graph, embedding []float64, maxPrefix int) (*SweepR
 	if maxPrefix > n-1 {
 		maxPrefix = n - 1
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return embedding[order[a]] > embedding[order[b]] })
-	return sweepOverOrder(g, order, maxPrefix)
+	return sweepOverOrder(g, embeddingOrder(embedding), maxPrefix)
 }
 
 // SweepCutOrdered runs the sweep over an explicit node order (e.g. the
@@ -72,6 +82,9 @@ func SweepCutOrdered(g *graph.Graph, order []int, maxPrefix int) (*SweepResult, 
 	if len(order) == 0 {
 		return nil, errors.New("partition: empty sweep order")
 	}
+	// Support-sized map, not a []bool: the order is typically a small
+	// diffusion support and this path runs per query (and per Nibble
+	// step), so the dup check must stay O(len(order)), not O(n).
 	seen := make(map[int]bool, len(order))
 	for _, u := range order {
 		if u < 0 || u >= g.N() {

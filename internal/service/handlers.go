@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/persist"
 	"repro/pkg/api"
 )
@@ -192,7 +193,7 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.serveCached(w, r, "stats", nil, func(ctx context.Context, g *graph.Graph) (any, error) {
+	s.serveCached(w, r, "stats", nil, func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, error) {
 		return execStats(name, g), nil
 	})
 }
@@ -202,8 +203,8 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "ppr", mustParams(req), func(ctx context.Context, g *graph.Graph) (any, error) {
-		return execPPR(g, req)
+	s.serveCached(w, r, "ppr", mustParams(req), func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, error) {
+		return execPPR(g, pool, req)
 	})
 }
 
@@ -212,8 +213,8 @@ func (s *Server) handleLocalCluster(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "localcluster", mustParams(req), func(ctx context.Context, g *graph.Graph) (any, error) {
-		return execLocalCluster(g, req)
+	s.serveCached(w, r, "localcluster", mustParams(req), func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, error) {
+		return execLocalCluster(g, pool, req)
 	})
 }
 
@@ -222,7 +223,7 @@ func (s *Server) handleDiffuse(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "diffuse", mustParams(req), func(ctx context.Context, g *graph.Graph) (any, error) {
+	s.serveCached(w, r, "diffuse", mustParams(req), func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, error) {
 		return execDiffuse(g, req)
 	})
 }
@@ -232,7 +233,7 @@ func (s *Server) handleSweepCut(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "sweepcut", mustParams(req), func(ctx context.Context, g *graph.Graph) (any, error) {
+	s.serveCached(w, r, "sweepcut", mustParams(req), func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, error) {
 		return execSweepCut(g, req)
 	})
 }
@@ -286,9 +287,9 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // when possible, deduplicate identical in-flight computations through
 // the singleflight group, and enforce the per-request deadline (already
 // attached to r.Context() by the deadline middleware).
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, params []byte, compute func(ctx context.Context, g *graph.Graph) (any, error)) {
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, params []byte, compute func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, error)) {
 	name := r.PathValue("name")
-	g, id, err := s.store.Get(name)
+	g, id, pool, err := s.store.GetForQuery(name)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -327,7 +328,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 			ctx, cancel := context.WithTimeout(context.Background(), computeTimeout)
 			defer cancel()
 			v, err := runWithDeadline(ctx, func(ctx context.Context) (any, error) {
-				return compute(ctx, g)
+				return compute(ctx, g, pool)
 			})
 			if err != nil {
 				return nil, err

@@ -6,6 +6,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/local"
 	"repro/pkg/api"
 )
@@ -44,18 +45,23 @@ func execStats(name string, g *graph.Graph) *api.StatsResponse {
 	return res
 }
 
-func execPPR(g *graph.Graph, req api.PPRRequest) (*api.PPRResponse, error) {
-	res, err := local.ApproxPageRank(g, req.Seeds, req.Alpha, req.Eps)
+// execPPR answers a PPR query on a pooled kernel workspace: the push,
+// the response assembly, and the optional sweep all read the workspace
+// planes directly, so steady-state serving allocates only the response.
+func execPPR(g *graph.Graph, pool *kernel.Pool, req api.PPRRequest) (*api.PPRResponse, error) {
+	ws := pool.Get()
+	defer pool.Put(ws)
+	st, err := kernel.PushACL{Alpha: req.Alpha, Eps: req.Eps}.Diffuse(g, ws, req.Seeds)
 	if err != nil {
 		return nil, err
 	}
 	out := &api.PPRResponse{
-		Support: len(res.P), Sum: res.P.Sum(),
-		Pushes: res.Pushes, WorkVolume: res.WorkVolume,
-		Top: topMasses(res.P, req.TopK),
+		Support: ws.PSupport(), Sum: ws.PSum(),
+		Pushes: st.Pushes, WorkVolume: st.WorkVolume,
+		Top: topMassesWorkspace(ws, req.TopK),
 	}
 	if req.Sweep {
-		sw, err := local.SweepCut(g, res.P)
+		sw, err := local.WorkspaceSweepCut(g, ws)
 		if err != nil {
 			return nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?): %v", err)
 		}
@@ -67,40 +73,41 @@ func execPPR(g *graph.Graph, req api.PPRRequest) (*api.PPRResponse, error) {
 	return out, nil
 }
 
-func execLocalCluster(g *graph.Graph, req api.LocalClusterRequest) (*api.LocalClusterResponse, error) {
+func execLocalCluster(g *graph.Graph, pool *kernel.Pool, req api.LocalClusterRequest) (*api.LocalClusterResponse, error) {
 	var (
 		sw      *api.SweepInfo
 		support int
 	)
+	ws := pool.Get()
+	defer pool.Put(ws)
 	switch req.Method {
 	case "ppr":
-		res, err := local.ApproxPageRank(g, req.Seeds, req.Alpha, req.Eps)
-		if err != nil {
+		if _, err := (kernel.PushACL{Alpha: req.Alpha, Eps: req.Eps}).Diffuse(g, ws, req.Seeds); err != nil {
 			return nil, err
 		}
-		support = len(res.P)
-		cut, err := local.SweepCut(g, res.P)
+		support = ws.PSupport()
+		cut, err := local.WorkspaceSweepCut(g, ws)
 		if err != nil {
 			return nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?)")
 		}
 		sw = &api.SweepInfo{Set: cut.Set, Size: len(cut.Set), Conductance: cut.Conductance, Prefix: cut.Prefix}
 	case "nibble":
-		res, err := local.Nibble(g, req.Seeds, req.Eps, req.Steps)
+		st, best, err := local.NibbleWorkspace(g, ws, req.Seeds, req.Eps, req.Steps)
 		if err != nil {
 			return nil, err
 		}
-		support = res.MaxSupport
-		if res.Best == nil {
+		support = st.MaxSupport
+		if best == nil {
 			return nil, storeErrf(ErrBadInput, "nibble found no cut (eps too large or too few steps)")
 		}
-		sw = &api.SweepInfo{Set: res.Best.Set, Size: len(res.Best.Set), Conductance: res.Best.Conductance, Prefix: res.Best.Prefix}
+		sw = &api.SweepInfo{Set: best.Set, Size: len(best.Set), Conductance: best.Conductance, Prefix: best.Prefix}
 	case "heat":
-		res, err := local.HeatKernelLocal(g, req.Seeds, req.T, req.Eps)
+		st, err := kernel.HeatKernel{T: req.T, Eps: req.Eps}.Diffuse(g, ws, req.Seeds)
 		if err != nil {
 			return nil, err
 		}
-		support = res.MaxSupport
-		cut, err := local.SweepCut(g, res.Dist)
+		support = st.MaxSupport
+		cut, err := local.WorkspaceSweepCut(g, ws)
 		if err != nil {
 			return nil, storeErrf(ErrBadInput, "heat kernel produced no sweepable support (eps too large?)")
 		}

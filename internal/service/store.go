@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/persist"
 	"repro/pkg/api"
 )
@@ -66,10 +67,19 @@ type entry struct {
 	mu      sync.Mutex
 	g       *graph.Graph
 	b       *graph.Builder
+	pool    *kernel.Pool // per-graph diffusion workspaces; set when sealed
 	nNodes  int
 	nEdges  int                  // edges accepted while streaming
 	wal     *persist.WAL         // open log while streaming with a data dir
 	persist api.GraphPersistence // durability of the current state
+}
+
+// seal installs the immutable graph on the entry (caller holds e.mu)
+// together with its workspace pool, so every strongly-local query on
+// this graph reuses the same kernel scratch instead of allocating.
+func (e *entry) seal(g *graph.Graph) {
+	e.g = g
+	e.pool = kernel.NewPool(g.N())
 }
 
 // GraphStore is a concurrency-safe registry of named graphs. Sealed
@@ -131,7 +141,9 @@ func (s *GraphStore) recover() error {
 			s.quarantine(s.dir.SnapshotPath(name), err)
 			continue
 		}
-		s.graphs[name] = &entry{id: s.nextID.Add(1), g: g, persist: api.PersistSnapshot}
+		e := &entry{id: s.nextID.Add(1), persist: api.PersistSnapshot}
+		e.seal(g)
+		s.graphs[name] = e
 		s.logf("persist: recovered sealed graph %q from snapshot (n=%d m=%d)", name, g.N(), g.M())
 	}
 	for _, name := range wals {
@@ -263,7 +275,7 @@ func (s *GraphStore) Put(name string, g *graph.Graph) (api.GraphInfo, error) {
 		}
 		pstate = api.PersistSnapshot
 	}
-	e.g = g
+	e.seal(g)
 	e.persist = pstate
 	info := s.infoLocked(name, e)
 	e.mu.Unlock()
@@ -287,6 +299,25 @@ func (s *GraphStore) Get(name string) (*graph.Graph, uint64, error) {
 		return nil, 0, storeErrf(ErrConflict, "graph %q is still streaming; seal it first", name)
 	}
 	return g, e.id, nil
+}
+
+// GetForQuery is Get plus the graph's workspace pool, the form the
+// synchronous query path uses so every request borrows (and returns)
+// pooled kernel scratch instead of allocating sparse vectors.
+func (s *GraphStore) GetForQuery(name string) (*graph.Graph, uint64, *kernel.Pool, error) {
+	s.mu.RLock()
+	e, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, nil, storeErrf(ErrNotFound, "graph %q not found", name)
+	}
+	e.mu.Lock()
+	g, pool := e.g, e.pool
+	e.mu.Unlock()
+	if g == nil {
+		return nil, 0, nil, storeErrf(ErrConflict, "graph %q is still streaming; seal it first", name)
+	}
+	return g, e.id, pool, nil
 }
 
 // Info returns the descriptive record for the named graph, sealed or
@@ -507,7 +538,7 @@ func (s *GraphStore) Seal(name string) (api.GraphInfo, error) {
 		}
 		e.persist = api.PersistSnapshot
 	}
-	e.g = g
+	e.seal(g)
 	e.b = nil
 	return s.infoLocked(name, e), nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/kernel"
 	"repro/pkg/api"
 )
 
@@ -40,6 +41,25 @@ func topMasses(v map[int]float64, k int) []api.NodeMass {
 	for u, x := range v {
 		out = append(out, api.NodeMass{Node: u, Mass: x})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mass != out[j].Mass {
+			return out[i].Mass > out[j].Mass
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// topMassesWorkspace is topMasses reading a kernel workspace's output
+// plane directly, skipping the intermediate map.
+func topMassesWorkspace(ws *kernel.Workspace, k int) []api.NodeMass {
+	out := make([]api.NodeMass, 0, ws.PSupport())
+	ws.ForEachP(func(u int, x float64) {
+		out = append(out, api.NodeMass{Node: u, Mass: x})
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Mass != out[j].Mass {
 			return out[i].Mass > out[j].Mass

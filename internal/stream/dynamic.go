@@ -7,16 +7,58 @@ import (
 	"sort"
 )
 
+// dynRow is one node's adjacency: neighbor ids sorted ascending with
+// parallel weights. The sorted-slice representation replaces the old
+// map[int]float64 per node: the hot loop is sampleNeighbor (called once
+// per walk step and once per resampled suffix step), which previously
+// had to copy every key out of the map and sort it on every call just
+// to make iteration deterministic. On the slice it is a single
+// allocation-free scan; lookup is a binary search, and insert/remove
+// pay an O(deg) shift only on topology changes, which are orders of
+// magnitude rarer than samples. BenchmarkDynamicSampleNeighbor in
+// dynamic_bench_test.go records the gap.
+type dynRow struct {
+	ids []int
+	ws  []float64
+}
+
+// find returns the position of v in the row and whether it is present;
+// absent neighbors report the insertion point.
+func (r *dynRow) find(v int) (int, bool) {
+	i := sort.SearchInts(r.ids, v)
+	return i, i < len(r.ids) && r.ids[i] == v
+}
+
+func (r *dynRow) add(v int, w float64) {
+	if i, ok := r.find(v); ok {
+		r.ws[i] += w
+	} else {
+		r.ids = append(r.ids, 0)
+		r.ws = append(r.ws, 0)
+		copy(r.ids[i+1:], r.ids[i:])
+		copy(r.ws[i+1:], r.ws[i:])
+		r.ids[i] = v
+		r.ws[i] = w
+	}
+}
+
+func (r *dynRow) remove(v int) {
+	if i, ok := r.find(v); ok {
+		r.ids = append(r.ids[:i], r.ids[i+1:]...)
+		r.ws = append(r.ws[:i], r.ws[i+1:]...)
+	}
+}
+
 // DynamicGraph is a mutable adjacency-list multigraph supporting edge
 // insertion and deletion, the substrate for incremental PageRank on a
 // dynamically-evolving network (paper reference [6]). It intentionally
 // does not share the immutable CSR representation in internal/graph:
-// evolving social networks need O(1) amortized updates, not a frozen
+// evolving social networks need cheap point updates, not a frozen
 // row-pointer array, and keeping the two types separate keeps the static
 // analysis code honest about which algorithms assume a fixed graph.
 type DynamicGraph struct {
 	n   int
-	adj []map[int]float64
+	adj []dynRow
 	m   int // number of edges
 }
 
@@ -25,11 +67,7 @@ func NewDynamicGraph(n int) (*DynamicGraph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("stream: negative node count %d", n)
 	}
-	adj := make([]map[int]float64, n)
-	for i := range adj {
-		adj[i] = make(map[int]float64)
-	}
-	return &DynamicGraph{n: n, adj: adj}, nil
+	return &DynamicGraph{n: n, adj: make([]dynRow, n)}, nil
 }
 
 // N returns the number of nodes.
@@ -41,7 +79,7 @@ func (g *DynamicGraph) M() int { return g.m }
 // Degree returns the weighted degree of u.
 func (g *DynamicGraph) Degree(u int) float64 {
 	var d float64
-	for _, w := range g.adj[u] {
+	for _, w := range g.adj[u].ws {
 		d += w
 	}
 	return d
@@ -52,7 +90,7 @@ func (g *DynamicGraph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return false
 	}
-	_, ok := g.adj[u][v]
+	_, ok := g.adj[u].find(v)
 	return ok
 }
 
@@ -68,11 +106,11 @@ func (g *DynamicGraph) AddEdge(u, v int, w float64) error {
 	if w <= 0 {
 		return fmt.Errorf("stream: non-positive edge weight %g", w)
 	}
-	if _, ok := g.adj[u][v]; !ok {
+	if _, ok := g.adj[u].find(v); !ok {
 		g.m++
 	}
-	g.adj[u][v] += w
-	g.adj[v][u] += w
+	g.adj[u].add(v, w)
+	g.adj[v].add(u, w)
 	return nil
 }
 
@@ -81,40 +119,36 @@ func (g *DynamicGraph) RemoveEdge(u, v int) error {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		return fmt.Errorf("stream: edge (%d,%d) out of range [0,%d)", u, v, g.n)
 	}
-	if _, ok := g.adj[u][v]; !ok {
+	if _, ok := g.adj[u].find(v); !ok {
 		return fmt.Errorf("stream: edge (%d,%d) not present", u, v)
 	}
-	delete(g.adj[u], v)
-	delete(g.adj[v], u)
+	g.adj[u].remove(v)
+	g.adj[v].remove(u)
 	g.m--
 	return nil
 }
 
 // sampleNeighbor draws a neighbor of u with probability proportional to
-// edge weight, or (-1, false) if u is isolated. Map iteration order is
-// randomized by the runtime, so for reproducibility the neighbors are
-// sorted before the draw.
+// edge weight, or (-1, false) if u is isolated. The row is already
+// sorted by node id, so the draw is deterministic for a given rng
+// state and allocates nothing.
 func (g *DynamicGraph) sampleNeighbor(u int, rng *rand.Rand) (int, bool) {
-	if len(g.adj[u]) == 0 {
+	row := &g.adj[u]
+	if len(row.ids) == 0 {
 		return -1, false
 	}
-	nbrs := make([]int, 0, len(g.adj[u]))
-	for v := range g.adj[u] {
-		nbrs = append(nbrs, v)
-	}
-	sort.Ints(nbrs)
 	total := 0.0
-	for _, v := range nbrs {
-		total += g.adj[u][v]
+	for _, w := range row.ws {
+		total += w
 	}
 	x := rng.Float64() * total
-	for _, v := range nbrs {
-		x -= g.adj[u][v]
+	for i, v := range row.ids {
+		x -= row.ws[i]
 		if x <= 0 {
 			return v, true
 		}
 	}
-	return nbrs[len(nbrs)-1], true
+	return row.ids[len(row.ids)-1], true
 }
 
 // IncrementalPPR maintains an approximate Personalized PageRank vector for

@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// mapAdjRow is the legacy adjacency representation (one map per node),
+// kept here as the baseline for BenchmarkDynamicSampleNeighbor: the map
+// forced every sample to copy and sort the key set just to get a
+// deterministic draw.
+type mapAdjRow map[int]float64
+
+func (row mapAdjRow) sample(rng *rand.Rand) (int, bool) {
+	if len(row) == 0 {
+		return -1, false
+	}
+	nbrs := make([]int, 0, len(row))
+	for v := range row {
+		nbrs = append(nbrs, v)
+	}
+	sort.Ints(nbrs)
+	total := 0.0
+	for _, v := range nbrs {
+		total += row[v]
+	}
+	x := rng.Float64() * total
+	for _, v := range nbrs {
+		x -= row[v]
+		if x <= 0 {
+			return v, true
+		}
+	}
+	return nbrs[len(nbrs)-1], true
+}
+
+// BenchmarkDynamicSampleNeighbor measures one weighted neighbor draw —
+// the hot operation of IncrementalPPR's walk (re)drawing — on the
+// sorted-slice row against the legacy map row. The slice path is the
+// reason dynamic.go dropped the per-node maps: no per-sample copy,
+// sort, or allocation.
+func BenchmarkDynamicSampleNeighbor(b *testing.B) {
+	const deg = 64
+	g, err := NewDynamicGraph(deg + 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	legacy := make(mapAdjRow, deg)
+	for v := 1; v <= deg; v++ {
+		if err := g.AddEdge(0, v, float64(v)); err != nil {
+			b.Fatal(err)
+		}
+		legacy[v] = float64(v)
+	}
+	b.Run("sorted-slice", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := g.sampleNeighbor(0, rng); !ok {
+				b.Fatal("no neighbor")
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := legacy.sample(rng); !ok {
+				b.Fatal("no neighbor")
+			}
+		}
+	})
+}

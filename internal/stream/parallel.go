@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/kernel"
 	"repro/internal/local"
 	"repro/internal/par"
 )
@@ -69,14 +70,20 @@ func BatchPersonalizedPageRank(g *graph.Graph, sources []int, opt BatchPPROption
 		Vectors: make([]local.SparseVec, len(sources)),
 		Sources: append([]int(nil), sources...),
 	}
+	// Per-source pushes run on kernel workspaces shared through one
+	// pool, so a batch over thousands of sources keeps at most Workers
+	// workspaces live; only the returned per-source snapshots allocate.
 	work := make([]float64, len(sources))
+	pool := kernel.NewPool(g.N())
 	err := par.ForEach(opt.Workers, len(sources), func(i int) error {
-		pr, err := local.ApproxPageRank(g, []int{sources[i]}, opt.Alpha, opt.Eps)
+		ws := pool.Get()
+		defer pool.Put(ws)
+		st, err := kernel.PushACL{Alpha: opt.Alpha, Eps: opt.Eps}.Diffuse(g, ws, []int{sources[i]})
 		if err != nil {
 			return fmt.Errorf("stream: source %d: %w", sources[i], err)
 		}
-		res.Vectors[i] = pr.P
-		work[i] = pr.WorkVolume
+		res.Vectors[i] = local.FromWorkspaceP(ws)
+		work[i] = st.WorkVolume
 		return nil
 	})
 	if err != nil {
