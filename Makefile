@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt bench graphd
+.PHONY: build test race vet fmt lint graphlint fuzz bench graphd
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,33 @@ race:
 vet:
 	$(GO) vet ./...
 
+# fmt fails (not just lists) when any file needs gofmt, so CI cannot
+# silently pass on unformatted code.
 fmt:
-	gofmt -l .
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+# graphlint runs the custom invariant analyzers (internal/lint) over
+# the whole tree — determinism, workspace pooling, atomic persistence
+# writes, api error envelopes, context-responsive loops. See
+# docs/lint.md for the invariant table and suppression convention.
+graphlint:
+	$(GO) run ./cmd/graphlint ./...
+
+# lint is the full static gate: go vet over every package, then the
+# graphlint suite (which also analyzes its own sources).
+lint: vet graphlint
+
+# fuzz gives the seed corpora a short budget against the binary
+# decoders; CI runs this on every push and on a weekly schedule.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadSnapshot -fuzztime $(FUZZTIME) ./internal/persist
+	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME) ./internal/graph
 
 graphd:
 	$(GO) build -o graphd ./cmd/graphd

@@ -1,0 +1,73 @@
+// graphlint runs the repo's custom invariant analyzers (internal/lint)
+// over Go package patterns, printing one line per finding and exiting
+// nonzero if any finding survives the //lint:ignore suppressions.
+//
+// Usage:
+//
+//	graphlint [-list] [-only name[,name]] [packages]
+//
+// With no package arguments it analyzes ./.... Exit codes: 0 clean,
+// 1 findings, 2 load or internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: graphlint [-list] [-only name[,name]] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "graphlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "graphlint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// apiErrPackages are the HTTP-serving packages whose error responses
+// must flow through writeError and the pkg/api envelope (PR 3).
+var apiErrPackages = []string{
+	"repro/internal/service",
+}
+
+// apiErrSinks are the sanctioned encoder functions; code inside them
+// is the implementation of the envelope, not a bypass of it.
+var apiErrSinks = map[string]bool{
+	"writeError":     true,
+	"writeJSON":      true,
+	"writeJSONBytes": true,
+}
+
+// APIErr enforces the structured error contract of the service layer:
+// every error response is the {"error":{code,message,details}}
+// envelope with the HTTP status derived from the api code mapping.
+var APIErr = &Analyzer{
+	Name: "apierr",
+	Doc: `flag service error responses that bypass writeError
+
+pkg/api defines the wire error envelope and the code→HTTP-status
+mapping; internal/service's writeError is the only sanctioned way to
+emit an error response (PR 3). http.Error writes text/plain bodies
+the SDK cannot decode; WriteHeader with a literal 4xx/5xx status
+divorces the status from the api code; hand-rolled {"error":...}
+bodies drift from the envelope schema. All error paths must call
+writeError(w, err) with an *api.Error or a typed store error.`,
+	Run: runAPIErr,
+}
+
+func runAPIErr(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), apiErrPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && apiErrSinks[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkAPIErrCall(pass, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkAPIErrCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case isFunc(fn, "net/http", "", "Error"):
+		pass.Reportf(call.Pos(),
+			"http.Error writes a text/plain body outside the api error envelope; use writeError(w, err) so clients get the structured code")
+	case fn.Name() == "WriteHeader" && receiverTypeName(fn) != "":
+		if len(call.Args) != 1 {
+			return
+		}
+		if code, ok := constStatus(info, call.Args[0]); ok && code >= 400 {
+			pass.Reportf(call.Pos(),
+				"status %d written directly; error statuses must come from the api code mapping via writeError so code and status cannot drift", code)
+		}
+	case isHandRolledEnvelope(fn, call):
+		pass.Reportf(call.Pos(),
+			"hand-rolled JSON error body; the envelope schema lives in pkg/api — build an *api.Error and use writeError")
+	}
+}
+
+// constStatus evaluates e as a constant int if possible.
+func constStatus(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// isHandRolledEnvelope reports whether call formats a string literal
+// that embeds an "error" JSON key through a writer-style function.
+func isHandRolledEnvelope(fn *types.Func, call *ast.CallExpr) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch {
+	case fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+	case fn.Pkg().Path() == "io" && fn.Name() == "WriteString":
+	default:
+		return false
+	}
+	for _, arg := range call.Args {
+		if litContainsErrorKey(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// litContainsErrorKey reports whether arg is a string literal whose
+// raw text contains an "error" object key.
+func litContainsErrorKey(arg ast.Expr) bool {
+	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	return strings.Contains(lit.Value, `"error"`) || strings.Contains(lit.Value, `\"error\"`)
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses findings:
+//
+//	//lint:ignore determinism profiling loop, order does not reach output
+//	//lint:ignore wspool,ctxloop reason covering both
+//	//lint:ignore all reason
+//
+// The directive needs a non-empty reason or it is ignored itself —
+// suppressions must be auditable. A directive applies to diagnostics
+// on its own line (trailing placement) and on the line directly below
+// (standalone placement above the flagged statement).
+const ignoreDirective = "//lint:ignore"
+
+// ignoreKey identifies one suppressed (file, line, analyzer) slot.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// parseIgnores collects every well-formed ignore directive in the
+// package's files.
+func parseIgnores(pkg *Package) map[ignoreKey]bool {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no analyzer list or no reason: not a valid suppression
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						ignores[ignoreKey{pos.Filename, line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// filterIgnored drops diagnostics covered by an ignore directive.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	ignores := parseIgnores(pkg)
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, "all"}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

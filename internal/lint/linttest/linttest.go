@@ -1,0 +1,186 @@
+// Package linttest runs a lint.Analyzer over a fixture directory and
+// checks its diagnostics against `// want` expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest but built on the
+// stdlib-only lint framework.
+//
+// Each fixture directory holds ordinary Go files of one package. A
+// line expected to be flagged carries a trailing comment:
+//
+//	sum += v // want `map iteration order`
+//
+// The backquoted (or double-quoted) text is a regexp that must match
+// the diagnostic message reported on that line; multiple expectations
+// on one line mean multiple diagnostics. Fixtures are typechecked for
+// real — against the repo's own packages and the standard library via
+// compiler export data — so analyzers see exactly the types they see
+// in production code.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the quoted patterns of a `// want` comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run analyzes the fixture directory as a package with the given
+// import path and reports any mismatch between diagnostics and
+// `// want` expectations as test errors. The import path matters:
+// scoped analyzers decide applicability from it, so positive fixtures
+// use paths inside the guarded packages and out-of-scope fixtures use
+// paths outside them.
+func Run(t *testing.T, a *lint.Analyzer, dir, importPath string) {
+	t.Helper()
+	diags := analyze(t, []*lint.Analyzer{a}, dir, importPath)
+	checkExpectations(t, dir, diags)
+}
+
+// RunAll is Run with the whole analyzer suite, for fixtures that
+// exercise cross-analyzer behavior like //lint:ignore lists.
+func RunAll(t *testing.T, dir, importPath string) {
+	t.Helper()
+	diags := analyze(t, lint.All(), dir, importPath)
+	checkExpectations(t, dir, diags)
+}
+
+func analyze(t *testing.T, analyzers []*lint.Analyzer, dir, importPath string) []lint.Diagnostic {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in fixture dir %s", dir)
+	}
+	r := lint.NewResolver("")
+	tpkg, info, err := r.TypeCheck(fset, importPath, files)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+	pkg := &lint.Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	diags, err := lint.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	return diags
+}
+
+// checkExpectations matches diagnostics against the `// want`
+// comments in the fixture sources.
+func checkExpectations(t *testing.T, dir string, diags []lint.Diagnostic) {
+	t.Helper()
+	expects, err := parseExpectations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if e := takeExpectation(expects, d); e == nil {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("expected diagnostic not reported:\n  %s:%d: want %s", e.file, e.line, e.raw)
+		}
+	}
+}
+
+func takeExpectation(expects []*expectation, d lint.Diagnostic) *expectation {
+	for _, e := range expects {
+		if e.met || e.line != d.Pos.Line || filepath.Base(e.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.met = true
+			return e
+		}
+	}
+	return nil
+}
+
+func parseExpectations(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for _, entry := range entries {
+		if entry.IsDir() || !strings.HasSuffix(entry.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, entry.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			matches := wantRe.FindAllString(rest, -1)
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q (use `re` or \"re\")", path, i+1, rest)
+			}
+			for _, m := range matches {
+				var pat string
+				if strings.HasPrefix(m, "`") {
+					pat = strings.Trim(m, "`")
+				} else if pat, err = strconv.Unquote(m); err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", path, i+1, m, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: want pattern %q: %v", path, i+1, pat, err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, re: re, raw: m})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// A Package is one typechecked unit of analysis: the non-test Go files
+// of a single import path, with full type information.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// A Resolver locates compiler export data for import paths by asking
+// the go command, so go/types can import dependencies without source
+// typechecking and without any module downloads. Lookups are lazy:
+// the first request for an unknown path lists its whole dependency
+// closure with `go list -export`, which (re)builds export data as
+// needed, entirely from the local build cache.
+type Resolver struct {
+	dir string
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+}
+
+// NewResolver returns a resolver that runs the go command in dir
+// (any directory inside the module works; "" means the process cwd).
+func NewResolver(dir string) *Resolver {
+	return &Resolver{dir: dir, exports: make(map[string]string)}
+}
+
+// goList runs `go list -e -export -json -deps args...` and merges the
+// result into the export map, returning the listed packages.
+func (r *Resolver) goList(args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Error",
+		"-deps",
+	}, args...)...)
+	cmd.Dir = r.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			r.exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// lookup is the export-data source handed to the gc importer. The
+// importer resolves "unsafe" itself and never calls lookup for it.
+func (r *Resolver) lookup(path string) (io.ReadCloser, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.exports[path]; ok {
+		return os.Open(f)
+	}
+	if _, err := r.goList(path); err != nil {
+		return nil, err
+	}
+	f, ok := r.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// TypeCheck parses nothing itself: it typechecks the given parsed
+// files as the package importPath, importing dependencies through the
+// resolver's export data.
+func (r *Resolver) TypeCheck(fset *token.FileSet, importPath string, files []*ast.File) (*types.Package, *types.Info, error) {
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", r.lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	}
+	return pkg, info, nil
+}
+
+// Load resolves the given go package patterns (e.g. "./...") from dir
+// and returns each matched package parsed and typechecked. Test files
+// are not analyzed: the invariants guard production code, and tests
+// legitimately use wall clocks and ad-hoc files.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	r := NewResolver(dir)
+	r.mu.Lock()
+	listed, err := r.goList(patterns...)
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse: %w", err)
+			}
+			files = append(files, af)
+		}
+		pkg, info, err := r.TypeCheck(fset, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		})
+	}
+	return out, nil
+}

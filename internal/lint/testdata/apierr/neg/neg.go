@@ -1,0 +1,39 @@
+// Sanctioned service responses: the writeError/writeJSON sinks
+// themselves, success statuses, and statuses computed by the pkg/api
+// mapping.
+package fixture
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type envelope struct {
+	Error any `json:"error"`
+}
+
+// writeError is the sanctioned sink; the envelope implementation is
+// allowed to write statuses directly.
+func writeError(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(envelope{Error: v})
+}
+
+// writeJSON is the sanctioned success sink.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Accepted writes a success status, which is fine anywhere.
+func Accepted(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// FromMapping forwards a status computed from the api code mapping;
+// non-constant statuses are not flagged.
+func FromMapping(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}

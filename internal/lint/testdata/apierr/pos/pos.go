@@ -1,0 +1,28 @@
+// Violations of the structured error contract: error responses that
+// bypass writeError and the pkg/api code-to-status mapping.
+package fixture
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Fail answers with a plain-text error the SDK cannot decode.
+func Fail(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad request", http.StatusBadRequest) // want `http.Error writes a text/plain body`
+}
+
+// FailStatus writes an error status divorced from any api code.
+func FailStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want `status 500 written directly`
+}
+
+// FailLiteral writes a literal error status.
+func FailLiteral(w http.ResponseWriter) {
+	w.WriteHeader(404) // want `status 404 written directly`
+}
+
+// FailBody hand-rolls the envelope, drifting from the pkg/api schema.
+func FailBody(w http.ResponseWriter) {
+	fmt.Fprintf(w, `{"error":{"code":%q}}`, "internal") // want `hand-rolled JSON error body`
+}

@@ -1,0 +1,47 @@
+// Sanctioned persistence primitives: the temp+rename+fsync dance,
+// WAL-style create-new append handles, and plain reads.
+package fixture
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// SaveAtomic is the WriteSnapshotFile shape: temp sibling, sync,
+// close, rename.
+func SaveAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// AppendLog opens a WAL-style handle: create-new plus append, with
+// the caller fsyncing every record.
+func AppendLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+}
+
+// Reopen attaches to an existing WAL for appending.
+func Reopen(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0)
+}
+
+// ReadBack only reads; reads are never flagged.
+func ReadBack(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,29 @@
+// Violations of the temp+rename+fsync persistence protocol: writing
+// or truncating the durable filename in place.
+package fixture
+
+import "os"
+
+// SaveDirect creates the durable file in place; a crash mid-write
+// leaves a torn file under the final name.
+func SaveDirect(path string, data []byte) error {
+	f, err := os.Create(path) // want `os.Create writes into the final filename`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SaveWhole writes the durable file with no fsync and no rename.
+func SaveWhole(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile writes into the final filename`
+}
+
+// Truncate rewrites the durable file in place.
+func Truncate(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want `os.O_TRUNC truncates the durable file in place`
+}

@@ -1,0 +1,78 @@
+// Context-responsive loops and loops with their own termination
+// argument: none of these are flagged.
+package fixture
+
+import "context"
+
+// Poll selects on ctx.Done, the canonical worker shape.
+func Poll(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case w := <-work:
+			total += w
+		}
+	}
+}
+
+// CheckErr polls ctx.Err each iteration, the canonical compute shape.
+func CheckErr(ctx context.Context, next func() (int, bool)) (int, error) {
+	total := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		w, ok := next()
+		if !ok {
+			return total, nil
+		}
+		total += w
+	}
+}
+
+// Forward passes ctx into the loop body; the callee observes it.
+func Forward(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if !step(ctx) {
+			return
+		}
+	}
+}
+
+// Bounded loops carry their own termination argument.
+func Bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// NoCtx takes no context, so it makes no cancellation promise; the
+// kernel's push loop terminates by its epsilon argument instead.
+func NoCtx(q []int) int {
+	total := 0
+	for {
+		if len(q) == 0 {
+			return total
+		}
+		total += q[0]
+		q = q[1:]
+	}
+}
+
+// OwnCtx declares its own context parameter; the literal is checked
+// against that parameter, not the enclosing one.
+func OwnCtx(outer context.Context, run func(func(context.Context) int) int) int {
+	return run(func(inner context.Context) int {
+		total := 0
+		for {
+			if inner.Err() != nil {
+				return total
+			}
+			total++
+		}
+	})
+}

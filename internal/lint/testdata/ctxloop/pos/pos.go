@@ -1,0 +1,44 @@
+// Violations of context responsiveness: functions that accept a
+// context but spin in unbounded loops that never consult it.
+package fixture
+
+import "context"
+
+// Drain never observes ctx; a cancelled job would spin until the
+// channel closes.
+func Drain(ctx context.Context, work chan int) int {
+	total := 0
+	for { // want `unbounded for loop never consults ctx`
+		w, ok := <-work
+		if !ok {
+			return total
+		}
+		total += w
+	}
+}
+
+// SpinPost is unbounded despite the post statement: the condition is
+// empty, so only the body's own logic can stop it.
+func SpinPost(ctx context.Context, n int) int {
+	for i := 0; ; i++ { // want `unbounded for loop never consults ctx`
+		if i > n*n {
+			return i
+		}
+	}
+}
+
+// ClosureSpin spins inside a goroutine closure that captures nothing
+// from the context it was promised.
+func ClosureSpin(ctx context.Context, work chan int, out chan<- int) {
+	go func() {
+		total := 0
+		for { // want `unbounded for loop never consults ctx`
+			w, ok := <-work
+			if !ok {
+				out <- total
+				return
+			}
+			total += w
+		}
+	}()
+}

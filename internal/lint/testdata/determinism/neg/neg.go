@@ -1,0 +1,48 @@
+// Code that looks like a violation but is deterministic: map
+// iteration feeding a sort before any arithmetic, integer-only
+// bookkeeping under map order, order-independent assignment, and
+// explicitly seeded generators.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SortedSum collects keys, sorts, then accumulates.
+func SortedSum(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// Count does only integer bookkeeping under map order.
+func Count(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Halve writes order-independent values; no accumulation.
+func Halve(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v / 2
+	}
+	return out
+}
+
+// SeededDraw derives its generator from an explicit seed.
+func SeededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,28 @@
+// The same violations as the positive fixture, but analyzed under an
+// import path outside the deterministic packages: nothing is flagged.
+// CLIs and the service layer may read clocks and the global source.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SumMass would be flagged inside the deterministic packages.
+func SumMass(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Stamp reads the wall clock, which is fine outside the engine.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Draw uses the global source, fine outside the engine.
+func Draw() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,41 @@
+// Violations of the determinism contract: map order and wall clock
+// reaching float accumulation, and draws from the global rand source.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SumMass accumulates float mass in map iteration order.
+func SumMass(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order reaches float accumulation`
+		s += v
+	}
+	return s
+}
+
+// ScaleTotal uses the s = s + x accumulation shape.
+func ScaleTotal(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order reaches float accumulation`
+		total = total + v*2
+	}
+	return total
+}
+
+// Stamp lets the wall clock into a deterministic package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+// Draw consumes the process-global rand source.
+func Draw() float64 {
+	return rand.Float64() // want `unseeded process-global source`
+}
+
+// Shuffle mutates order from the global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `unseeded process-global source`
+}

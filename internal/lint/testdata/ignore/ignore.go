@@ -1,0 +1,39 @@
+// The //lint:ignore suppression convention: a justified directive
+// silences the named analyzers on its own line and the line below;
+// a directive without a reason does not parse and silences nothing.
+package fixture
+
+import "time"
+
+// Profile deliberately reads the wall clock; the duration feeds a
+// log line, never the computation, and the suppression records that.
+func Profile() time.Duration {
+	//lint:ignore determinism profiling only, duration never reaches float accumulation
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Trailing suppressions on the flagged line itself also work.
+func Trailing() int64 {
+	return time.Now().UnixNano() //lint:ignore determinism boot stamp, logged only
+}
+
+// AllOff silences every analyzer on the next line.
+func AllOff() int64 {
+	//lint:ignore all fixture exercising the catch-all form
+	return time.Now().UnixNano()
+}
+
+// WrongName suppresses a different analyzer, so the determinism
+// finding stands.
+func WrongName() int64 {
+	//lint:ignore wspool misdirected suppression
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+// Unjustified has no reason, so the directive does not parse and the
+// finding stands.
+func Unjustified() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}

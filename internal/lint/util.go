@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// inScope reports whether pkgPath is one of the listed packages or a
+// subpackage of one.
+func inScope(pkgPath string, scope []string) bool {
+	for _, s := range scope {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or
+// nil for calls through function-typed variables, builtins, and type
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// receiverTypeName returns the (pointer-stripped) named receiver type
+// of fn, or "" for package-level functions.
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isFunc reports whether fn is the function pkgPath.name (recv == "")
+// or the method pkgPath.(recv).name.
+func isFunc(fn *types.Func, pkgPath, recv, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	return receiverTypeName(fn) == recv
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// funcScopes returns every function body in the file as an
+// independent analysis scope: each FuncDecl and each FuncLit. Nested
+// literals appear both inside their parent's body and as their own
+// scope; analyzers that must not double-count skip nested FuncLits
+// while walking a scope body.
+type funcScope struct {
+	// decl is non-nil for named functions and methods.
+	decl *ast.FuncDecl
+	// lit is non-nil for function literals.
+	lit *ast.FuncLit
+	// typ is the function's signature syntax.
+	typ *ast.FuncType
+	// body is the function body (may be nil for bodyless decls).
+	body *ast.BlockStmt
+}
+
+func (s funcScope) name() string {
+	if s.decl != nil {
+		return s.decl.Name.Name
+	}
+	return "func literal"
+}
+
+func funcScopes(f *ast.File) []funcScope {
+	var out []funcScope
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			out = append(out, funcScope{decl: fn, typ: fn.Type, body: fn.Body})
+		case *ast.FuncLit:
+			out = append(out, funcScope{lit: fn, typ: fn.Type, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// walkScope traverses body but does not descend into nested function
+// literals (each literal is its own scope).
+func walkScope(body ast.Node, visit func(ast.Node) bool) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// usesObject reports whether any identifier under n (descending into
+// nested function literals: a closure capturing the object counts)
+// refers to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
