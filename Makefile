@@ -54,8 +54,12 @@ graphd:
 # edge-list parse, snapshot write, WAL append fsync cost) is filtered
 # into BENCH_persist.json, and the diffusion-kernel slice (map vs
 # indexed push/Nibble/heat kernel, graphd ppr steady state) into
-# BENCH_kernel.json — one execution, three records. Use BENCHTIME=5s
-# for a statistically meaningful local run.
+# BENCH_kernel.json — one execution, three records. The observability
+# slice — the graphd ppr path with and without telemetry plus the
+# cached-hit floor, and the metrics-registry hot path from
+# internal/service (ObserveRequest must stay 0 allocs/op) — lands in
+# BENCH_observe.json. Use BENCHTIME=5s for a statistically meaningful
+# local run.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json . > BENCH_ncp.json
@@ -65,3 +69,6 @@ bench:
 	  echo "wrote BENCH_persist.json ($$(wc -c < BENCH_persist.json) bytes)"
 	@grep -E '"Test":"Benchmark(Push(Map|Indexed)|Nibble|HeatKernel|GraphdPPRSteadyState)' BENCH_ncp.json > BENCH_kernel.json && \
 	  echo "wrote BENCH_kernel.json ($$(wc -c < BENCH_kernel.json) bytes)"
+	@grep -E '"Test":"BenchmarkGraphdPPR' BENCH_ncp.json > BENCH_observe.json
+	$(GO) test -run '^$$' -bench 'BenchmarkObserve' -benchtime $(BENCHTIME) -benchmem -json ./internal/service >> BENCH_observe.json
+	@echo "wrote BENCH_observe.json ($$(wc -c < BENCH_observe.json) bytes)"

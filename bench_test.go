@@ -1035,8 +1035,36 @@ func BenchmarkHeatKernel(b *testing.B) {
 // workspace scratch, so steady-state allocations are request plumbing
 // (JSON, response assembly), not sparse-vector churn.
 func BenchmarkGraphdPPRSteadyState(b *testing.B) {
+	benchGraphdPPR(b, service.Config{}, false)
+}
+
+// BenchmarkGraphdPPRSteadyStateNoTelemetry is the same workload with
+// DisableTelemetry set — the delta against BenchmarkGraphdPPRSteadyState
+// is the full cost of the observability layer (request-ID mint +
+// context carry, work histograms, trace ring), budgeted at <= 2% ns/op.
+func BenchmarkGraphdPPRSteadyStateNoTelemetry(b *testing.B) {
+	benchGraphdPPR(b, service.Config{DisableTelemetry: true}, false)
+}
+
+// BenchmarkGraphdPPRCachedHit repeats one request so every iteration
+// after the first answers from the LRU cache: mux + decode + cache probe
+// + canned bytes. This is the latency floor of the serving layer and
+// the allocation guard for the hit path.
+func BenchmarkGraphdPPRCachedHit(b *testing.B) {
+	benchGraphdPPR(b, service.Config{}, true)
+}
+
+// benchGraphdPPR drives the full graphd ppr query path — HTTP mux,
+// decode/validate, pooled kernel push, sweep, JSON encode — in process.
+// With cached=false a distinct seed per request defeats the LRU cache so
+// every iteration exercises the compute path; allocs/op is then the
+// serving-layer regression guard (the diffusion itself borrows pooled
+// workspace scratch, so steady-state allocations are request plumbing,
+// not sparse-vector churn). With cached=true the same request repeats
+// and measures the hit path.
+func benchGraphdPPR(b *testing.B, cfg service.Config, cached bool) {
 	g := ncpBenchGraph(b)
-	srv, err := service.NewServer(service.Config{})
+	srv, err := service.NewServer(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1068,7 +1096,11 @@ func BenchmarkGraphdPPRSteadyState(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if code := do(seedIDs[i%len(seedIDs)]); code != 200 {
+		seed := seedIDs[i%len(seedIDs)]
+		if cached {
+			seed = seedIDs[0]
+		}
+		if code := do(seed); code != 200 {
 			b.Fatalf("request %d returned %d", i, code)
 		}
 	}

@@ -35,6 +35,7 @@ var commands = map[string]command{
 	"sweepcut":     cmdSweepCut,
 	"jobs":         cmdJobs,
 	"job":          cmdJob,
+	"debug":        cmdDebug,
 	"ncp":          cmdNCP,
 	"partition":    cmdPartition,
 	"fig1":         cmdFig1,
@@ -388,6 +389,7 @@ func cmdPPR(ctx context.Context, c *client.Client, args []string) error {
 	fs.Float64Var(&req.Eps, "eps", 0, "push tolerance (default 1e-4)")
 	fs.IntVar(&req.TopK, "topk", 0, "entries to return (default 100)")
 	fs.BoolVar(&req.Sweep, "sweep", false, "also sweep the vector for the best cut")
+	work := fs.Bool("work", false, "request the kernel work accounting (?debug=work)")
 	g, rest, err := name(fs, args, "ppr <name> -seeds 0[,..] [flags]")
 	if err != nil {
 		return err
@@ -396,7 +398,7 @@ func cmdPPR(ctx context.Context, c *client.Client, args []string) error {
 		return err
 	}
 	req.Seeds = seeds
-	res, err := c.Graphs.PPR(ctx, g, req)
+	res, err := c.Graphs.PPR(ctx, g, req, queryOpts(*work)...)
 	if err != nil {
 		return err
 	}
@@ -408,6 +410,7 @@ func cmdPPR(ctx context.Context, c *client.Client, args []string) error {
 			fmt.Printf("sweep: %d nodes at phi=%.4f (prefix %d)\n",
 				res.Sweep.Size, res.Sweep.Conductance, res.Sweep.Prefix)
 		}
+		printWork(res.Work)
 	})
 }
 
@@ -421,6 +424,7 @@ func cmdLocalCluster(ctx context.Context, c *client.Client, args []string) error
 	fs.Float64Var(&req.Eps, "eps", 0, "truncation threshold (default 1e-4)")
 	fs.IntVar(&req.Steps, "steps", 0, "nibble walk steps (default 20)")
 	fs.Float64Var(&req.T, "t", 0, "heat-kernel time (default 5)")
+	work := fs.Bool("work", false, "request the kernel work accounting (?debug=work)")
 	g, rest, err := name(fs, args, "localcluster <name> -seeds 0[,..] [flags]")
 	if err != nil {
 		return err
@@ -429,13 +433,14 @@ func cmdLocalCluster(ctx context.Context, c *client.Client, args []string) error
 		return err
 	}
 	req.Seeds = seeds
-	res, err := c.Graphs.LocalCluster(ctx, g, req)
+	res, err := c.Graphs.LocalCluster(ctx, g, req, queryOpts(*work)...)
 	if err != nil {
 		return err
 	}
 	return emit(res, func() {
 		fmt.Printf("%s on %s: %d-node cluster at phi=%.4f (vol %.0f, support %d)\n",
 			res.Method, g, res.Size, res.Conductance, res.Volume, res.Support)
+		printWork(res.Work)
 	})
 }
 
@@ -450,6 +455,7 @@ func cmdDiffuse(ctx context.Context, c *client.Client, args []string) error {
 	fs.Float64Var(&req.Alpha, "alpha", 0, "lazy-walk laziness (default 0.5)")
 	fs.IntVar(&req.K, "k", 0, "lazy-walk steps (default 10)")
 	fs.IntVar(&req.TopK, "topk", 0, "entries to return (default 100)")
+	work := fs.Bool("work", false, "request the work accounting (?debug=work)")
 	g, rest, err := name(fs, args, "diffuse <name> -seeds 0[,..] [flags]")
 	if err != nil {
 		return err
@@ -458,14 +464,39 @@ func cmdDiffuse(ctx context.Context, c *client.Client, args []string) error {
 		return err
 	}
 	req.Seeds = seeds
-	res, err := c.Graphs.Diffuse(ctx, g, req)
+	res, err := c.Graphs.Diffuse(ctx, g, req, queryOpts(*work)...)
 	if err != nil {
 		return err
 	}
 	return emit(res, func() {
 		fmt.Printf("%s diffusion on %s: sum=%.4f\n", res.Kind, g, res.Sum)
 		printTop(res.Top, 10)
+		printWork(res.Work)
 	})
+}
+
+// queryOpts maps the -work flag onto the SDK's per-call options.
+func queryOpts(work bool) []client.QueryOption {
+	if work {
+		return []client.QueryOption{client.WithWorkStats()}
+	}
+	return nil
+}
+
+// printWork renders the optional work block of a query response.
+func printWork(w *api.WorkStats) {
+	if w == nil {
+		return
+	}
+	fmt.Printf("work: method=%s pushes=%d volume=%.0f support=%d",
+		w.Method, w.Pushes, w.WorkVolume, w.MaxSupport)
+	if w.Steps > 0 {
+		fmt.Printf(" steps=%d", w.Steps)
+	}
+	if w.Terms > 0 {
+		fmt.Printf(" terms=%d", w.Terms)
+	}
+	fmt.Println()
 }
 
 func cmdSweepCut(ctx context.Context, c *client.Client, args []string) error {
@@ -558,7 +589,7 @@ func cmdJob(ctx context.Context, c *client.Client, args []string) error {
 		}
 		return emitJobView(v)
 	case "wait":
-		v, err := c.Jobs.Wait(ctx, id)
+		v, err := waitWithProgress(ctx, c, id)
 		if err != nil {
 			return err
 		}
@@ -579,6 +610,34 @@ func cmdJob(ctx context.Context, c *client.Client, args []string) error {
 	default:
 		return fmt.Errorf("unknown job verb %q (want get|wait|result|cancel)", verb)
 	}
+}
+
+// cmdDebug is the observability verb family; today's only verb is
+// "queries", which dumps the server's recent-query trace ring.
+func cmdDebug(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 || args[0] != "queries" {
+		return fmt.Errorf("usage: graphctl debug queries")
+	}
+	qs, err := c.DebugQueries(ctx)
+	if err != nil {
+		return err
+	}
+	return emit(api.DebugQueriesResponse{Queries: qs}, func() {
+		if len(qs) == 0 {
+			fmt.Println("no recent queries")
+			return
+		}
+		fmt.Printf("%-22s %-30s %-16s %6s %-7s %9s  %s\n",
+			"ID", "ROUTE", "GRAPH", "STATUS", "CACHE", "MS", "WORK")
+		for _, q := range qs {
+			work := ""
+			if q.Work != nil {
+				work = fmt.Sprintf("%s pushes=%d vol=%.0f", q.Work.Method, q.Work.Pushes, q.Work.WorkVolume)
+			}
+			fmt.Printf("%-22s %-30s %-16s %6d %-7s %9.2f  %s\n",
+				q.ID, q.Route, q.Graph, q.Status, q.Cache, q.DurationMS, work)
+		}
+	})
 }
 
 func cmdNCP(ctx context.Context, c *client.Client, args []string) error {
@@ -674,7 +733,8 @@ func cmdFig1(ctx context.Context, c *client.Client, args []string) error {
 }
 
 // submitAndWait is the shared job convenience path: build the typed
-// submission, enqueue it, poll to terminal, decode the typed result.
+// submission, enqueue it, poll to terminal (rendering live progress to
+// stderr), decode the typed result.
 func submitAndWait(ctx context.Context, c *client.Client, jobType, graph string, params, out any) (api.JobView, error) {
 	req, err := api.NewJob(jobType, graph, params)
 	if err != nil {
@@ -687,7 +747,37 @@ func submitAndWait(ctx context.Context, c *client.Client, jobType, graph string,
 	if !asJSON {
 		fmt.Fprintf(os.Stderr, "submitted %s job %s, waiting...\n", jobType, view.ID)
 	}
-	return c.Jobs.WaitResult(ctx, view.ID, out)
+	view, err = waitWithProgress(ctx, c, view.ID)
+	if err != nil {
+		return view, err
+	}
+	if view.Status != api.JobDone {
+		return view, api.Errorf(api.CodeConflict, "job %s is %s: %s", view.ID, view.Status, view.Error)
+	}
+	return view, c.Jobs.Result(ctx, view.ID, out)
+}
+
+// waitWithProgress polls the job to a terminal state, repainting a
+// single stderr line with the server-reported progress fraction while
+// the job runs. In -json mode it degrades to a silent wait.
+func waitWithProgress(ctx context.Context, c *client.Client, id string) (api.JobView, error) {
+	if asJSON {
+		return c.Jobs.Wait(ctx, id)
+	}
+	last := -1
+	v, err := c.Jobs.WaitFunc(ctx, id, func(v api.JobView) {
+		if v.Status != api.JobRunning {
+			return
+		}
+		if pct := int(v.Progress * 100); pct != last {
+			last = pct
+			fmt.Fprintf(os.Stderr, "\rjob %s running: %3d%%", id, pct)
+		}
+	})
+	if last >= 0 {
+		fmt.Fprintln(os.Stderr)
+	}
+	return v, err
 }
 
 func printTop(top []api.NodeMass, limit int) {
@@ -713,6 +803,9 @@ func emitGraphInfo(info api.GraphInfo, verb string) error {
 func emitJobView(v api.JobView) error {
 	return emit(v, func() {
 		fmt.Printf("job %s: type=%s graph=%s status=%s", v.ID, v.Type, v.Graph, v.Status)
+		if v.Status == api.JobRunning && v.Progress > 0 {
+			fmt.Printf(" progress=%.0f%%", 100*v.Progress)
+		}
 		if v.FromCache {
 			fmt.Print(" (cached)")
 		}

@@ -146,6 +146,7 @@ queries:
   localcluster <name> [flags]    ppr | nibble | heat local clustering
   diffuse <name> [flags]         heat | ppr | lazy dense diffusion
   sweepcut <name> <file|->       sweep a "node mass" vector
+  (add -work to ppr/localcluster/diffuse for kernel work accounting)
 
 jobs:
   ncp <name> [flags]             NCP profile: submit, wait, print
@@ -157,6 +158,7 @@ jobs:
 misc:
   health                         server health and build info
   metrics                        raw Prometheus metrics
+  debug queries                  recent queries (id, route, cache, ms, work)
 
 global flags:
 `)

@@ -15,6 +15,11 @@
 //	graphd -addr :8080
 //	graphd -addr :8080 -data-dir /var/lib/graphd
 //	graphd -addr :8080 -load social=edges.txt.gz -load road=road.gsnap
+//	graphd -addr :8080 -debug-addr 127.0.0.1:6060 -access-log
+//
+// Observability: /metrics (Prometheus text) and /debug/queries (recent
+// query trace) are on the serving port; pprof and expvar are only ever
+// on the separate -debug-addr listener. See docs/observability.md.
 //
 // Quickstart (cmd/graphctl is the CLI client, pkg/client the Go SDK):
 //
@@ -33,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -58,6 +64,9 @@ func main() {
 	var loads loadFlags
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "debug listen address for pprof/expvar (empty = disabled; never exposed on -addr)")
+		accessLog  = flag.Bool("access-log", false, "log one structured line per request to stderr")
+		traceBuf   = flag.Int("trace-queries", 0, "recent-query trace entries for /debug/queries (0 = default 128, negative disables)")
 		cacheSize  = flag.Int("cache", 1024, "result cache entries (negative disables)")
 		jobWorkers = flag.Int("job-workers", 2, "async job worker count")
 		jobQueue   = flag.Int("job-queue", 64, "max pending jobs")
@@ -72,13 +81,18 @@ func main() {
 		return
 	}
 
-	srv, err := service.NewServer(service.Config{
+	cfg := service.Config{
 		CacheEntries: *cacheSize,
 		JobWorkers:   *jobWorkers,
 		JobQueue:     *jobQueue,
 		QueryTimeout: *timeout,
 		DataDir:      *dataDir,
-	})
+		TraceBuffer:  *traceBuf,
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv, err := service.NewServer(cfg)
 	if err != nil {
 		log.Fatalf("graphd: %v", err)
 	}
@@ -114,6 +128,24 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("graphd: serving on %s", *addr)
+
+	// Profiling and expvar bind only here, never on the serving mux: an
+	// operator who does not pass -debug-addr exposes no pprof at all,
+	// and one who does can firewall the two ports independently.
+	if *debugAddr != "" {
+		debugSrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("graphd: debug listener: %v", err)
+			}
+		}()
+		defer debugSrv.Close()
+		log.Printf("graphd: debug endpoints (pprof, expvar) on %s", *debugAddr)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

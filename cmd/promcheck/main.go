@@ -1,0 +1,46 @@
+// Command promcheck lints a Prometheus text exposition read from stdin
+// (or a file argument) with the strict internal/promtext rules and
+// exits non-zero on the first problem. CI uses it to gate graphd's
+// hand-rolled /metrics encoder:
+//
+//	curl -fsS localhost:8080/metrics | promcheck
+//	promcheck scrape.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/promtext"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stderr io.Writer) int {
+	if len(args) > 1 {
+		fmt.Fprintln(stderr, "usage: promcheck [exposition-file]")
+		return 2
+	}
+	in := stdin
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(stderr, "promcheck: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	errs := promtext.Lint(in)
+	for _, e := range errs {
+		fmt.Fprintf(stderr, "promcheck: %v\n", e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(stderr, "promcheck: %d problem(s)\n", len(errs))
+		return 1
+	}
+	return 0
+}

@@ -29,6 +29,14 @@ type Fig1Config struct {
 	// runtime.NumCPU(); 1 runs serially). The result is identical
 	// whatever the worker count.
 	Workers int
+	// OnProgress, when set, receives experiment progress as
+	// (units done, total units) across five equal phases: generation,
+	// spectral profile, flow profile, and the two niceness evaluations.
+	// The profile phases advance fractionally as their engines report;
+	// the others tick at phase boundaries. Calls may arrive from
+	// multiple goroutines; the hook must be cheap and must not panic. It
+	// has no effect on the result.
+	OnProgress func(done, total int)
 }
 
 func (c *Fig1Config) withDefaults() Fig1Config {
@@ -96,16 +104,31 @@ func Fig1(cfg Fig1Config) (*Fig1Result, error) {
 // the experiment mid-run.
 func Fig1Ctx(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
 	c := (&cfg).withDefaults()
+	// Progress is reported in thousandths of a phase so the two profile
+	// engines can advance smoothly inside their phase windows.
+	const unit = 1000
+	progress := func(phasesDone int, frac float64) {
+		if c.OnProgress != nil {
+			c.OnProgress(phasesDone*unit+int(frac*unit), 5*unit)
+		}
+	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	g, err := gen.ForestFire(gen.ForestFireConfig{N: c.N, FwdProb: c.FwdProb, Ambs: 1}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 generator: %w", err)
 	}
-	spProf, err := ncp.SpectralProfileCtx(ctx, g, ncp.SpectralConfig{Seeds: c.SpectralSeeds, Workers: c.Workers}, rng)
+	progress(1, 0)
+	spProf, err := ncp.SpectralProfileCtx(ctx, g, ncp.SpectralConfig{
+		Seeds: c.SpectralSeeds, Workers: c.Workers,
+		OnProgress: func(done, total int) { progress(1, float64(done)/float64(total)) },
+	}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 spectral profile: %w", err)
 	}
-	flProf, err := ncp.FlowProfileCtx(ctx, g, ncp.FlowConfig{Workers: c.Workers}, rng)
+	flProf, err := ncp.FlowProfileCtx(ctx, g, ncp.FlowConfig{
+		Workers:    c.Workers,
+		OnProgress: func(done, total int) { progress(2, float64(done)/float64(total)) },
+	}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 flow profile: %w", err)
 	}
@@ -115,10 +138,12 @@ func Fig1Ctx(ctx context.Context, cfg Fig1Config) (*Fig1Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 spectral measures: %w", err)
 	}
+	progress(4, 0)
 	flM, err := ncp.EvaluateProfileCapped(g, flProf, c.MinSize, c.MaxSize, 16)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig1 flow measures: %w", err)
 	}
+	progress(5, 0)
 	res := &Fig1Result{Graph: g}
 	for _, m := range spM {
 		res.Spectral = append(res.Spectral, toPoint(m))

@@ -127,6 +127,10 @@ func (d PushACL) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, err
 		st.Pushes++
 		st.WorkVolume += du
 	}
+	// The push never shrinks p's support, so the final support is the
+	// peak. Reading it after the loop keeps the accounting out of the
+	// float path entirely.
+	st.MaxSupport = ws.PSupport()
 	return st, nil
 }
 

@@ -82,6 +82,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
+		InstrClean,
 		WSPool,
 		AtomicWrite,
 		APIErr,

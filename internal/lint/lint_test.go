@@ -31,6 +31,18 @@ func TestDeterminismOutOfScope(t *testing.T) {
 	linttest.Run(t, lint.Determinism, "testdata/determinism/outofscope", outOfScope)
 }
 
+func TestInstrCleanPositive(t *testing.T) {
+	linttest.Run(t, lint.InstrClean, "testdata/instrclean/pos", inDeterministic)
+}
+
+func TestInstrCleanNegative(t *testing.T) {
+	linttest.Run(t, lint.InstrClean, "testdata/instrclean/neg", inDeterministic)
+}
+
+func TestInstrCleanOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.InstrClean, "testdata/instrclean/outofscope", outOfScope)
+}
+
 func TestWSPoolPositive(t *testing.T) {
 	linttest.Run(t, lint.WSPool, "testdata/wspool/pos", inDeterministic)
 }

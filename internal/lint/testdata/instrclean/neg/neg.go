@@ -1,0 +1,43 @@
+// The sanctioned shape: plain integer counters inside the loop, clock
+// reads and telemetry at the boundary, after the loop finishes.
+package fixture
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Stats mirrors the kernel's accounting: ints accumulated in the loop.
+type Stats struct {
+	Pushes     int
+	WorkVolume float64
+}
+
+// CountedPush accumulates plain counters per iteration and leaves the
+// clock and the logger to the caller's boundary.
+func CountedPush(xs []float64) Stats {
+	var st Stats
+	for _, x := range xs {
+		st.Pushes++
+		st.WorkVolume += x
+	}
+	return st
+}
+
+// BoundaryTelemetry reads the clock and logs outside any loop; only
+// loop bodies are guarded.
+func BoundaryTelemetry(xs []float64) time.Duration {
+	start := time.Now()
+	st := CountedPush(xs)
+	slog.Info("diffusion done", "pushes", st.Pushes)
+	return time.Since(start)
+}
+
+// HookInLoop calls a plain function value per iteration: progress
+// hooks are how the engines report without logging, and calls through
+// function-typed variables are not instrumentation.
+func HookInLoop(xs []float64, onStep func(int)) {
+	for i := range xs {
+		onStep(i)
+	}
+}

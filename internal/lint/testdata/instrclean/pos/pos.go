@@ -1,0 +1,54 @@
+// Violations of the instrumentation-free hot loop contract: wall-clock
+// reads, logging, and expvar counters inside diffusion loops.
+package fixture
+
+import (
+	"expvar"
+	"log"
+	"log/slog"
+	"time"
+)
+
+// TimedPush reads the wall clock around every push.
+func TimedPush(xs []float64) (float64, time.Duration) {
+	var s float64
+	var spent time.Duration
+	for _, x := range xs {
+		t0 := time.Now() // want `time.Now inside a diffusion loop`
+		s += x
+		spent += time.Since(t0) // want `time.Since inside a diffusion loop`
+	}
+	return s, spent
+}
+
+// LoggedPush logs per iteration through the package-level slog API.
+func LoggedPush(xs []float64) {
+	for i := range xs {
+		slog.Info("pushed", "i", i) // want `log/slog.Info call inside a diffusion loop`
+	}
+}
+
+// LoggerMethod calls a method on a captured logger; receiver calls are
+// deliberately not exempt here.
+func LoggerMethod(l *slog.Logger, xs []float64) {
+	for range xs {
+		l.Debug("step") // want `log/slog.Debug call inside a diffusion loop`
+	}
+}
+
+// ClosureInLoop hides the call inside a function literal built per
+// iteration; the analyzer descends into it.
+func ClosureInLoop(xs []float64) {
+	for range xs {
+		emit := func() { log.Println("tick") } // want `log.Println call inside a diffusion loop`
+		emit()
+	}
+}
+
+// CounterLoop bumps an expvar per step of a plain for loop.
+func CounterLoop(n int) {
+	steps := expvar.NewInt("steps")
+	for i := 0; i < n; i++ {
+		steps.Add(1) // want `expvar.Add call inside a diffusion loop`
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/flow"
 	"repro/internal/graph"
@@ -40,6 +41,12 @@ type SpectralConfig struct {
 	// only on BaseSeed, not on scheduling. When 0, one value is drawn
 	// from the rng argument of SpectralProfile.
 	BaseSeed int64
+	// OnProgress, when set, is called after each (α, seed) task finishes
+	// with the number of completed tasks and the total. Calls may arrive
+	// from multiple goroutines, and `done` is monotone per call site but
+	// observations can interleave; the hook must be cheap and must not
+	// panic. Progress reporting never affects the profile itself.
+	OnProgress func(done, total int)
 }
 
 func (c *SpectralConfig) withDefaults() SpectralConfig {
@@ -96,7 +103,9 @@ func SpectralProfileCtx(ctx context.Context, g *graph.Graph, cfg SpectralConfig,
 	tasks := len(c.Alphas) * c.Seeds
 	perTask := make([][]Cluster, tasks)
 	pool := kernel.NewPool(g.N())
+	step := progressStepper(c.OnProgress, tasks)
 	err := par.ForEachCtx(ctx, c.Workers, tasks, func(t int) error {
+		defer step()
 		ai, si := t/c.Seeds, t%c.Seeds
 		alpha := c.Alphas[ai]
 		eps := pushEps(alpha, g.Volume(), c.EpsFactor)
@@ -127,6 +136,17 @@ func SpectralProfileCtx(ctx context.Context, g *graph.Graph, cfg SpectralConfig,
 		return nil, errors.New("ncp: spectral profile produced no clusters")
 	}
 	return prof, nil
+}
+
+// progressStepper returns a goroutine-safe "one more task done" closure
+// over fn: each call increments a shared counter and reports
+// (done, total). A nil fn yields a no-op so call sites need no branching.
+func progressStepper(fn func(done, total int), total int) func() {
+	if fn == nil {
+		return func() {}
+	}
+	var done atomic.Int64
+	return func() { fn(int(done.Add(1)), total) }
 }
 
 // collectSweepClusters walks the sweep order and records every prefix
@@ -194,6 +214,11 @@ type FlowConfig struct {
 	// on scheduling. When 0, one value is drawn from the rng argument of
 	// FlowProfile.
 	BaseSeed int64
+	// OnProgress, when set, is called as the profile advances with the
+	// number of completed units and the total: the whole bisection
+	// recursion counts as one unit and each ball-seed task as one more.
+	// Same contract as SpectralConfig.OnProgress.
+	OnProgress func(done, total int)
 }
 
 func (c *FlowConfig) withDefaults() FlowConfig {
@@ -245,14 +270,22 @@ func FlowProfileCtx(ctx context.Context, g *graph.Graph, cfg FlowConfig, rng *ra
 	for i := range all {
 		all[i] = i
 	}
+	// Progress units: the whole bisection recursion is one (its size is
+	// data-dependent), then one per ball-seed task.
+	total := 1
+	if c.BallSeeds > 0 {
+		total += len(ballSizes(g, c)) * c.BallSeeds
+	}
+	step := progressStepper(c.OnProgress, total)
 	lim := par.NewLimiter(c.Workers)
 	clusters, err := flowRecurse(ctx, g, all, 0, c, par.TaskSeed(base, 0), lim)
 	if err != nil {
 		return nil, err
 	}
+	step()
 	prof.Clusters = clusters
 	if c.BallSeeds > 0 {
-		if err := flowBallSeeds(ctx, g, c, base, prof); err != nil {
+		if err := flowBallSeeds(ctx, g, c, base, prof, step); err != nil {
 			return nil, err
 		}
 	}
@@ -349,15 +382,13 @@ func flowUnionPass(g *graph.Graph, base []Cluster, cap int, prof *Profile) {
 // goroutines; task (i, s) seeds its RNG with par.TaskSeed(base, 1, i, s)
 // (the leading 1 separates the ball-seed stream from the recursion's)
 // and writes to its own slot, merged in task order.
-func flowBallSeeds(ctx context.Context, g *graph.Graph, c FlowConfig, base int64, prof *Profile) error {
+func flowBallSeeds(ctx context.Context, g *graph.Graph, c FlowConfig, base int64, prof *Profile, step func()) error {
 	halfVol := g.Volume() / 2
-	var sizes []int
-	for size := c.MinSize; size <= g.N()/2; size *= 2 {
-		sizes = append(sizes, size)
-	}
+	sizes := ballSizes(g, c)
 	tasks := len(sizes) * c.BallSeeds
 	perTask := make([][]Cluster, tasks)
 	err := par.ForEachCtx(ctx, c.Workers, tasks, func(t int) error {
+		defer step()
 		si, s := t/c.BallSeeds, t%c.BallSeeds
 		trng := rand.New(rand.NewSource(par.TaskSeed(base, 1, si, s)))
 		var out []Cluster
@@ -394,6 +425,17 @@ func flowBallSeeds(ctx context.Context, g *graph.Graph, c FlowConfig, base int64
 		prof.Clusters = append(prof.Clusters, cs...)
 	}
 	return nil
+}
+
+// ballSizes is the geometric grid of BFS-ball target sizes used by
+// flowBallSeeds, factored out so FlowProfileCtx can size its progress
+// total before the sweep starts.
+func ballSizes(g *graph.Graph, c FlowConfig) []int {
+	var sizes []int
+	for size := c.MinSize; size <= g.N()/2; size *= 2 {
+		sizes = append(sizes, size)
+	}
+	return sizes
 }
 
 // bfsBall returns the first `size` nodes in BFS order from src (breadth

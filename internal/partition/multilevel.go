@@ -24,6 +24,12 @@ type MultilevelOptions struct {
 	RefinePasses int
 	// Seed drives the randomized matching and initial partition (0 → 1).
 	Seed int64
+	// OnProgress, when set, is called by RecursiveBisect(Ctx) after each
+	// completed split with (splits done, splits planned); a k-way
+	// partition plans k-1 splits. Single bisections never call it. The
+	// hook must be cheap and must not panic; it has no effect on the
+	// partition itself.
+	OnProgress func(done, total int)
 }
 
 func (o *MultilevelOptions) withDefaults() MultilevelOptions {
@@ -422,6 +428,9 @@ func RecursiveBisectCtx(ctx context.Context, g *graph.Graph, k int, opt Multilev
 		}
 		parts[idx] = part{nodes: a}
 		parts = append(parts, part{nodes: b})
+		if opt.OnProgress != nil {
+			opt.OnProgress(len(parts)-1, k-1)
+		}
 	}
 	for label, p := range parts {
 		for _, u := range p.nodes {

@@ -1,0 +1,382 @@
+// Package promtext is a strict linter for the Prometheus text
+// exposition format (version 0.0.4) as graphd emits it. It exists
+// because the /metrics handler renders the format by hand: a missing
+// # TYPE line, a non-cumulative histogram, or a duplicate series is
+// invisible to Go tests that merely grep for substrings, silently
+// breaks scrapers, and is exactly the kind of bug a hand-rolled
+// encoder grows. CI pipes a live scrape through cmd/promcheck, which
+// is a thin stdin wrapper around Lint.
+//
+// The checks are stricter than what the Prometheus server tolerates on
+// purpose — the goal is to pin graphd's encoder, not to accept
+// everything a scraper would:
+//
+//   - every sample must be preceded by a # TYPE line for its family
+//   - histogram bucket counts must be cumulative (non-decreasing as le
+//     grows) with strictly increasing, parseable le bounds
+//   - every histogram label set must have an le="+Inf" bucket, and its
+//     count must equal the family's _count sample
+//   - every histogram label set must have a _sum sample
+//   - no duplicate series (same name and label set)
+//   - every value must parse as a float and never be NaN
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed series line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// Lint reads one text exposition and returns every format violation
+// found. A nil slice means the input is clean. Read errors are
+// reported as a single lint error.
+func Lint(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := map[string]string{} // family → declared type
+	var samples []sample
+	seen := map[string]int{} // series key → first line
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					fail(lineNo, "malformed TYPE line %q", line)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail(lineNo, "unknown metric type %q for %s", typ, name)
+				}
+				if _, dup := types[name]; dup {
+					fail(lineNo, "duplicate TYPE declaration for %s", name)
+				}
+				types[name] = typ
+			}
+			continue // HELP and other comments are free-form
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			fail(lineNo, "%v", err)
+			continue
+		}
+		s.line = lineNo
+		if math.IsNaN(s.value) {
+			fail(lineNo, "%s has NaN value", s.name)
+		}
+		fam := familyOf(s.name, types)
+		if fam == "" {
+			fail(lineNo, "sample %s has no preceding # TYPE line", s.name)
+		}
+		key := seriesKey(s)
+		if first, dup := seen[key]; dup {
+			fail(lineNo, "duplicate series %s (first at line %d)", key, first)
+		} else {
+			seen[key] = lineNo
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		fail(lineNo, "reading exposition: %v", err)
+	}
+
+	errs = append(errs, lintHistograms(types, samples)...)
+	return errs
+}
+
+// familyOf resolves a sample name to its declared family: an exact
+// TYPE match, or the base name for histogram/summary component
+// suffixes. Empty when no declaration covers the sample.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return ""
+}
+
+// lintHistograms cross-checks every declared histogram family: bucket
+// cumulativity, the +Inf bucket, and the _sum/_count companions, per
+// label set.
+func lintHistograms(types map[string]string, samples []sample) []error {
+	var errs []error
+	type series struct {
+		buckets []sample // le-labeled _bucket samples
+		sum     *sample
+		count   *sample
+	}
+	// family → (labels-without-le signature) → series
+	hists := map[string]map[string]*series{}
+	for fam, t := range types {
+		if t == "histogram" {
+			hists[fam] = map[string]*series{}
+		}
+	}
+	get := func(fam string, s sample) *series {
+		sig := labelSig(s.labels, "le")
+		sr := hists[fam][sig]
+		if sr == nil {
+			sr = &series{}
+			hists[fam][sig] = sr
+		}
+		return sr
+	}
+	for i := range samples {
+		s := samples[i]
+		for fam := range hists {
+			switch s.name {
+			case fam + "_bucket":
+				get(fam, s).buckets = append(get(fam, s).buckets, s)
+			case fam + "_sum":
+				get(fam, s).sum = &samples[i]
+			case fam + "_count":
+				get(fam, s).count = &samples[i]
+			}
+		}
+	}
+	for fam, bySig := range hists {
+		if len(bySig) == 0 {
+			continue // declared but unobserved family: legal
+		}
+		for sig, sr := range bySig {
+			where := fam
+			if sig != "" {
+				where = fam + "{" + sig + "}"
+			}
+			if len(sr.buckets) == 0 {
+				errs = append(errs, fmt.Errorf("%s: no _bucket samples", where))
+				continue
+			}
+			type bound struct {
+				le  float64
+				val float64
+				ln  int
+			}
+			var bounds []bound
+			bad := false
+			for _, b := range sr.buckets {
+				leStr, ok := b.labels["le"]
+				if !ok {
+					errs = append(errs, fmt.Errorf("line %d: %s bucket without le label", b.line, where))
+					bad = true
+					continue
+				}
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					errs = append(errs, fmt.Errorf("line %d: %s bucket le=%q is not a float", b.line, where, leStr))
+					bad = true
+					continue
+				}
+				bounds = append(bounds, bound{le, b.value, b.line})
+			}
+			if bad {
+				continue
+			}
+			sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+			for i := 1; i < len(bounds); i++ {
+				if bounds[i].le == bounds[i-1].le {
+					errs = append(errs, fmt.Errorf("line %d: %s has duplicate le=%g buckets", bounds[i].ln, where, bounds[i].le))
+				}
+				if bounds[i].val < bounds[i-1].val {
+					errs = append(errs, fmt.Errorf("line %d: %s buckets not cumulative: le=%g count %g < le=%g count %g",
+						bounds[i].ln, where, bounds[i].le, bounds[i].val, bounds[i-1].le, bounds[i-1].val))
+				}
+			}
+			last := bounds[len(bounds)-1]
+			if !math.IsInf(last.le, 1) {
+				errs = append(errs, fmt.Errorf("%s: missing le=\"+Inf\" bucket", where))
+				continue
+			}
+			if sr.count == nil {
+				errs = append(errs, fmt.Errorf("%s: missing _count sample", where))
+			} else if sr.count.value != last.val {
+				errs = append(errs, fmt.Errorf("line %d: %s _count %g != +Inf bucket %g",
+					sr.count.line, where, sr.count.value, last.val))
+			}
+			if sr.sum == nil {
+				errs = append(errs, fmt.Errorf("%s: missing _sum sample", where))
+			}
+		}
+	}
+	return errs
+}
+
+// parseSample parses one series line: name, optional {labels}, value,
+// optional timestamp.
+func parseSample(line string) (sample, error) {
+	s := sample{labels: map[string]string{}}
+	rest := line
+	i := strings.IndexAny(rest, "{ \t")
+	if i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.name = rest[:i]
+	if s.name == "" || !validName(s.name) {
+		return s, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], s.labels)
+		if err != nil {
+			return s, fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("%s: want 'value [timestamp]', got %q", s.name, strings.TrimSpace(rest))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("%s: value %q is not a float", s.name, fields[0])
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("%s: timestamp %q is not an integer", s.name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` (the opening brace already
+// eaten), filling dst, and returns the remainder of the line.
+func parseLabels(rest string, dst map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("label block missing '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("label %s value not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return "", fmt.Errorf("label %s value not terminated", name)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '\\' {
+				if rest == "" {
+					return "", fmt.Errorf("label %s has a trailing backslash", name)
+				}
+				esc := rest[0]
+				rest = rest[1:]
+				switch esc {
+				case '\\', '"':
+					val.WriteByte(esc)
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("label %s has invalid escape \\%c", name, esc)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if _, dup := dst[name]; dup {
+			return "", fmt.Errorf("duplicate label %s", name)
+		}
+		dst[name] = val.String()
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		return "", fmt.Errorf("label block not terminated after %s", name)
+	}
+}
+
+// validName reports whether s is a legal metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// seriesKey is the duplicate-detection identity: name plus the sorted
+// label pairs.
+func seriesKey(s sample) string {
+	if len(s.labels) == 0 {
+		return s.name
+	}
+	return s.name + "{" + labelSig(s.labels, "") + "}"
+}
+
+// labelSig serializes labels (minus one excluded name) in sorted
+// order, so identical sets compare equal as strings.
+func labelSig(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}

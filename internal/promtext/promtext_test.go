@@ -1,0 +1,148 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+// lint is a string-input convenience for the tests.
+func lint(s string) []error {
+	return Lint(strings.NewReader(s))
+}
+
+// joinErrs flattens lint errors for contains-assertions.
+func joinErrs(errs []error) string {
+	var parts []string
+	for _, e := range errs {
+		parts = append(parts, e.Error())
+	}
+	return strings.Join(parts, "\n")
+}
+
+const goodExposition = `# HELP graphd_requests_total HTTP requests by route and status.
+# TYPE graphd_requests_total counter
+graphd_requests_total{route="POST /v1/graphs/{name}/ppr",code="200"} 12
+graphd_requests_total{route="GET /healthz",code="200"} 3
+# TYPE graphd_uptime_seconds gauge
+graphd_uptime_seconds 42.5
+# TYPE graphd_request_seconds histogram
+graphd_request_seconds_bucket{route="ppr",le="0.001"} 2
+graphd_request_seconds_bucket{route="ppr",le="0.01"} 5
+graphd_request_seconds_bucket{route="ppr",le="+Inf"} 7
+graphd_request_seconds_sum{route="ppr"} 0.55
+graphd_request_seconds_count{route="ppr"} 7
+`
+
+func TestLintCleanExposition(t *testing.T) {
+	if errs := lint(goodExposition); len(errs) != 0 {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of some error
+	}{
+		{
+			"sample without TYPE",
+			"graphd_mystery_total 1\n",
+			"no preceding # TYPE",
+		},
+		{
+			"TYPE after sample",
+			"graphd_x_total 1\n# TYPE graphd_x_total counter\n",
+			"no preceding # TYPE",
+		},
+		{
+			"duplicate series",
+			"# TYPE g gauge\ng{a=\"1\"} 1\ng{a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"duplicate series across label order",
+			"# TYPE g gauge\ng{a=\"1\",b=\"2\"} 1\ng{b=\"2\",a=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			"missing le=\"+Inf\"",
+		},
+		{
+			"count disagrees with +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 7\nh_sum 1\nh_count 5\n",
+			"_count 5 != +Inf bucket 7",
+		},
+		{
+			"missing _sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum",
+		},
+		{
+			"missing _count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\n",
+			"missing _count",
+		},
+		{
+			"NaN value",
+			"# TYPE g gauge\ng NaN\n",
+			"NaN",
+		},
+		{
+			"unparseable value",
+			"# TYPE g gauge\ng oops\n",
+			"not a float",
+		},
+		{
+			"unknown metric type",
+			"# TYPE g flummox\ng 1\n",
+			"unknown metric type",
+		},
+		{
+			"unterminated label value",
+			"# TYPE g gauge\ng{a=\"x} 1\n",
+			"not terminated",
+		},
+		{
+			"histogram label sets independent",
+			// cache="hit" is fine; cache="miss" lacks +Inf → only one error.
+			"# TYPE h histogram\n" +
+				"h_bucket{cache=\"hit\",le=\"+Inf\"} 1\nh_sum{cache=\"hit\"} 1\nh_count{cache=\"hit\"} 1\n" +
+				"h_bucket{cache=\"miss\",le=\"1\"} 1\nh_sum{cache=\"miss\"} 1\nh_count{cache=\"miss\"} 1\n",
+			`h{cache="miss"}: missing le="+Inf"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lint(tc.in)
+			if len(errs) == 0 {
+				t.Fatalf("lint accepted broken exposition:\n%s", tc.in)
+			}
+			if joined := joinErrs(errs); !strings.Contains(joined, tc.want) {
+				t.Fatalf("errors %q do not mention %q", joined, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintLabelEscapes(t *testing.T) {
+	in := "# TYPE g gauge\n" +
+		`g{path="a\"b\\c\nd"} 1` + "\n"
+	if errs := lint(in); len(errs) != 0 {
+		t.Fatalf("escaped label value flagged: %v", errs)
+	}
+}
+
+func TestLintDeclaredButUnobservedHistogram(t *testing.T) {
+	// A TYPE line with no samples yet is how an idle histogram looks.
+	if errs := lint("# TYPE h histogram\n"); len(errs) != 0 {
+		t.Fatalf("idle histogram flagged: %v", errs)
+	}
+}

@@ -19,8 +19,9 @@ type LRUCache struct {
 }
 
 type lruItem struct {
-	key string
-	val []byte
+	key  string
+	val  []byte
+	meta any // optional sidecar (e.g. *api.WorkStats), immutable like val
 }
 
 // NewLRUCache returns a cache holding at most capacity entries
@@ -32,32 +33,50 @@ func NewLRUCache(capacity int) *LRUCache {
 // Get returns the cached bytes for key. The returned slice is shared;
 // callers must not mutate it.
 func (c *LRUCache) Get(key string) ([]byte, bool) {
+	val, _, ok := c.GetMeta(key)
+	return val, ok
+}
+
+// GetMeta returns the cached bytes for key along with the sidecar
+// value stored by AddMeta (nil when the entry was stored with Add).
+// Both are shared; callers must not mutate them.
+func (c *LRUCache) GetMeta(key string) ([]byte, any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, nil, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruItem).val, true
+	it := el.Value.(*lruItem)
+	return it.val, it.meta, true
 }
 
 // Add stores val under key, evicting the least recently used entry when
 // the cache is full.
 func (c *LRUCache) Add(key string, val []byte) {
+	c.AddMeta(key, val, nil)
+}
+
+// AddMeta stores val under key together with an immutable sidecar
+// value (e.g. the work stats of the computation that produced val), so
+// later hits can re-observe it without recomputing.
+func (c *LRUCache) AddMeta(key string, val []byte, meta any) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruItem).val = val
+		it := el.Value.(*lruItem)
+		it.val = val
+		it.meta = meta
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: val, meta: meta})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -89,15 +108,17 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	val []byte
-	err error
+	wg   sync.WaitGroup
+	val  []byte
+	meta any
+	err  error
 }
 
 // Do runs fn once per concurrent set of callers with the same key and
-// returns fn's result to all of them. shared reports whether this caller
-// piggybacked on another's execution.
-func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+// returns fn's result to all of them — the response bytes plus an
+// opaque sidecar (the work stats of the shared computation). shared
+// reports whether this caller piggybacked on another's execution.
+func (g *flightGroup) Do(key string, fn func() ([]byte, any, error)) (val []byte, meta any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
@@ -105,18 +126,18 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
 		c.wg.Wait()
-		return c.val, c.err, true
+		return c.val, c.meta, c.err, true
 	}
 	c := new(flightCall)
 	c.wg.Add(1)
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
+	c.val, c.meta, c.err = fn()
 	c.wg.Done()
 
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
-	return c.val, c.err, false
+	return c.val, c.meta, c.err, false
 }

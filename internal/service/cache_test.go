@@ -122,11 +122,11 @@ func TestFlightGroupDedup(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		val, err, shared := g.Do("key", func() ([]byte, error) {
+		val, _, err, shared := g.Do("key", func() ([]byte, any, error) {
 			executions++ // single-threaded by construction: only the leader runs fn
 			close(started)
 			<-release
-			return leaderResult, nil
+			return leaderResult, nil, nil
 		})
 		if err != nil {
 			t.Errorf("leader: %v", err)
@@ -139,9 +139,9 @@ func TestFlightGroupDedup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			val, err, shared := g.Do("key", func() ([]byte, error) {
+			val, _, err, shared := g.Do("key", func() ([]byte, any, error) {
 				t.Error("follower executed fn despite an in-flight leader")
-				return nil, nil
+				return nil, nil, nil
 			})
 			if err != nil {
 				t.Errorf("follower: %v", err)
@@ -209,8 +209,8 @@ func TestFlightGroupDistinctKeysDoNotBlock(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			key := fmt.Sprintf("k%d", i)
-			val, err, shared := g.Do(key, func() ([]byte, error) {
-				return []byte(key), nil
+			val, _, err, shared := g.Do(key, func() ([]byte, any, error) {
+				return []byte(key), nil, nil
 			})
 			if err != nil || shared || string(val) != key {
 				t.Errorf("Do(%s) = %q, %v, shared=%v", key, val, err, shared)

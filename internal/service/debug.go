@@ -1,0 +1,39 @@
+package service
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/pkg/api"
+)
+
+// handleDebugQueries serves the trace ring, newest first. With the
+// trace disabled the endpoint still answers (an empty list) so probes
+// do not have to distinguish "off" from "idle".
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	queries := []api.DebugQuery{}
+	if s.trace != nil {
+		queries = s.trace.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, api.DebugQueriesResponse{Queries: queries})
+}
+
+// DebugHandler returns the handler for the separate -debug-addr
+// listener: net/http/pprof, expvar, plus mirrors of /metrics and
+// /debug/queries so one scrape target suffices. It is never mounted on
+// the serving mux — graphd's own mux ignores the DefaultServeMux
+// registrations the pprof import performs, so profiling is reachable
+// only where the operator explicitly binds this handler.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}

@@ -49,18 +49,33 @@ func runNCPJob(ctx context.Context, g *graph.Graph, raw json.RawMessage) (any, e
 	}
 	res := &api.NCPJobResult{Nodes: g.N(), EdgesM: g.M()}
 	rng := rand.New(rand.NewSource(p.BaseSeed))
-	if p.Method == "spectral" || p.Method == "both" {
+	report := progressFrom(ctx)
+	// "both" splits the progress bar evenly: spectral fills [0, 0.5),
+	// flow [0.5, 1). A single-method job owns the whole range.
+	spectral := p.Method == "spectral" || p.Method == "both"
+	flowToo := p.Method == "flow" || p.Method == "both"
+	if spectral {
+		lo, hi := 0.0, 1.0
+		if flowToo {
+			hi = 0.5
+		}
 		prof, err := ncp.SpectralProfileCtx(ctx, g, ncp.SpectralConfig{
 			Seeds: p.Seeds, Workers: p.Workers, BaseSeed: p.BaseSeed,
+			OnProgress: progressRange(report, lo, hi),
 		}, rng)
 		if err != nil {
 			return nil, err
 		}
 		res.Spectral = summarizeProfile(prof)
 	}
-	if p.Method == "flow" || p.Method == "both" {
+	if flowToo {
+		lo, hi := 0.0, 1.0
+		if spectral {
+			lo = 0.5
+		}
 		prof, err := ncp.FlowProfileCtx(ctx, g, ncp.FlowConfig{
 			Workers: p.Workers, BaseSeed: p.BaseSeed,
+			OnProgress: progressRange(report, lo, hi),
 		}, rng)
 		if err != nil {
 			return nil, err
@@ -68,6 +83,18 @@ func runNCPJob(ctx context.Context, g *graph.Graph, raw json.RawMessage) (any, e
 		res.Flow = summarizeProfile(prof)
 	}
 	return res, nil
+}
+
+// progressRange adapts a (done, total) counting hook onto a fraction of
+// the job's [0,1] progress range: as done goes 0→total, the reported
+// fraction sweeps lo→hi.
+func progressRange(report ProgressFunc, lo, hi float64) func(done, total int) {
+	return func(done, total int) {
+		if total <= 0 {
+			return
+		}
+		report(lo + (hi-lo)*float64(done)/float64(total))
+	}
 }
 
 func summarizeProfile(p *ncp.Profile) *api.ProfileSummary {
@@ -83,7 +110,10 @@ func runPartitionJob(ctx context.Context, g *graph.Graph, raw json.RawMessage) (
 	if err := decodeParams(raw, &p); err != nil {
 		return nil, err
 	}
-	labels, err := partition.RecursiveBisectCtx(ctx, g, p.K, partition.MultilevelOptions{Seed: p.Seed})
+	labels, err := partition.RecursiveBisectCtx(ctx, g, p.K, partition.MultilevelOptions{
+		Seed:       p.Seed,
+		OnProgress: progressRange(progressFrom(ctx), 0, 1),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +146,7 @@ func runFig1Job(ctx context.Context, _ *graph.Graph, raw json.RawMessage) (any, 
 	r, err := experiments.Fig1Ctx(ctx, experiments.Fig1Config{
 		N: p.N, FwdProb: p.FwdProb, Seed: p.Seed, SpectralSeeds: p.SpectralSeeds,
 		MinSize: p.MinSize, MaxSize: p.MaxSize, Workers: p.Workers,
+		OnProgress: progressRange(progressFrom(ctx), 0, 1),
 	})
 	if err != nil {
 		return nil, err

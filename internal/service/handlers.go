@@ -193,8 +193,8 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.serveCached(w, r, "stats", nil, func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, error) {
-		return execStats(name, g), nil
+	s.serveCached(w, r, "stats", nil, func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, *api.WorkStats, error) {
+		return execStats(name, g), nil, nil
 	})
 }
 
@@ -203,7 +203,7 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "ppr", mustParams(req), func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, error) {
+	s.serveCached(w, r, "ppr", mustParams(req), func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, *api.WorkStats, error) {
 		return execPPR(g, pool, req)
 	})
 }
@@ -213,7 +213,7 @@ func (s *Server) handleLocalCluster(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "localcluster", mustParams(req), func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, error) {
+	s.serveCached(w, r, "localcluster", mustParams(req), func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, *api.WorkStats, error) {
 		return execLocalCluster(g, pool, req)
 	})
 }
@@ -223,7 +223,7 @@ func (s *Server) handleDiffuse(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "diffuse", mustParams(req), func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, error) {
+	s.serveCached(w, r, "diffuse", mustParams(req), func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, *api.WorkStats, error) {
 		return execDiffuse(g, req)
 	})
 }
@@ -233,7 +233,7 @@ func (s *Server) handleSweepCut(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "sweepcut", mustParams(req), func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, error) {
+	s.serveCached(w, r, "sweepcut", mustParams(req), func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, *api.WorkStats, error) {
 		return execSweepCut(g, req)
 	})
 }
@@ -286,12 +286,17 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // canonicalize the params into a cache key, answer from the LRU cache
 // when possible, deduplicate identical in-flight computations through
 // the singleflight group, and enforce the per-request deadline (already
-// attached to r.Context() by the deadline middleware).
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, params []byte, compute func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, error)) {
+// attached to r.Context() by the deadline middleware). The computed
+// work stats ride along everywhere the response bytes do — into the
+// ?debug=work response block, the cache sidecar (so hits re-observe
+// them), the work histograms and the trace ring; telemetry capture
+// happens only after the response has been written.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, params []byte, compute func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, *api.WorkStats, error)) {
+	start := time.Now()
 	name := r.PathValue("name")
 	g, id, pool, err := s.store.GetForQuery(name)
 	if err != nil {
-		writeError(w, err)
+		s.observeQuery(r, writeError(w, err), "", name, "", nil, start)
 		return
 	}
 	if len(params) == 0 {
@@ -299,13 +304,21 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	}
 	canon, err := canonicalJSON(params)
 	if err != nil {
-		writeError(w, storeErrf(ErrBadInput, "%v", err))
+		s.observeQuery(r, writeError(w, storeErrf(ErrBadInput, "%v", err)), "", name, "", nil, start)
 		return
 	}
+	// ?debug=work responses carry the extra work block, so they are
+	// distinct cache entries from their plain twins.
+	debugWork := r.URL.Query().Get("debug") == "work"
 	key := fmt.Sprintf("q|%s|g%d|%s", endpoint, id, canon)
-	if cached, ok := s.cache.Get(key); ok {
+	if debugWork {
+		key += "|debug=work"
+	}
+	if cached, meta, ok := s.cache.GetMeta(key); ok {
 		w.Header().Set("X-Graphd-Cache", "hit")
 		writeJSONBytes(w, http.StatusOK, cached)
+		st, _ := meta.(*api.WorkStats)
+		s.observeQuery(r, http.StatusOK, "hit", name, canon, st, start)
 		return
 	}
 	// The flight's computation runs under its own context — bounded by
@@ -318,45 +331,61 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	// waiting on the shared flight.
 	type flightOut struct {
 		body   []byte
+		work   *api.WorkStats
 		err    error
 		shared bool
 	}
 	ch := make(chan flightOut, 1)
 	computeTimeout := max(s.cfg.QueryTimeout, s.queryTimeout(r))
 	go func() {
-		body, err, shared := s.flights.Do(key, func() ([]byte, error) {
+		body, meta, err, shared := s.flights.Do(key, func() ([]byte, any, error) {
 			ctx, cancel := context.WithTimeout(context.Background(), computeTimeout)
 			defer cancel()
+			var st *api.WorkStats
 			v, err := runWithDeadline(ctx, func(ctx context.Context) (any, error) {
-				return compute(ctx, g, pool)
+				v, work, err := compute(ctx, g, pool)
+				if err != nil {
+					return nil, err
+				}
+				st = work
+				if debugWork && work != nil {
+					if wc, ok := v.(api.WorkCarrier); ok {
+						wc.SetWork(work)
+					}
+				}
+				return v, nil
 			})
+			// st is only read after runWithDeadline returns success, which
+			// happens-after the compute closure finished writing it.
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out, err := json.Marshal(v)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			s.cache.Add(key, out)
-			return out, nil
+			s.cache.AddMeta(key, out, st)
+			return out, st, nil
 		})
-		ch <- flightOut{body, err, shared}
+		work, _ := meta.(*api.WorkStats)
+		ch <- flightOut{body, work, err, shared}
 	}()
 	select {
 	case <-r.Context().Done():
-		writeError(w, r.Context().Err())
+		s.observeQuery(r, writeError(w, r.Context().Err()), "", name, canon, nil, start)
 		return
 	case out := <-ch:
 		if out.err != nil {
-			writeError(w, out.err)
+			s.observeQuery(r, writeError(w, out.err), "", name, canon, nil, start)
 			return
 		}
+		outcome := "miss"
 		if out.shared {
-			w.Header().Set("X-Graphd-Cache", "shared")
-		} else {
-			w.Header().Set("X-Graphd-Cache", "miss")
+			outcome = "shared"
 		}
+		w.Header().Set("X-Graphd-Cache", outcome)
 		writeJSONBytes(w, http.StatusOK, out.body)
+		s.observeQuery(r, http.StatusOK, outcome, name, canon, out.work, start)
 	}
 }
 

@@ -61,10 +61,13 @@ func toAPIError(err error) *api.Error {
 }
 
 // writeError renders err as the structured {"error":{...}} envelope
-// with the HTTP status its code maps to.
-func writeError(w http.ResponseWriter, err error) {
+// with the HTTP status its code maps to, and returns that status for
+// callers that record it (most ignore it).
+func writeError(w http.ResponseWriter, err error) int {
 	ae := toAPIError(err)
-	writeJSON(w, ae.Code.HTTPStatus(), api.ErrorEnvelope{Error: ae})
+	code := ae.Code.HTTPStatus()
+	writeJSON(w, code, api.ErrorEnvelope{Error: ae})
+	return code
 }
 
 // jsonContentType reports whether the declared request content type is

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,21 @@ type Job struct {
 	finished  time.Time
 	ctx       context.Context
 	cancel    context.CancelFunc
+
+	// progress is the executor-reported completion fraction, stored as
+	// float bits so pollers read it without taking mu mid-computation.
+	progress atomic.Uint64
+}
+
+// setProgress clamps and publishes a completion fraction in [0,1].
+func (j *Job) setProgress(f float64) {
+	if math.IsNaN(f) || f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	j.progress.Store(math.Float64bits(f))
 }
 
 func (j *Job) view() api.JobView {
@@ -55,7 +71,29 @@ func (j *Job) view() api.JobView {
 			v.RunTimeMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
 		}
 	}
+	v.Progress = math.Float64frombits(j.progress.Load())
 	return v
+}
+
+// ProgressFunc publishes a job's completion fraction in [0,1].
+// Executors obtain one from their context with progressFrom; reporting
+// is side-effect-only and must never influence the computation.
+type ProgressFunc func(float64)
+
+type progressKey struct{}
+
+// withProgress attaches a progress reporter to a job context.
+func withProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFrom returns the context's progress reporter, or a no-op for
+// executors run outside the job manager (tests, direct calls).
+func progressFrom(ctx context.Context) ProgressFunc {
+	if fn, ok := ctx.Value(progressKey{}).(ProgressFunc); ok {
+		return fn
+	}
+	return func(float64) {}
 }
 
 // JobExecutor runs one job type. g is nil for job types that do not
@@ -355,6 +393,9 @@ func (m *JobManager) runJob(job *Job) {
 	defer job.cancel() // release the context's resources
 
 	finish := func(status api.JobStatus, result []byte, fromCache bool, errMsg string) {
+		if status == api.JobDone {
+			job.setProgress(1)
+		}
 		job.mu.Lock()
 		job.status = status
 		job.result = result
@@ -374,7 +415,7 @@ func (m *JobManager) runJob(job *Job) {
 			return
 		}
 	}
-	ctx := job.ctx
+	ctx := withProgress(job.ctx, job.setProgress)
 	var g *graph.Graph
 	spec := m.specs[job.jobType]
 	if spec.needsGraph {

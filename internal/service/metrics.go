@@ -3,12 +3,12 @@ package service
 import (
 	"fmt"
 	"io"
-	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/persist"
+	"repro/pkg/api"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning
@@ -17,40 +17,75 @@ var latencyBuckets = []float64{
 	0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300,
 }
 
-type histogram struct {
-	counts []uint64 // one per bucket, plus overflow at the end
-	sum    float64
-	total  uint64
+// workBuckets are the upper bounds for the diffusion-work histograms
+// (pushes, Σ deg work volume, support size). The paper's bound is
+// 1/(ε·α) independent of n, so decades from a single push up to 10^8
+// cover everything a strongly-local query can legally do.
+var workBuckets = []float64{
+	1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+type histogram struct {
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // one per bucket, plus overflow at the end
+	sum     float64
+	total   uint64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]uint64, len(buckets)+1)}
 }
 
 func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(latencyBuckets, v)
+	i := sort.SearchFloat64s(h.buckets, v)
 	h.counts[i]++
 	h.sum += v
 	h.total++
 }
 
+// requestKey is the composite label set of graphd_requests_total.
+// Struct keys keep ObserveRequest allocation-free on the hot path
+// (locked by BenchmarkObserveRequest).
+type requestKey struct {
+	pattern string
+	code    int
+}
+
+// workKey is the composite label set of the graphd_query_* work
+// histograms.
+type workKey struct {
+	method string // diffusion method: push, nibble, heat, dense-*
+	cache  string // cache outcome: hit, shared, miss
+}
+
+// workHists holds the three per-label work histograms together so one
+// map lookup serves one observation.
+type workHists struct {
+	pushes  *histogram
+	volume  *histogram
+	support *histogram
+}
+
 // Metrics collects the daemon's counters: request totals and latency
-// histograms by route, cache statistics, job timings and queue depth.
-// Everything is exposed in Prometheus text format by WriteTo.
+// histograms by route, diffusion work histograms by method and cache
+// outcome, cache statistics, job timings and queue depth. Everything
+// is exposed in Prometheus text format by WriteTo.
 type Metrics struct {
 	mu        sync.Mutex
-	requests  map[string]uint64     // "pattern|code"
+	requests  map[requestKey]uint64
 	latencies map[string]*histogram // by pattern
 	jobTimes  map[string]*histogram // by job type
+	queryWork map[workKey]*workHists
 	started   time.Time
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:  make(map[string]uint64),
+		requests:  make(map[requestKey]uint64),
 		latencies: make(map[string]*histogram),
 		jobTimes:  make(map[string]*histogram),
+		queryWork: make(map[workKey]*workHists),
 		started:   time.Now(),
 	}
 }
@@ -59,10 +94,10 @@ func NewMetrics() *Metrics {
 func (m *Metrics) ObserveRequest(pattern string, code int, dur time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.requests[fmt.Sprintf("%s|%d", pattern, code)]++
+	m.requests[requestKey{pattern, code}]++
 	h, ok := m.latencies[pattern]
 	if !ok {
-		h = newHistogram()
+		h = newHistogram(latencyBuckets)
 		m.latencies[pattern] = h
 	}
 	h.observe(dur.Seconds())
@@ -74,10 +109,35 @@ func (m *Metrics) ObserveJob(jobType string, dur time.Duration) {
 	defer m.mu.Unlock()
 	h, ok := m.jobTimes[jobType]
 	if !ok {
-		h = newHistogram()
+		h = newHistogram(latencyBuckets)
 		m.jobTimes[jobType] = h
 	}
 	h.observe(dur.Seconds())
+}
+
+// ObserveQueryWork records one query's diffusion work accounting under
+// its method and cache outcome. Cache hits re-observe the stats stored
+// with the cached entry, so the histograms reflect the work each reply
+// represents, not just the work freshly performed.
+func (m *Metrics) ObserveQueryWork(method, cache string, st *api.WorkStats) {
+	if st == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := workKey{method, cache}
+	wh, ok := m.queryWork[k]
+	if !ok {
+		wh = &workHists{
+			pushes:  newHistogram(workBuckets),
+			volume:  newHistogram(workBuckets),
+			support: newHistogram(workBuckets),
+		}
+		m.queryWork[k] = wh
+	}
+	wh.pushes.observe(float64(st.Pushes))
+	wh.volume.observe(st.WorkVolume)
+	wh.support.observe(float64(st.MaxSupport))
 }
 
 // WriteTo renders the registry in Prometheus text exposition format,
@@ -85,16 +145,23 @@ func (m *Metrics) ObserveJob(jobType string, dur time.Duration) {
 // is durable — the persistence event counters.
 func (m *Metrics) WriteTo(w io.Writer, cache *LRUCache, jobs *JobManager, pc *persist.Counters) {
 	m.mu.Lock()
-	reqKeys := sortedKeys(m.requests)
+	reqKeys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].pattern != reqKeys[j].pattern {
+			return reqKeys[i].pattern < reqKeys[j].pattern
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
 	fmt.Fprintln(w, "# TYPE graphd_requests_total counter")
 	for _, k := range reqKeys {
-		var pattern string
-		var code int
-		split(k, &pattern, &code)
-		fmt.Fprintf(w, "graphd_requests_total{route=%q,code=\"%d\"} %d\n", pattern, code, m.requests[k])
+		fmt.Fprintf(w, "graphd_requests_total{route=%q,code=\"%d\"} %d\n", k.pattern, k.code, m.requests[k])
 	}
 	writeHistograms(w, "graphd_request_seconds", "route", m.latencies)
 	writeHistograms(w, "graphd_job_seconds", "type", m.jobTimes)
+	writeWorkHistograms(w, m.queryWork)
 	uptime := time.Since(m.started).Seconds()
 	m.mu.Unlock()
 
@@ -150,59 +217,52 @@ func writeHistograms(w io.Writer, name, label string, hs map[string]*histogram) 
 	sort.Strings(keys)
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	for _, k := range keys {
-		h := hs[k]
-		var cum uint64
-		for i, le := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, label, k, le, cum)
-		}
-		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, h.total)
-		fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, k, h.sum)
-		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, k, h.total)
+		writeHistogram(w, name, fmt.Sprintf("%s=%q", label, k), hs[k])
 	}
 }
 
-func sortedKeys(m map[string]uint64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
+// writeWorkHistograms renders the three diffusion-work histograms,
+// each labeled by method and cache outcome.
+func writeWorkHistograms(w io.Writer, work map[workKey]*workHists) {
+	if len(work) == 0 {
+		return
+	}
+	keys := make([]workKey, 0, len(work))
+	for k := range work {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
-	return keys
-}
-
-func split(key string, pattern *string, code *int) {
-	for i := len(key) - 1; i >= 0; i-- {
-		if key[i] == '|' {
-			*pattern = key[:i]
-			fmt.Sscanf(key[i+1:], "%d", code)
-			return
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].method != keys[j].method {
+			return keys[i].method < keys[j].method
+		}
+		return keys[i].cache < keys[j].cache
+	})
+	series := []struct {
+		name string
+		pick func(*workHists) *histogram
+	}{
+		{"graphd_query_pushes", func(wh *workHists) *histogram { return wh.pushes }},
+		{"graphd_query_work_volume", func(wh *workHists) *histogram { return wh.volume }},
+		{"graphd_query_support", func(wh *workHists) *histogram { return wh.support }},
+	}
+	for _, s := range series {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", s.name)
+		for _, k := range keys {
+			labels := fmt.Sprintf("method=%q,cache=%q", k.method, k.cache)
+			writeHistogram(w, s.name, labels, s.pick(work[k]))
 		}
 	}
-	*pattern = key
 }
 
-// instrument wraps an http.Handler to record request counts and
-// latencies under the matched route pattern.
-func instrument(m *Metrics, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(sw, r)
-		pattern := r.Pattern
-		if pattern == "" {
-			pattern = "unmatched"
-		}
-		m.ObserveRequest(pattern, sw.code, time.Since(start))
-	})
-}
-
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
+// writeHistogram renders one histogram series with the given
+// preformatted label list (no trailing comma).
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	var cum uint64
+	for i, le := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.total)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total)
 }

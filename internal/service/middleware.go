@@ -2,17 +2,18 @@ package service
 
 import (
 	"context"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // middleware is one layer of the server's shared HTTP stack. Layers are
 // composed outermost-first by chain; the full stack is
-// metrics → access log → MaxBytes → deadline → router, so every
-// handler runs with a capped body and a deadlined context, and every
-// response is counted and (optionally) logged.
+// telemetry → MaxBytes → deadline → router, so every handler runs with
+// a capped body and a deadlined context, and every response carries a
+// request ID and is counted (and optionally logged) on the way out.
 type middleware func(http.Handler) http.Handler
 
 // chain wraps h with the given middleware, first one outermost.
@@ -50,26 +51,108 @@ func (s *Server) withDeadline(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout(r))
 		defer cancel()
-		next.ServeHTTP(w, r.WithContext(ctx))
+		r2 := r.WithContext(ctx)
+		next.ServeHTTP(w, r2)
+		// The mux assigns the matched pattern to the request it was
+		// handed — the copy — so surface it on the caller's request for
+		// the telemetry layer's route label.
+		r.Pattern = r2.Pattern
 	})
 }
 
-// withAccessLog logs one line per request when a logger is configured;
-// a nil logger disables the layer entirely.
-func withAccessLog(logger *log.Logger, next http.Handler) http.Handler {
-	if logger == nil {
-		return next
+// requestIDHeader is honored inbound (when sane) and always set on the
+// response, so callers can correlate replies, access-log lines and
+// /debug/queries entries.
+const requestIDHeader = "X-Request-Id"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDFrom returns the request ID carried by a request context,
+// or "" outside a request (or with telemetry disabled).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// validRequestID accepts inbound IDs that are short and printable
+// ASCII — anything else (empty, oversized, control bytes that could
+// corrupt log lines) is replaced by a generated ID.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
 	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// nextRequestID mints a process-unique request ID: a per-boot random
+// prefix plus a monotone counter.
+func (s *Server) nextRequestID() string {
+	return s.ridPrefix + strconv.FormatUint(s.ridCounter.Add(1), 16)
+}
+
+// withTelemetry is the outermost layer and the single place the stack
+// touches the wall clock for a request: it resolves the request ID,
+// wraps the response in the one shared statusWriter (status + bytes
+// written), records the per-route metrics, and emits the structured
+// access-log line. With DisableTelemetry set it degrades to bare
+// metrics instrumentation with zero added allocations.
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if !s.cfg.DisableTelemetry {
+			id := r.Header.Get(requestIDHeader)
+			if !validRequestID(id) {
+				id = s.nextRequestID()
+			}
+			sw.Header().Set(requestIDHeader, id)
+			r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+		}
 		next.ServeHTTP(sw, r)
-		logger.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, sw.code,
-			r.ContentLength, time.Since(start).Round(time.Microsecond))
+		// withDeadline copies the pattern back from the request copy the
+		// mux actually matched, so it is readable here.
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		dur := time.Since(start)
+		s.metrics.ObserveRequest(pattern, sw.code, dur)
+		if s.accessLog != nil {
+			s.accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", RequestIDFrom(r.Context())),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.code),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("dur", dur.Round(time.Microsecond)),
+			)
+		}
 	})
 }
 
-// withMetrics records request counts and latencies per route pattern.
-func (s *Server) withMetrics(next http.Handler) http.Handler {
-	return instrument(s.metrics, next)
+// statusWriter records the status code and the response bytes actually
+// written (not r.ContentLength, which is -1 for chunked or absent
+// request bodies and never described the response anyway).
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }

@@ -45,15 +45,29 @@ func execStats(name string, g *graph.Graph) *api.StatsResponse {
 	return res
 }
 
+// workFromStats converts the kernel's accounting into the wire form.
+// The fields pass through exactly — the ?debug=work contract is that
+// the response mirrors kernel.Stats, not a summary of it.
+func workFromStats(method string, st kernel.Stats) *api.WorkStats {
+	return &api.WorkStats{
+		Method:     method,
+		Pushes:     st.Pushes,
+		WorkVolume: st.WorkVolume,
+		Steps:      st.Steps,
+		Terms:      st.Terms,
+		MaxSupport: st.MaxSupport,
+	}
+}
+
 // execPPR answers a PPR query on a pooled kernel workspace: the push,
 // the response assembly, and the optional sweep all read the workspace
 // planes directly, so steady-state serving allocates only the response.
-func execPPR(g *graph.Graph, pool *kernel.Pool, req api.PPRRequest) (*api.PPRResponse, error) {
+func execPPR(g *graph.Graph, pool *kernel.Pool, req api.PPRRequest) (*api.PPRResponse, *api.WorkStats, error) {
 	ws := pool.Get()
 	defer pool.Put(ws)
 	st, err := kernel.PushACL{Alpha: req.Alpha, Eps: req.Eps}.Diffuse(g, ws, req.Seeds)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := &api.PPRResponse{
 		Support: ws.PSupport(), Sum: ws.PSum(),
@@ -63,53 +77,58 @@ func execPPR(g *graph.Graph, pool *kernel.Pool, req api.PPRRequest) (*api.PPRRes
 	if req.Sweep {
 		sw, err := local.WorkspaceSweepCut(g, ws)
 		if err != nil {
-			return nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?): %v", err)
+			return nil, nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?): %v", err)
 		}
 		out.Sweep = &api.SweepInfo{
 			Set: sw.Set, Size: len(sw.Set),
 			Conductance: sw.Conductance, Prefix: sw.Prefix,
 		}
 	}
-	return out, nil
+	return out, workFromStats("push", st), nil
 }
 
-func execLocalCluster(g *graph.Graph, pool *kernel.Pool, req api.LocalClusterRequest) (*api.LocalClusterResponse, error) {
+func execLocalCluster(g *graph.Graph, pool *kernel.Pool, req api.LocalClusterRequest) (*api.LocalClusterResponse, *api.WorkStats, error) {
 	var (
 		sw      *api.SweepInfo
 		support int
+		work    *api.WorkStats
 	)
 	ws := pool.Get()
 	defer pool.Put(ws)
 	switch req.Method {
 	case "ppr":
-		if _, err := (kernel.PushACL{Alpha: req.Alpha, Eps: req.Eps}).Diffuse(g, ws, req.Seeds); err != nil {
-			return nil, err
+		st, err := (kernel.PushACL{Alpha: req.Alpha, Eps: req.Eps}).Diffuse(g, ws, req.Seeds)
+		if err != nil {
+			return nil, nil, err
 		}
+		work = workFromStats("push", st)
 		support = ws.PSupport()
 		cut, err := local.WorkspaceSweepCut(g, ws)
 		if err != nil {
-			return nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?)")
+			return nil, nil, storeErrf(ErrBadInput, "ppr produced no sweepable support (eps too large?)")
 		}
 		sw = &api.SweepInfo{Set: cut.Set, Size: len(cut.Set), Conductance: cut.Conductance, Prefix: cut.Prefix}
 	case "nibble":
 		st, best, err := local.NibbleWorkspace(g, ws, req.Seeds, req.Eps, req.Steps)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		work = workFromStats("nibble", st)
 		support = st.MaxSupport
 		if best == nil {
-			return nil, storeErrf(ErrBadInput, "nibble found no cut (eps too large or too few steps)")
+			return nil, nil, storeErrf(ErrBadInput, "nibble found no cut (eps too large or too few steps)")
 		}
 		sw = &api.SweepInfo{Set: best.Set, Size: len(best.Set), Conductance: best.Conductance, Prefix: best.Prefix}
 	case "heat":
 		st, err := kernel.HeatKernel{T: req.T, Eps: req.Eps}.Diffuse(g, ws, req.Seeds)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		work = workFromStats("heat", st)
 		support = st.MaxSupport
 		cut, err := local.WorkspaceSweepCut(g, ws)
 		if err != nil {
-			return nil, storeErrf(ErrBadInput, "heat kernel produced no sweepable support (eps too large?)")
+			return nil, nil, storeErrf(ErrBadInput, "heat kernel produced no sweepable support (eps too large?)")
 		}
 		sw = &api.SweepInfo{Set: cut.Set, Size: len(cut.Set), Conductance: cut.Conductance, Prefix: cut.Prefix}
 	}
@@ -118,13 +137,13 @@ func execLocalCluster(g *graph.Graph, pool *kernel.Pool, req api.LocalClusterReq
 		Conductance: sw.Conductance,
 		Volume:      g.VolumeOf(g.Membership(sw.Set)),
 		Support:     support,
-	}, nil
+	}, work, nil
 }
 
-func execDiffuse(g *graph.Graph, req api.DiffuseRequest) (*api.DiffuseResponse, error) {
+func execDiffuse(g *graph.Graph, req api.DiffuseRequest) (*api.DiffuseResponse, *api.WorkStats, error) {
 	seed, err := diffusion.SeedVector(g.N(), req.Seeds)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var v []float64
 	switch req.Kind {
@@ -136,31 +155,42 @@ func execDiffuse(g *graph.Graph, req api.DiffuseRequest) (*api.DiffuseResponse, 
 		v, err = diffusion.LazyWalk(g, seed, req.Alpha, req.K)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var sum float64
+	support := 0
 	for _, x := range v {
 		sum += x
+		if x != 0 {
+			support++
+		}
 	}
-	return &api.DiffuseResponse{Kind: req.Kind, Sum: sum, Top: topMassesDense(v, req.TopK)}, nil
+	// Dense diffusions have no strongly-local accounting; report the
+	// coarse truth — one full sweep is a whole graph volume of work.
+	work := &api.WorkStats{
+		Method:     "dense-" + req.Kind,
+		WorkVolume: g.Volume(),
+		MaxSupport: support,
+	}
+	return &api.DiffuseResponse{Kind: req.Kind, Sum: sum, Top: topMassesDense(v, req.TopK)}, work, nil
 }
 
-func execSweepCut(g *graph.Graph, req api.SweepCutRequest) (*api.SweepInfo, error) {
+func execSweepCut(g *graph.Graph, req api.SweepCutRequest) (*api.SweepInfo, *api.WorkStats, error) {
 	v := make(local.SparseVec, len(req.Values))
 	for _, nm := range req.Values {
 		if nm.Node < 0 || nm.Node >= g.N() {
-			return nil, storeErrf(ErrBadInput, "node %d out of range [0,%d)", nm.Node, g.N())
+			return nil, nil, storeErrf(ErrBadInput, "node %d out of range [0,%d)", nm.Node, g.N())
 		}
 		v[nm.Node] = nm.Mass
 	}
 	cut, err := local.SweepCut(g, v)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return &api.SweepInfo{
 		Set: cut.Set, Size: len(cut.Set),
 		Conductance: cut.Conductance, Prefix: cut.Prefix,
-	}, nil
+	}, nil, nil
 }
 
 // Generator size caps: server-side synthesis runs synchronously on the

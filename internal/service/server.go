@@ -1,9 +1,13 @@
 package service
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,9 +27,18 @@ type Config struct {
 	QueryTimeout time.Duration
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
-	// AccessLog receives one line per served request; nil disables
-	// access logging.
-	AccessLog *log.Logger
+	// AccessLog receives one structured record per served request
+	// (request ID, method, path, status, response bytes, duration);
+	// nil disables access logging.
+	AccessLog *slog.Logger
+	// TraceBuffer sizes the ring of completed queries served at
+	// GET /debug/queries (default 128; negative disables the trace).
+	TraceBuffer int
+	// DisableTelemetry turns off the per-request ID, the query trace
+	// ring and the work histograms, leaving only the seed metrics.
+	// Exists so the telemetry overhead is measurable (and zero when it
+	// matters more than visibility).
+	DisableTelemetry bool
 	// DataDir, when set, makes the graph store durable: sealed graphs
 	// persist as binary CSR snapshots, streaming graphs as write-ahead
 	// logs, and boot recovers both (quarantining corrupt files).
@@ -59,14 +72,20 @@ func (c Config) withDefaults() Config {
 // one http.Handler. Create with NewServer, serve Handler(), Close when
 // done.
 type Server struct {
-	cfg     Config
-	store   *GraphStore
-	cache   *LRUCache
-	jobs    *JobManager
-	metrics *Metrics
-	flights flightGroup
-	handler http.Handler
-	started time.Time
+	cfg       Config
+	store     *GraphStore
+	cache     *LRUCache
+	jobs      *JobManager
+	metrics   *Metrics
+	trace     *QueryTrace
+	accessLog *slog.Logger
+	flights   flightGroup
+	handler   http.Handler
+	started   time.Time
+
+	// Request-ID minting: a per-boot random prefix plus a counter.
+	ridPrefix  string
+	ridCounter atomic.Uint64
 }
 
 // NewServer assembles a Server with the default job types registered.
@@ -91,21 +110,40 @@ func NewServer(cfg Config) (*Server, error) {
 		store = NewGraphStore()
 	}
 	s := &Server{
-		cfg:     c,
-		store:   store,
-		cache:   NewLRUCache(c.CacheEntries),
-		metrics: NewMetrics(),
-		started: time.Now(),
+		cfg:       c,
+		store:     store,
+		cache:     NewLRUCache(c.CacheEntries),
+		metrics:   NewMetrics(),
+		accessLog: c.AccessLog,
+		started:   time.Now(),
+		ridPrefix: newRIDPrefix(),
+	}
+	if !c.DisableTelemetry && c.TraceBuffer >= 0 {
+		n := c.TraceBuffer
+		if n == 0 {
+			n = defaultTraceBuffer
+		}
+		s.trace = NewQueryTrace(n)
 	}
 	s.jobs = NewJobManager(s.store, s.cache, s.metrics, c.JobWorkers, c.JobQueue)
 	RegisterDefaultJobs(s.jobs)
 	s.handler = chain(s.routes(),
-		s.withMetrics,
-		func(h http.Handler) http.Handler { return withAccessLog(c.AccessLog, h) },
+		s.withTelemetry,
 		s.withMaxBytes,
 		s.withDeadline,
 	)
 	return s, nil
+}
+
+// newRIDPrefix draws the per-boot request-ID prefix ("8f3a21bc-").
+// Generated IDs only need process uniqueness; the random prefix keeps
+// IDs from different boots distinguishable in aggregated logs.
+func newRIDPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rid-"
+	}
+	return hex.EncodeToString(b[:]) + "-"
 }
 
 // logOp writes one operational log line (to cfg.OpLog, defaulting to
@@ -141,6 +179,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The query trace is serving-port visible (graphctl reaches it);
+	// pprof and expvar are not — they live only on DebugHandler, bound
+	// separately via -debug-addr.
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// BenchmarkObserveRequest locks the metrics hot path: one request
+// observation must not allocate. The struct-keyed counter map is the
+// load-bearing part — a fmt.Sprintf'd "pattern|code" key would cost an
+// allocation per served request.
+func BenchmarkObserveRequest(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ObserveRequest("POST /v1/graphs/{name}/ppr", 200, 340*time.Microsecond)
+	}
+}
+
+// BenchmarkObserveQueryWork measures the per-query work-histogram
+// observation (three histogram inserts behind one map lookup).
+func BenchmarkObserveQueryWork(b *testing.B) {
+	m := NewMetrics()
+	st := &api.WorkStats{Method: "push", Pushes: 412, WorkVolume: 8311, MaxSupport: 127}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ObserveQueryWork("push", "miss", st)
+	}
+}
+
+// TestObserveRequestZeroAllocs enforces the benchmark's contract in the
+// plain test run, where a regression fails loudly instead of drifting
+// in a benchmark artifact.
+func TestObserveRequestZeroAllocs(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest("POST /v1/graphs/{name}/ppr", 200, time.Millisecond) // warm the maps
+	st := &api.WorkStats{Method: "push", Pushes: 412, WorkVolume: 8311, MaxSupport: 127}
+	m.ObserveQueryWork("push", "miss", st)
+	if n := testing.AllocsPerRun(100, func() {
+		m.ObserveRequest("POST /v1/graphs/{name}/ppr", 200, time.Millisecond)
+	}); n != 0 {
+		t.Errorf("ObserveRequest allocates %v per call on the steady path, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		m.ObserveQueryWork("push", "miss", st)
+	}); n != 0 {
+		t.Errorf("ObserveQueryWork allocates %v per call on the steady path, want 0", n)
+	}
+}

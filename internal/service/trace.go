@@ -1,0 +1,94 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// defaultTraceBuffer is the number of completed queries retained by
+// the trace ring when Config.TraceBuffer is zero.
+const defaultTraceBuffer = 128
+
+// QueryTrace is a fixed-size ring of the last N completed queries,
+// served at GET /debug/queries. Record holds one mutex for a single
+// slot copy — cheap enough for the post-response path — and Snapshot
+// copies the ring out newest-first.
+type QueryTrace struct {
+	mu   sync.Mutex
+	ring []api.DebugQuery
+	next int // slot the next Record writes
+	n    int // live entries, saturates at len(ring)
+}
+
+// NewQueryTrace returns a trace retaining the last n queries (n > 0).
+func NewQueryTrace(n int) *QueryTrace {
+	return &QueryTrace{ring: make([]api.DebugQuery, n)}
+}
+
+// Record stores one completed query, overwriting the oldest entry.
+func (t *QueryTrace) Record(q api.DebugQuery) {
+	t.mu.Lock()
+	t.ring[t.next] = q
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained queries, newest first.
+func (t *QueryTrace) Snapshot() []api.DebugQuery {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]api.DebugQuery, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(t.next-1-i+len(t.ring))%len(t.ring)]
+	}
+	return out
+}
+
+// maxTraceParams caps the params digest stored per trace entry so a
+// giant sweepcut vector cannot bloat the ring.
+const maxTraceParams = 256
+
+func digestParams(canon string) string {
+	if len(canon) <= maxTraceParams {
+		return canon
+	}
+	return canon[:maxTraceParams-3] + "..."
+}
+
+// observeQuery is the post-response telemetry sink of the synchronous
+// query path: it feeds the work histograms and the trace ring. It runs
+// strictly after the response has been written, so neither the ring's
+// mutex nor the metrics lock sits between the computation and the
+// client.
+func (s *Server) observeQuery(r *http.Request, status int, cacheOutcome, graphName, params string, st *api.WorkStats, start time.Time) {
+	if s.cfg.DisableTelemetry {
+		return
+	}
+	if st != nil && cacheOutcome != "" {
+		s.metrics.ObserveQueryWork(st.Method, cacheOutcome, st)
+	}
+	if s.trace == nil {
+		return
+	}
+	route := r.Pattern
+	if route == "" {
+		route = r.Method + " " + r.URL.Path
+	}
+	s.trace.Record(api.DebugQuery{
+		ID:         RequestIDFrom(r.Context()),
+		Route:      route,
+		Graph:      graphName,
+		Params:     digestParams(params),
+		Status:     status,
+		Cache:      cacheOutcome,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Work:       st,
+		Time:       time.Now(),
+	})
+}

@@ -35,6 +35,10 @@ type JobView struct {
 	Started   *time.Time      `json:"started,omitempty"`
 	Finished  *time.Time      `json:"finished,omitempty"`
 	RunTimeMS float64         `json:"run_time_ms,omitempty"`
+	// Progress is the executor-reported completion fraction in [0,1]
+	// while the job is running; 1 once it is done. Executors that do
+	// not report progress leave it 0.
+	Progress float64 `json:"progress,omitempty"`
 }
 
 // JobList is the reply of GET /v1/jobs.

@@ -63,7 +63,13 @@ type PPRResponse struct {
 	WorkVolume float64    `json:"work_volume"`
 	Top        []NodeMass `json:"top"`
 	Sweep      *SweepInfo `json:"sweep,omitempty"`
+	// Work carries the kernel's full work accounting when the request
+	// asked for it with ?debug=work.
+	Work *WorkStats `json:"work,omitempty"`
 }
+
+// SetWork implements WorkCarrier.
+func (r *PPRResponse) SetWork(w *WorkStats) { r.Work = w }
 
 // LocalClusterMethods are the accepted LocalClusterRequest.Method values.
 var LocalClusterMethods = []string{"ppr", "nibble", "heat"}
@@ -134,7 +140,13 @@ type LocalClusterResponse struct {
 	Conductance float64 `json:"conductance"`
 	Volume      float64 `json:"volume"`
 	Support     int     `json:"support"` // max support touched: the locality measure
+	// Work carries the kernel's full work accounting when the request
+	// asked for it with ?debug=work.
+	Work *WorkStats `json:"work,omitempty"`
 }
+
+// SetWork implements WorkCarrier.
+func (r *LocalClusterResponse) SetWork(w *WorkStats) { r.Work = w }
 
 // DiffuseKinds are the accepted DiffuseRequest.Kind values.
 var DiffuseKinds = []string{"heat", "ppr", "lazy"}
@@ -205,7 +217,13 @@ type DiffuseResponse struct {
 	Kind string     `json:"kind"`
 	Sum  float64    `json:"sum"`
 	Top  []NodeMass `json:"top"`
+	// Work carries coarse work accounting (dense diffusions touch the
+	// whole graph) when the request asked for it with ?debug=work.
+	Work *WorkStats `json:"work,omitempty"`
 }
+
+// SetWork implements WorkCarrier.
+func (r *DiffuseResponse) SetWork(w *WorkStats) { r.Work = w }
 
 // SweepCutRequest carries a caller-provided vector to sweep
 // (POST /v1/graphs/{name}/sweepcut).

@@ -131,6 +131,15 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(body), err
 }
 
+// DebugQueries fetches the server's recent-query trace from
+// GET /debug/queries, newest first. An empty list means the trace is
+// disabled or no queries have completed yet.
+func (c *Client) DebugQueries(ctx context.Context) ([]api.DebugQuery, error) {
+	var out api.DebugQueriesResponse
+	err := c.doJSON(ctx, http.MethodGet, "/debug/queries", nil, nil, &out)
+	return out.Queries, err
+}
+
 // v1 joins path segments under the API version prefix, escaping each.
 func v1(segments ...string) string {
 	var b strings.Builder

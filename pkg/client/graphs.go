@@ -7,11 +7,38 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 
 	"repro/pkg/api"
 )
+
+// QueryOption adjusts a single synchronous query call (PPR,
+// LocalCluster, Diffuse) by editing its URL query parameters.
+type QueryOption func(url.Values)
+
+// WithWorkStats asks the server to attach its kernel work accounting to
+// the response (the ?debug=work switch): the returned response's Work
+// field carries pushes, work volume and support for the diffusion that
+// answered the query. Responses with and without work stats are cached
+// separately by the server.
+func WithWorkStats() QueryOption {
+	return func(q url.Values) { q.Set("debug", "work") }
+}
+
+// queryValuesOpts extends the client-wide query parameters with
+// per-call options.
+func (c *Client) queryValuesOpts(opts []QueryOption) url.Values {
+	q := c.queryValues()
+	if q == nil && len(opts) > 0 {
+		q = url.Values{}
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
 
 // GraphsService covers the /v1/graphs endpoint family: the graph
 // lifecycle (load, generate, stream/append/seal, delete, list) and the
@@ -193,25 +220,29 @@ func (s *GraphsService) Stats(ctx context.Context, name string) (api.StatsRespon
 	return out, err
 }
 
-// PPR runs the ACL push personalized-PageRank query.
-func (s *GraphsService) PPR(ctx context.Context, name string, req api.PPRRequest) (api.PPRResponse, error) {
+// PPR runs the ACL push personalized-PageRank query. Pass
+// WithWorkStats() to receive the kernel work accounting in out.Work.
+func (s *GraphsService) PPR(ctx context.Context, name string, req api.PPRRequest, opts ...QueryOption) (api.PPRResponse, error) {
 	var out api.PPRResponse
-	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "ppr"), s.c.queryValues(), &req, &out)
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "ppr"), s.c.queryValuesOpts(opts), &req, &out)
 	return out, err
 }
 
 // LocalCluster runs one of the strongly-local clustering methods
-// (ppr, nibble, heat) around the seed set.
-func (s *GraphsService) LocalCluster(ctx context.Context, name string, req api.LocalClusterRequest) (api.LocalClusterResponse, error) {
+// (ppr, nibble, heat) around the seed set. Pass WithWorkStats() to
+// receive the kernel work accounting in out.Work.
+func (s *GraphsService) LocalCluster(ctx context.Context, name string, req api.LocalClusterRequest, opts ...QueryOption) (api.LocalClusterResponse, error) {
 	var out api.LocalClusterResponse
-	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "localcluster"), s.c.queryValues(), &req, &out)
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "localcluster"), s.c.queryValuesOpts(opts), &req, &out)
 	return out, err
 }
 
 // Diffuse runs a dense diffusion (heat kernel, PageRank or lazy walk).
-func (s *GraphsService) Diffuse(ctx context.Context, name string, req api.DiffuseRequest) (api.DiffuseResponse, error) {
+// Pass WithWorkStats() to receive the (coarse, dense) work accounting
+// in out.Work.
+func (s *GraphsService) Diffuse(ctx context.Context, name string, req api.DiffuseRequest, opts ...QueryOption) (api.DiffuseResponse, error) {
 	var out api.DiffuseResponse
-	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "diffuse"), s.c.queryValues(), &req, &out)
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "diffuse"), s.c.queryValuesOpts(opts), &req, &out)
 	return out, err
 }
 

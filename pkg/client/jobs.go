@@ -74,12 +74,22 @@ func (s *JobsService) Result(ctx context.Context, id string, out any) error {
 // only when ctx is done or the server becomes unreachable. The poll
 // interval is configured with WithPollInterval.
 func (s *JobsService) Wait(ctx context.Context, id string) (api.JobView, error) {
+	return s.WaitFunc(ctx, id, nil)
+}
+
+// WaitFunc is Wait with a per-poll observer: onPoll receives every
+// snapshot, including the terminal one, which is how a CLI renders live
+// progress from view.Progress. A nil onPoll behaves exactly like Wait.
+func (s *JobsService) WaitFunc(ctx context.Context, id string, onPoll func(api.JobView)) (api.JobView, error) {
 	t := time.NewTicker(s.c.pollEvery)
 	defer t.Stop()
 	for {
 		view, err := s.Get(ctx, id)
 		if err != nil {
 			return api.JobView{}, err
+		}
+		if onPoll != nil {
+			onPoll(view)
 		}
 		if view.Status.Terminal() {
 			return view, nil
