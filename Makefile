@@ -28,8 +28,9 @@ fmt:
 
 # graphlint runs the custom invariant analyzers (internal/lint) over
 # the whole tree — determinism, workspace pooling, atomic persistence
-# writes, api error envelopes, context-responsive loops. See
-# docs/lint.md for the invariant table and suppression convention.
+# writes, api error envelopes, context-responsive loops, read-only
+# graph-storage aliases. See docs/lint.md for the invariant table and
+# suppression convention.
 graphlint:
 	$(GO) run ./cmd/graphlint ./...
 
@@ -42,6 +43,7 @@ lint: vet graphlint
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadSnapshot -fuzztime $(FUZZTIME) ./internal/persist
+	$(GO) test -run '^$$' -fuzz FuzzOpenMapped -fuzztime $(FUZZTIME) ./internal/persist
 	$(GO) test -run '^$$' -fuzz FuzzReadEdgeList -fuzztime $(FUZZTIME) ./internal/graph
 
 graphd:
@@ -58,8 +60,10 @@ graphd:
 # slice — the graphd ppr path with and without telemetry plus the
 # cached-hit floor, and the metrics-registry hot path from
 # internal/service (ObserveRequest must stay 0 allocs/op) — lands in
-# BENCH_observe.json. Use BENCHTIME=5s for a statistically meaningful
-# local run.
+# BENCH_observe.json. The storage-backend matrix (snapshot load time,
+# resident memory, PPR latency for heap/compact/mmap at three graph
+# sizes, from bench_mmap_test.go) is filtered into BENCH_mmap.json.
+# Use BENCHTIME=5s for a statistically meaningful local run.
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json . > BENCH_ncp.json
@@ -72,3 +76,5 @@ bench:
 	@grep -E '"Test":"BenchmarkGraphdPPR' BENCH_ncp.json > BENCH_observe.json
 	$(GO) test -run '^$$' -bench 'BenchmarkObserve' -benchtime $(BENCHTIME) -benchmem -json ./internal/service >> BENCH_observe.json
 	@echo "wrote BENCH_observe.json ($$(wc -c < BENCH_observe.json) bytes)"
+	@grep -E '"Test":"BenchmarkBackend(Load|PPR)' BENCH_ncp.json > BENCH_mmap.json && \
+	  echo "wrote BENCH_mmap.json ($$(wc -c < BENCH_mmap.json) bytes)"

@@ -1,0 +1,195 @@
+// Storage-backend benchmark matrix (BENCH_mmap.json): snapshot load
+// time, resident memory, and PPR query latency for the heap, compact
+// and mmap backends at three Kronecker graph sizes. This is the
+// measured basis of the backend table in docs/storage.md — heap is the
+// query-latency floor, compact halves the resident footprint, mmap
+// makes loading O(1) copies and lets restarts serve straight off the
+// page cache.
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/kernel"
+	"repro/internal/persist"
+)
+
+// backendBenchSizes are the three Kronecker scales of the matrix. Edge
+// counts are sample budgets; the realized m is logged per benchmark.
+var backendBenchSizes = []struct {
+	name   string
+	levels int
+	edges  int
+}{
+	{"n4k", 12, 40000},
+	{"n16k", 14, 150000},
+	{"n64k", 16, 600000},
+}
+
+var backendBench struct {
+	once sync.Once
+	dir  string
+	g    map[string]*graph.Graph
+	path map[string]string
+	err  error
+}
+
+// backendBenchSnapshot generates (once) each bench graph and writes its
+// v2 snapshot into a shared temp directory, returning the heap graph
+// and the snapshot path for one size.
+func backendBenchSnapshot(b *testing.B, size string) (*graph.Graph, string) {
+	b.Helper()
+	backendBench.once.Do(func() {
+		dir, err := os.MkdirTemp("", "bench-gsnap-*")
+		if err != nil {
+			backendBench.err = err
+			return
+		}
+		backendBench.dir = dir
+		backendBench.g = make(map[string]*graph.Graph)
+		backendBench.path = make(map[string]string)
+		for _, s := range backendBenchSizes {
+			g, err := gen.Kronecker(gen.KroneckerConfig{Levels: s.levels, Edges: s.edges}, rand.New(rand.NewSource(1)))
+			if err != nil {
+				backendBench.err = err
+				return
+			}
+			p := filepath.Join(dir, s.name+persist.SnapshotExt)
+			if err := persist.WriteSnapshotFile(p, g); err != nil {
+				backendBench.err = err
+				return
+			}
+			backendBench.g[s.name] = g
+			backendBench.path[s.name] = p
+		}
+	})
+	if backendBench.err != nil {
+		b.Fatal(backendBench.err)
+	}
+	return backendBench.g[size], backendBench.path[size]
+}
+
+// rssBytes reads the process's resident set size from /proc (Linux);
+// 0 when unavailable, in which case the metric is simply not reported.
+func rssBytes() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmRSS:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmRSS:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(string(fields[0]), 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// openBackendFromSnapshot loads one backend instance from a snapshot
+// file, the way graphd's recovery path would.
+func openBackendFromSnapshot(kind gstore.Kind, path string) (gstore.Graph, error) {
+	switch kind {
+	case gstore.KindHeap:
+		g, err := persist.ReadSnapshotFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return gstore.Wrap(g), nil
+	case gstore.KindCompact:
+		return persist.ReadCompactFile(path)
+	case gstore.KindMmap:
+		return persist.OpenMapped(path)
+	}
+	return nil, fmt.Errorf("unknown backend %q", kind)
+}
+
+// BenchmarkBackendLoad measures cold snapshot-to-queryable time per
+// backend and size: full decode + validation for heap and compact,
+// mmap + verification (no copies) for the mapped backend. rss-bytes is
+// the process RSS sampled after the timed loads — the mapped pages it
+// includes are page-cache shared and evictable, unlike the heap ones.
+func BenchmarkBackendLoad(b *testing.B) {
+	for _, size := range backendBenchSizes {
+		for _, kind := range gstore.Kinds() {
+			b.Run(size.name+"/"+string(kind), func(b *testing.B) {
+				g, path := backendBenchSnapshot(b, size.name)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var live gstore.Graph
+				for i := 0; i < b.N; i++ {
+					bg, err := openBackendFromSnapshot(kind, path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if bg.N() != g.N() {
+						b.Fatalf("loaded n=%d, want %d", bg.N(), g.N())
+					}
+					if live != nil {
+						gstore.Close(live)
+					}
+					live = bg
+				}
+				b.StopTimer()
+				if r := rssBytes(); r > 0 {
+					b.ReportMetric(r, "rss-bytes")
+				}
+				gstore.Close(live)
+				b.Logf("backend=%s n=%d m=%d", kind, g.N(), g.M())
+			})
+		}
+	}
+}
+
+// BenchmarkBackendPPR measures steady-state PPR query latency on each
+// backend: pooled workspace, kernel push, no map conversion — the
+// configuration graphd serves. The acceptance criterion of the gstore
+// refactor is heap staying within 10% of the pre-refactor loop; compact
+// and mmap trade a bounded slowdown (uint32→int widening per edge) for
+// the memory column reported by BenchmarkBackendLoad.
+func BenchmarkBackendPPR(b *testing.B) {
+	for _, size := range backendBenchSizes {
+		for _, kind := range gstore.Kinds() {
+			b.Run(size.name+"/"+string(kind), func(b *testing.B) {
+				g, path := backendBenchSnapshot(b, size.name)
+				bg, err := openBackendFromSnapshot(kind, path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer gstore.Close(bg)
+				seeds := []int{g.N() / 2}
+				pool := kernel.NewPool(bg.N())
+				pool.Put(pool.Get())
+				b.ReportAllocs()
+				b.ResetTimer()
+				var support int
+				for i := 0; i < b.N; i++ {
+					ws := pool.Get()
+					if _, err := (kernel.PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(bg, ws, seeds); err != nil {
+						b.Fatal(err)
+					}
+					support = ws.PSupport()
+					pool.Put(ws)
+				}
+				b.Logf("backend=%s support=%d n=%d m=%d", kind, support, g.N(), g.M())
+			})
+		}
+	}
+}

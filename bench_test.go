@@ -25,6 +25,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/linsolve"
 	"repro/internal/local"
@@ -319,7 +320,7 @@ func BenchmarkSec33LocalRuntime(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var work float64
 			for i := 0; i < b.N; i++ {
-				pr, err := local.ApproxPageRank(g, []int{n / 2}, 0.1, 1e-4)
+				pr, err := local.ApproxPageRank(gstore.Wrap(g), []int{n / 2}, 0.1, 1e-4)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -425,7 +426,7 @@ func BenchmarkAblationPushEps(b *testing.B) {
 			var work float64
 			var support int
 			for i := 0; i < b.N; i++ {
-				pr, err := local.ApproxPageRank(g, []int{17}, 0.1, eps)
+				pr, err := local.ApproxPageRank(gstore.Wrap(g), []int{17}, 0.1, eps)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -953,7 +954,7 @@ func BenchmarkPushIndexed(b *testing.B) {
 	var support int
 	for i := 0; i < b.N; i++ {
 		ws := pool.Get()
-		if _, err := (kernel.PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(g, ws, seed); err != nil {
+		if _, err := (kernel.PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(gstore.Wrap(g), ws, seed); err != nil {
 			b.Fatal(err)
 		}
 		support = ws.PSupport()
@@ -984,7 +985,7 @@ func BenchmarkNibble(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ws := pool.Get()
-			if _, err := (kernel.NibbleWalk{Eps: eps, Steps: steps}).Diffuse(g, ws, seeds); err != nil {
+			if _, err := (kernel.NibbleWalk{Eps: eps, Steps: steps}).Diffuse(gstore.Wrap(g), ws, seeds); err != nil {
 				b.Fatal(err)
 			}
 			pool.Put(ws)
@@ -1019,7 +1020,7 @@ func BenchmarkHeatKernel(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ws := pool.Get()
-			if _, err := (kernel.HeatKernel{T: tVal, Eps: eps}).Diffuse(g, ws, seeds); err != nil {
+			if _, err := (kernel.HeatKernel{T: tVal, Eps: eps}).Diffuse(gstore.Wrap(g), ws, seeds); err != nil {
 				b.Fatal(err)
 			}
 			pool.Put(ws)

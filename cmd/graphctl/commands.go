@@ -147,8 +147,12 @@ func cmdGraph(ctx context.Context, c *client.Client, args []string) error {
 			return err
 		}
 		return emit(info, func() {
-			fmt.Printf("%s: state=%s n=%d m=%d vol=%.0f persistence=%s\n",
+			fmt.Printf("%s: state=%s n=%d m=%d vol=%.0f persistence=%s",
 				info.Name, info.State, info.Nodes, info.Edges, info.Volume, info.Persistence)
+			if info.Backend != "" {
+				fmt.Printf(" backend=%s", info.Backend)
+			}
+			fmt.Println()
 		})
 	case "export":
 		if len(rest) != 1 {
@@ -177,15 +181,20 @@ func cmdGraph(ctx context.Context, c *client.Client, args []string) error {
 		}
 		return nil
 	case "import":
-		if len(rest) != 1 {
-			return fmt.Errorf("usage: graphctl graph import <name> <file|->")
+		fs := flags("graph import")
+		backend := fs.String("backend", "", "storage backend override: heap, compact or mmap")
+		if err := fs.Parse(rest); err != nil {
+			return err
 		}
-		rc, err := openArg(rest[0])
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: graphctl graph import <name> [-backend B] <file|->")
+		}
+		rc, err := openArg(fs.Arg(0))
 		if err != nil {
 			return err
 		}
 		defer rc.Close()
-		info, err := c.Graphs.Import(ctx, g, rc)
+		info, err := c.Graphs.Import(ctx, g, rc, backendOpts(*backend)...)
 		if err != nil {
 			return err
 		}
@@ -197,13 +206,14 @@ func cmdGraph(ctx context.Context, c *client.Client, args []string) error {
 
 func cmdLoad(ctx context.Context, c *client.Client, args []string) error {
 	fs := flags("load")
+	backend := fs.String("backend", "", "storage backend override: heap, compact or mmap")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: graphctl load <name> <edgelist-file>")
+		return fmt.Errorf("usage: graphctl load [-backend B] <name> <edgelist-file>")
 	}
-	info, err := c.Graphs.LoadFile(ctx, fs.Arg(0), fs.Arg(1))
+	info, err := c.Graphs.LoadFile(ctx, fs.Arg(0), fs.Arg(1), backendOpts(*backend)...)
 	if err != nil {
 		return err
 	}
@@ -223,6 +233,7 @@ func cmdGenerate(ctx context.Context, c *client.Client, args []string) error {
 	fs.IntVar(&req.Cols, "cols", 0, "grid cols")
 	fs.IntVar(&req.K, "k", 0, "ring_of_cliques/caveman clique count")
 	fs.IntVar(&req.CliqueN, "clique-n", 0, "ring_of_cliques/caveman clique size")
+	backend := fs.String("backend", "", "storage backend override: heap, compact or mmap")
 	g, rest, err := name(fs, args, "generate <name> [flags]")
 	if err != nil {
 		return err
@@ -230,7 +241,7 @@ func cmdGenerate(ctx context.Context, c *client.Client, args []string) error {
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	info, err := c.Graphs.Generate(ctx, g, req)
+	info, err := c.Graphs.Generate(ctx, g, req, backendOpts(*backend)...)
 	if err != nil {
 		return err
 	}
@@ -796,8 +807,19 @@ func emitGraphInfo(info api.GraphInfo, verb string) error {
 		if info.Persistence != "" {
 			fmt.Printf(" persistence=%s", info.Persistence)
 		}
+		if info.Backend != "" {
+			fmt.Printf(" backend=%s", info.Backend)
+		}
 		fmt.Println()
 	})
+}
+
+// backendOpts turns a -backend flag value into client create options.
+func backendOpts(backend string) []client.CreateOption {
+	if backend == "" {
+		return nil
+	}
+	return []client.CreateOption{client.WithBackend(api.GraphBackend(backend))}
 }
 
 func emitJobView(v api.JobView) error {

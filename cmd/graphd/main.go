@@ -10,6 +10,12 @@
 // (.wal), and a restart recovers both — corrupt files are quarantined
 // with a log line instead of failing boot. See docs/persistence.md.
 //
+// With -backend the daemon picks the storage backend sealed graphs are
+// served from: "heap" (native CSR), "compact" (uint32/float32 CSR at
+// roughly half the memory) or "mmap" (queries run straight off the
+// memory-mapped snapshot; requires -data-dir, and a restart remaps
+// instead of reloading). See docs/storage.md.
+//
 // Usage:
 //
 //	graphd -addr :8080
@@ -72,6 +78,7 @@ func main() {
 		jobQueue   = flag.Int("job-queue", 64, "max pending jobs")
 		timeout    = flag.Duration("query-timeout", 30*time.Second, "default per-query deadline")
 		dataDir    = flag.String("data-dir", "", "durable store directory (snapshots + WALs; empty = in-memory)")
+		backend    = flag.String("backend", "heap", "default graph storage backend: heap, compact or mmap (mmap requires -data-dir)")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Var(&loads, "load", "preload a graph: name=path (repeatable; edge list, .gz or .gsnap)")
@@ -87,6 +94,7 @@ func main() {
 		JobQueue:     *jobQueue,
 		QueryTimeout: *timeout,
 		DataDir:      *dataDir,
+		Backend:      *backend,
 		TraceBuffer:  *traceBuf,
 	}
 	if *accessLog {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/local"
 	"repro/internal/partition"
 )
@@ -27,11 +28,11 @@ func main() {
 		g.N(), g.M(), seed, seed/50)
 
 	// ACL push.
-	pr, err := local.ApproxPageRank(g, []int{seed}, 0.03, 1e-6)
+	pr, err := local.ApproxPageRank(gstore.Wrap(g), []int{seed}, 0.03, 1e-6)
 	if err != nil {
 		log.Fatalf("push: %v", err)
 	}
-	sw, err := local.SweepCut(g, pr.P)
+	sw, err := local.SweepCut(gstore.Wrap(g), pr.P)
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
 	}
@@ -39,7 +40,7 @@ func main() {
 		sw.Conductance, len(sw.Set), pr.Pushes, pr.WorkVolume, len(pr.P))
 
 	// Nibble.
-	nb, err := local.Nibble(g, []int{seed}, 1e-5, 30)
+	nb, err := local.Nibble(gstore.Wrap(g), []int{seed}, 1e-5, 30)
 	if err != nil {
 		log.Fatalf("nibble: %v", err)
 	}
@@ -49,11 +50,11 @@ func main() {
 	}
 
 	// Heat-kernel local.
-	hk, err := local.HeatKernelLocal(g, []int{seed}, 5, 1e-6)
+	hk, err := local.HeatKernelLocal(gstore.Wrap(g), []int{seed}, 5, 1e-6)
 	if err != nil {
 		log.Fatalf("heat kernel: %v", err)
 	}
-	hsw, err := local.SweepCut(g, hk.Dist)
+	hsw, err := local.SweepCut(gstore.Wrap(g), hk.Dist)
 	if err != nil {
 		log.Fatalf("hk sweep: %v", err)
 	}
@@ -104,7 +105,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("build: %v", err)
 	}
-	hnb, err := local.Nibble(hg, []int{hub}, 1e-6, 20)
+	hnb, err := local.Nibble(gstore.Wrap(hg), []int{hub}, 1e-6, 20)
 	if err != nil {
 		log.Fatalf("hub nibble: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/local"
 	"repro/internal/spectral"
 	"repro/internal/vec"
@@ -41,12 +42,12 @@ func Sec33LocalRuntime(seed int64) ([]Sec33LocalityRow, error) {
 		}
 		const alpha, eps = 0.1, 1e-4
 		t0 := time.Now()
-		pr, err := local.ApproxPageRank(g, []int{17}, alpha, eps)
+		pr, err := local.ApproxPageRank(gstore.Wrap(g), []int{17}, alpha, eps)
 		if err != nil {
 			return nil, err
 		}
 		pushDur := time.Since(t0)
-		nb, err := local.Nibble(g, []int{17}, eps, 25)
+		nb, err := local.Nibble(gstore.Wrap(g), []int{17}, eps, 25)
 		if err != nil {
 			return nil, err
 		}
@@ -114,11 +115,11 @@ func Sec33LocalCheeger(seed int64) ([]Sec33CheegerRow, error) {
 			blockNodes[i] = block*blockN + i
 		}
 		phiPlanted := g.ConductanceOfSet(blockNodes)
-		pr, err := local.ApproxPageRank(g, []int{s}, 0.03, 2e-6)
+		pr, err := local.ApproxPageRank(gstore.Wrap(g), []int{s}, 0.03, 2e-6)
 		if err != nil {
 			return nil, err
 		}
-		sw, err := local.SweepCut(g, pr.P)
+		sw, err := local.SweepCut(gstore.Wrap(g), pr.P)
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +304,7 @@ func Sec33SeedNotInCluster(seed int64) (*Sec33SeedResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: sec3.3 seed construction: %w", err)
 	}
-	nb, err := local.Nibble(g, []int{hub}, 1e-6, 20)
+	nb, err := local.Nibble(gstore.Wrap(g), []int{hub}, 1e-6, 20)
 	if err != nil {
 		return nil, err
 	}

@@ -76,3 +76,29 @@ func TestFromCSRRejectsInvalid(t *testing.T) {
 		})
 	}
 }
+
+// TestCSRAliasesInternalStorage pins the documented aliasing contract
+// of CSR(): repeated calls return views of the same backing arrays (no
+// defensive copies), and Neighbors hands out sub-slices of those same
+// arrays. The kernel's zero-copy cost model and the snapshot writer
+// both depend on this staying true.
+func TestCSRAliasesInternalStorage(t *testing.T) {
+	g := buildTestGraph(t)
+	r1, a1, w1 := g.CSR()
+	r2, a2, w2 := g.CSR()
+	if &r1[0] != &r2[0] || &a1[0] != &a2[0] || &w1[0] != &w2[0] {
+		t.Fatal("CSR() returned fresh copies; it must alias internal storage")
+	}
+	if &r1[0] != &g.rowPtr[0] || &a1[0] != &g.adj[0] || &w1[0] != &g.w[0] {
+		t.Fatal("CSR() slices do not alias the graph's own arrays")
+	}
+	for u := 0; u < g.N(); u++ {
+		nbrs, wts := g.Neighbors(u)
+		if len(nbrs) == 0 {
+			continue
+		}
+		if &nbrs[0] != &a1[r1[u]] || &wts[0] != &w1[r1[u]] {
+			t.Fatalf("Neighbors(%d) is not a sub-slice of the CSR arrays", u)
+		}
+	}
+}

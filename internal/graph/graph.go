@@ -166,9 +166,22 @@ func (s *adjSorter) Swap(i, j int) {
 
 // CSR returns the graph's raw CSR arrays: rowPtr (length n+1), the
 // concatenated adjacency lists (length rowPtr[n] = 2m), and the parallel
-// edge weights. All three slices alias internal storage and must not be
-// modified. This is the encoding surface of the binary snapshot format
-// (internal/persist); FromCSR is its inverse.
+// edge weights.
+//
+// The returned slices are NOT copies: they alias the graph's internal
+// storage — every call returns views of the same backing arrays, and
+// Neighbors hands out sub-slices of the same adj/w arrays. That is the
+// point: the diffusion kernels (internal/kernel/csr.go) run their
+// monomorphized inner loops directly over these arrays with zero
+// per-query copying, and the snapshot writer streams them to disk
+// unchanged. The flip side is a strict read-only contract: writing
+// through any of the three slices corrupts the graph for every holder
+// (and for a future mmap-backed Compact, writing through the analogous
+// accessors is a SIGSEGV). graphlint's nomutate analyzer enforces the
+// same discipline for gstore accessors; TestCSRAliasesInternalStorage
+// pins the aliasing itself so a defensive copy cannot sneak in and
+// silently change the cost model. This is the encoding surface of the
+// binary snapshot format (internal/persist); FromCSR is its inverse.
 func (g *Graph) CSR() (rowPtr, adj []int, w []float64) {
 	return g.rowPtr, g.adj, g.w
 }

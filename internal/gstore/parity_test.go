@@ -1,0 +1,160 @@
+package gstore_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/gstore"
+	"repro/internal/local"
+	"repro/internal/ncp"
+	"repro/internal/partition"
+)
+
+// This file is the storage-engine parity suite: every diffusion and the
+// NCP fingerprint must be byte-identical — Float64bits, not tolerances —
+// across the heap, compact and mmap backends. It is the executable form
+// of the contract that lets graphd switch backends per graph (or per
+// query, via ?backend=) without perturbing a single result: the compact
+// form narrows weights only when lossless, degrees are carried
+// bit-for-bit, and the kernel's monomorphized loops accumulate in the
+// same order on all three array shapes.
+
+// parityDiffusions runs each local diffusion on one backend and folds
+// the complete output (support, value bits, counters, sweep cut) into a
+// printable fingerprint. Equal fingerprints ⇒ byte-identical results.
+func parityFingerprint(t *testing.T, g gstore.Graph, seeds []int) string {
+	t.Helper()
+	var sb strings.Builder
+
+	pr, err := local.ApproxPageRank(g, seeds, 0.12, 2e-5)
+	if err != nil {
+		t.Fatalf("ApproxPageRank: %v", err)
+	}
+	fmt.Fprintf(&sb, "push pushes=%d work=%016x\n", pr.Pushes, math.Float64bits(pr.WorkVolume))
+	writeSparse(&sb, "push.P", pr.P)
+	writeSparse(&sb, "push.R", pr.R)
+	sw, err := local.SweepCut(g, local.DegreeNormalized(g, pr.P))
+	if err == nil {
+		writeSweep(&sb, "push.sweep", sw)
+	} else {
+		fmt.Fprintf(&sb, "push.sweep err=%v\n", err)
+	}
+
+	nb, err := local.Nibble(g, seeds, 2e-4, 12)
+	if err != nil {
+		t.Fatalf("Nibble: %v", err)
+	}
+	fmt.Fprintf(&sb, "nibble steps=%d maxsupport=%d\n", nb.Steps, nb.MaxSupport)
+	writeSparse(&sb, "nibble.dist", nb.Dist)
+	if nb.Best != nil {
+		writeSweep(&sb, "nibble.best", nb.Best)
+	}
+
+	hk, err := local.HeatKernelLocal(g, seeds, 4.0, 2e-4)
+	if err != nil {
+		t.Fatalf("HeatKernelLocal: %v", err)
+	}
+	fmt.Fprintf(&sb, "heat terms=%d maxsupport=%d\n", hk.Terms, hk.MaxSupport)
+	writeSparse(&sb, "heat.dist", hk.Dist)
+
+	return sb.String()
+}
+
+func writeSparse(sb *strings.Builder, label string, v local.SparseVec) {
+	keys := make([]int, 0, len(v))
+	for u := range v {
+		keys = append(keys, u)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(sb, "%s n=%d", label, len(keys))
+	for _, u := range keys {
+		fmt.Fprintf(sb, " %d:%016x", u, math.Float64bits(v[u]))
+	}
+	sb.WriteByte('\n')
+}
+
+func writeSweep(sb *strings.Builder, label string, sw *partition.SweepResult) {
+	fmt.Fprintf(sb, "%s phi=%016x prefix=%d set=%v\n", label,
+		math.Float64bits(sw.Conductance), sw.Prefix, sw.Set)
+}
+
+// TestDiffusionParityAcrossBackends: push/nibble/heat planes and sweep
+// cuts are byte-identical on heap, compact and mmap for every graph in
+// the grid, weighted and unweighted.
+func TestDiffusionParityAcrossBackends(t *testing.T) {
+	for name, hg := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			// Seeds: first node, a middle node, and the max-degree node.
+			maxU := 0
+			for u := 1; u < hg.N(); u++ {
+				if hg.Degree(u) > hg.Degree(maxU) {
+					maxU = u
+				}
+			}
+			seedSets := [][]int{{0}, {hg.N() / 2}, {maxU}}
+			backends := openBackends(t, hg)
+			for _, seeds := range seedSets {
+				want := parityFingerprint(t, backends[gstore.KindHeap], seeds)
+				for _, kind := range []gstore.Kind{gstore.KindCompact, gstore.KindMmap} {
+					got := parityFingerprint(t, backends[kind], seeds)
+					if got != want {
+						t.Fatalf("%s diverges from heap on seeds %v:\n%s", kind, seeds,
+							firstDiff(want, got))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNCPFingerprintParity: a full spectral NCP sweep — many PPR runs,
+// sweep cuts, cluster collection, parallel workers — lands on the same
+// profile, cluster for cluster and bit for bit, on every backend.
+func TestNCPFingerprintParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NCP parity sweep is not short")
+	}
+	hg := testGraphs(t)["erdos-renyi"]
+	cfg := ncp.SpectralConfig{
+		Seeds:    4,
+		Alphas:   []float64{0.2, 0.05, 0.01},
+		Workers:  3,
+		BaseSeed: 41,
+	}
+	fingerprint := func(g gstore.Graph) string {
+		prof, err := ncp.SpectralProfileOn(context.Background(), g, cfg, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("SpectralProfileOn: %v", err)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "method=%s clusters=%d\n", prof.Method, len(prof.Clusters))
+		for i, c := range prof.Clusters {
+			fmt.Fprintf(&sb, "%d %s phi=%016x nodes=%v\n", i, c.Method,
+				math.Float64bits(c.Conductance), c.Nodes)
+		}
+		return sb.String()
+	}
+	backends := openBackends(t, hg)
+	want := fingerprint(backends[gstore.KindHeap])
+	for _, kind := range []gstore.Kind{gstore.KindCompact, gstore.KindMmap} {
+		if got := fingerprint(backends[kind]); got != want {
+			t.Fatalf("NCP profile on %s diverges from heap:\n%s", kind, firstDiff(want, got))
+		}
+	}
+}
+
+// firstDiff locates the first line where two fingerprints disagree.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  heap:  %.200s\n  other: %.200s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: heap %d lines, other %d lines", len(wl), len(gl))
+}

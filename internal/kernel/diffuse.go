@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/graph"
+	"repro/internal/gstore"
 )
 
 // Stats reports the work one diffusion performed. Only the fields a
@@ -31,15 +31,23 @@ type Stats struct {
 // walk distribution, the heat-kernel approximation); PushACL leaves its
 // residual in the R plane. The workspace is Reset at entry, so a pooled
 // workspace needs no cleaning between uses.
+//
+// Diffuse accepts any gstore backend. For the known backends (heap,
+// compact, mmap) the inner loops run monomorphized over the backend's
+// raw CSR arrays (csr.go), so the arithmetic — and therefore the
+// floating-point output — is identical bit for bit across backends,
+// and the heap path compiles to the same loop as before the gstore
+// refactor. Unknown third-party backends fall back to the neighbor
+// iterator.
 type Diffuser interface {
-	Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, error)
+	Diffuse(g gstore.Graph, ws *Workspace, seeds []int) (Stats, error)
 }
 
 // seedR spreads the uniform seed distribution into the R plane (mass
 // accumulates over duplicate seeds, in seed order) and sorts its
 // touched list ascending, the deterministic starting state every
 // diffusion shares.
-func seedR(g *graph.Graph, ws *Workspace, seeds []int) error {
+func seedR(g gstore.Graph, ws *Workspace, seeds []int) error {
 	if len(seeds) == 0 {
 		return errors.New("kernel: diffusion needs a nonempty seed set")
 	}
@@ -76,7 +84,7 @@ type PushACL struct {
 
 // Diffuse runs the push. P gets the approximation, R the residual; the
 // invariant p + pr_α(r) = pr_α(s) holds.
-func (d PushACL) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, error) {
+func (d PushACL) Diffuse(g gstore.Graph, ws *Workspace, seeds []int) (Stats, error) {
 	if d.Alpha <= 0 || d.Alpha >= 1 {
 		return Stats{}, fmt.Errorf("kernel: push alpha=%v outside (0,1)", d.Alpha)
 	}
@@ -92,41 +100,7 @@ func (d PushACL) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, err
 	for _, u := range ws.r.list {
 		ws.q.push(u)
 	}
-	var st Stats
-	for {
-		u, ok := ws.q.pop()
-		if !ok {
-			break
-		}
-		du := g.Degree(u)
-		if du == 0 {
-			// Isolated node: its residual can only go to p.
-			ws.p.add(u, ws.r.get(u))
-			ws.r.set(u, 0)
-			continue
-		}
-		ru := ws.r.get(u)
-		if ru < d.Eps*du {
-			continue
-		}
-		ws.p.add(u, d.Alpha*ru)
-		keep := (1 - d.Alpha) * ru / 2
-		ws.r.set(u, keep)
-		if keep >= d.Eps*du {
-			ws.q.push(u)
-		}
-		spread := (1 - d.Alpha) * ru / 2
-		nbrs, wts := g.Neighbors(u)
-		for i, v := range nbrs {
-			rv := ws.r.get(v) + spread*wts[i]/du
-			ws.r.set(v, rv)
-			if rv >= d.Eps*g.Degree(v) {
-				ws.q.push(v)
-			}
-		}
-		st.Pushes++
-		st.WorkVolume += du
-	}
+	st := pushOn(d, g, ws)
 	// The push never shrinks p's support, so the final support is the
 	// peak. Reading it after the loop keeps the accounting out of the
 	// float path entirely.
@@ -153,7 +127,7 @@ type NibbleWalk struct {
 }
 
 // Diffuse runs the walk. P (and R) hold the final distribution.
-func (d NibbleWalk) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, error) {
+func (d NibbleWalk) Diffuse(g gstore.Graph, ws *Workspace, seeds []int) (Stats, error) {
 	if d.Eps <= 0 {
 		return Stats{}, fmt.Errorf("kernel: nibble eps=%v must be positive", d.Eps)
 	}
@@ -189,35 +163,10 @@ func (d NibbleWalk) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, 
 
 // walkStep advances the R-plane distribution one lazy-walk step into
 // the scratch plane, truncates entries below eps·deg, and swaps the
-// result back into R with its touched list sorted ascending.
-func (ws *Workspace) walkStep(g *graph.Graph, eps float64) {
-	ws.s.reset()
-	for _, u := range ws.r.list {
-		mass := ws.r.val[u]
-		du := g.Degree(u)
-		if du == 0 {
-			ws.s.add(u, mass)
-			continue
-		}
-		ws.s.add(u, mass/2)
-		nbrs, wts := g.Neighbors(u)
-		for i, v := range nbrs {
-			ws.s.add(v, mass/2*wts[i]/du)
-		}
-	}
-	// Truncate: the regularization step. Compact the touched list in
-	// place, killing dropped entries so a later touch re-adds them.
-	live := ws.s.list[:0]
-	for _, u := range ws.s.list {
-		if ws.s.val[u] < eps*g.Degree(u) {
-			ws.s.kill(u)
-			continue
-		}
-		live = append(live, u)
-	}
-	ws.s.list = live
-	ws.r, ws.s = ws.s, ws.r
-	ws.r.sortList()
+// result back into R with its touched list sorted ascending. The body
+// lives in csr.go, monomorphized per backend.
+func (ws *Workspace) walkStep(g gstore.Graph, eps float64) {
+	walkStepOn(g, ws, eps)
 }
 
 // HeatKernel approximates Chung's heat-kernel PageRank [15]
@@ -235,7 +184,7 @@ type HeatKernel struct {
 
 // Diffuse runs the expansion. P holds the heat-kernel approximation; R
 // holds the final Taylor iterate (usually empty after truncation).
-func (d HeatKernel) Diffuse(g *graph.Graph, ws *Workspace, seeds []int) (Stats, error) {
+func (d HeatKernel) Diffuse(g gstore.Graph, ws *Workspace, seeds []int) (Stats, error) {
 	if d.T <= 0 || math.IsNaN(d.T) || math.IsInf(d.T, 0) {
 		return Stats{}, fmt.Errorf("kernel: heat kernel t=%v must be positive and finite", d.T)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/gstore"
 )
 
 func TestWorkspacePlaneBasics(t *testing.T) {
@@ -128,7 +129,7 @@ func TestPushACLDeterministicAcrossReuse(t *testing.T) {
 	}
 	ws := NewWorkspace(g.N())
 	run := func() (map[int]float64, Stats) {
-		st, err := (PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(g, ws, []int{17})
+		st, err := (PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(gstore.Wrap(g), ws, []int{17})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,17 +172,17 @@ func TestDiffuserValidation(t *testing.T) {
 		{"heat eps 0", HeatKernel{T: 1, Eps: 0}},
 	}
 	for _, c := range cases {
-		if _, err := c.d.Diffuse(g, ws, []int{0}); err == nil {
+		if _, err := c.d.Diffuse(gstore.Wrap(g), ws, []int{0}); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
-	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(g, ws, nil); err == nil {
+	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(gstore.Wrap(g), ws, nil); err == nil {
 		t.Error("empty seeds accepted")
 	}
-	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(g, ws, []int{9}); err == nil {
+	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(gstore.Wrap(g), ws, []int{9}); err == nil {
 		t.Error("out-of-range seed accepted")
 	}
-	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(g, NewWorkspace(3), []int{0}); err == nil {
+	if _, err := (PushACL{Alpha: 0.5, Eps: 1e-3}).Diffuse(gstore.Wrap(g), NewWorkspace(3), []int{0}); err == nil {
 		t.Error("mis-sized workspace accepted")
 	}
 }
@@ -230,7 +231,7 @@ func TestPoolConcurrentPush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := (PushACL{Alpha: 0.1, Eps: 1e-3}).Diffuse(g, NewWorkspace(g.N()), []int{1})
+	want, err := (PushACL{Alpha: 0.1, Eps: 1e-3}).Diffuse(gstore.Wrap(g), NewWorkspace(g.N()), []int{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestPoolConcurrentPush(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 20; j++ {
 				ws := pool.Get()
-				st, err := (PushACL{Alpha: 0.1, Eps: 1e-3}).Diffuse(g, ws, []int{1})
+				st, err := (PushACL{Alpha: 0.1, Eps: 1e-3}).Diffuse(gstore.Wrap(g), ws, []int{1})
 				if err != nil {
 					t.Errorf("concurrent push: %v", err)
 				} else if st != want {
@@ -260,7 +261,7 @@ func TestPoolConcurrentPush(t *testing.T) {
 func TestWalkStepMatchesDenseStep(t *testing.T) {
 	g := gen.RingOfCliques(3, 4)
 	ws := NewWorkspace(g.N())
-	if err := seedR(g, ws, []int{0, 5}); err != nil {
+	if err := seedR(gstore.Wrap(g), ws, []int{0, 5}); err != nil {
 		t.Fatal(err)
 	}
 	dense := make([]float64, g.N())
@@ -277,7 +278,7 @@ func TestWalkStepMatchesDenseStep(t *testing.T) {
 			next[v] += x / 2 * wts[i] / du
 		}
 	}
-	ws.walkStep(g, 1e-12)
+	ws.walkStep(gstore.Wrap(g), 1e-12)
 	for u := 0; u < g.N(); u++ {
 		got := ws.r.get(u)
 		want := next[u]

@@ -87,6 +87,7 @@ func All() []*Analyzer {
 		AtomicWrite,
 		APIErr,
 		CtxLoop,
+		NoMutate,
 	}
 }
 

@@ -17,6 +17,7 @@ const (
 	inPersist       = "repro/internal/persist/lintfixture"
 	inService       = "repro/internal/service/lintfixture"
 	outOfScope      = "repro/cmd/lintfixture"
+	inGstore        = "repro/internal/gstore/lintfixture"
 )
 
 func TestDeterminismPositive(t *testing.T) {
@@ -77,6 +78,21 @@ func TestCtxLoopPositive(t *testing.T) {
 
 func TestCtxLoopNegative(t *testing.T) {
 	linttest.Run(t, lint.CtxLoop, "testdata/ctxloop/neg", inService)
+}
+
+func TestNoMutatePositive(t *testing.T) {
+	linttest.Run(t, lint.NoMutate, "testdata/nomutate/pos", inDeterministic)
+}
+
+func TestNoMutateNegative(t *testing.T) {
+	linttest.Run(t, lint.NoMutate, "testdata/nomutate/neg", inDeterministic)
+}
+
+// TestNoMutateOutOfScope typechecks the mutating fixture under a path
+// inside internal/gstore, where the package owns the storage and the
+// analyzer must not fire.
+func TestNoMutateOutOfScope(t *testing.T) {
+	linttest.Run(t, lint.NoMutate, "testdata/nomutate/outofscope", inGstore)
 }
 
 // TestIgnoreDirectives runs the whole suite over the suppression

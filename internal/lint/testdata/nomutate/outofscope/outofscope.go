@@ -1,0 +1,11 @@
+// Inside internal/gstore the package owns the arrays; the analyzer
+// must stay silent however the storage is touched.
+package fixture
+
+import "repro/internal/gstore"
+
+func Mutate(c *gstore.Compact) {
+	c.RawDegrees()[0] = 1
+	adj := c.RawAdj()
+	adj[0] = 2
+}

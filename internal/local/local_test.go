@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/spectral"
 	"repro/internal/vec"
 )
@@ -19,7 +20,7 @@ func TestApproxPageRankInvariant(t *testing.T) {
 	// solver: pr(s) − p must equal pr(r).
 	g := gen.RingOfCliques(3, 5)
 	alpha, eps := 0.2, 1e-4
-	res, err := ApproxPageRank(g, []int{0}, alpha, eps)
+	res, err := ApproxPageRank(gstore.Wrap(g), []int{0}, alpha, eps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestApproxPageRankInvariant(t *testing.T) {
 func TestApproxPageRankResidualBound(t *testing.T) {
 	g := gen.Dumbbell(10, 2)
 	eps := 1e-3
-	res, err := ApproxPageRank(g, []int{0}, 0.1, eps)
+	res, err := ApproxPageRank(gstore.Wrap(g), []int{0}, 0.1, eps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestApproxPageRankWorkBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	alpha, eps := 0.1, 1e-4
-	res, err := ApproxPageRank(g, []int{42}, alpha, eps)
+	res, err := ApproxPageRank(gstore.Wrap(g), []int{42}, alpha, eps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestApproxPageRankLocality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := ApproxPageRank(g, []int{7}, 0.15, 1e-3)
+		res, err := ApproxPageRank(gstore.Wrap(g), []int{7}, 0.15, 1e-3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,16 +107,16 @@ func TestApproxPageRankLocality(t *testing.T) {
 
 func TestApproxPageRankErrors(t *testing.T) {
 	g := gen.Path(5)
-	if _, err := ApproxPageRank(g, nil, 0.1, 1e-3); err == nil {
+	if _, err := ApproxPageRank(gstore.Wrap(g), nil, 0.1, 1e-3); err == nil {
 		t.Fatal("empty seeds accepted")
 	}
-	if _, err := ApproxPageRank(g, []int{0}, 0, 1e-3); err == nil {
+	if _, err := ApproxPageRank(gstore.Wrap(g), []int{0}, 0, 1e-3); err == nil {
 		t.Fatal("alpha=0 accepted")
 	}
-	if _, err := ApproxPageRank(g, []int{0}, 0.5, 0); err == nil {
+	if _, err := ApproxPageRank(gstore.Wrap(g), []int{0}, 0.5, 0); err == nil {
 		t.Fatal("eps=0 accepted")
 	}
-	if _, err := ApproxPageRank(g, []int{9}, 0.5, 1e-3); err == nil {
+	if _, err := ApproxPageRank(gstore.Wrap(g), []int{9}, 0.5, 1e-3); err == nil {
 		t.Fatal("out-of-range seed accepted")
 	}
 }
@@ -126,11 +127,11 @@ func TestSweepCutFindsPlantedCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ApproxPageRank(g, []int{3}, 0.05, 1e-5)
+	res, err := ApproxPageRank(gstore.Wrap(g), []int{3}, 0.05, 1e-5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := SweepCut(g, res.P)
+	sw, err := SweepCut(gstore.Wrap(g), res.P)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestNibbleStaysLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Nibble(g, []int{11}, 1e-4, 30)
+	res, err := Nibble(gstore.Wrap(g), []int{11}, 1e-4, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestNibbleStaysLocal(t *testing.T) {
 
 func TestNibbleFindsCliqueCluster(t *testing.T) {
 	g := gen.RingOfCliques(6, 8)
-	res, err := Nibble(g, []int{0}, 1e-5, 40)
+	res, err := Nibble(gstore.Wrap(g), []int{0}, 1e-5, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestNibbleFindsCliqueCluster(t *testing.T) {
 
 func TestNibbleTruncationIsRealized(t *testing.T) {
 	g := gen.Path(200)
-	res, err := Nibble(g, []int{100}, 1e-3, 10)
+	res, err := Nibble(gstore.Wrap(g), []int{100}, 1e-3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,13 +197,13 @@ func TestNibbleTruncationIsRealized(t *testing.T) {
 
 func TestNibbleErrors(t *testing.T) {
 	g := gen.Path(5)
-	if _, err := Nibble(g, []int{0}, 0, 5); err == nil {
+	if _, err := Nibble(gstore.Wrap(g), []int{0}, 0, 5); err == nil {
 		t.Fatal("eps=0 accepted")
 	}
-	if _, err := Nibble(g, []int{0}, 1e-3, 0); err == nil {
+	if _, err := Nibble(gstore.Wrap(g), []int{0}, 1e-3, 0); err == nil {
 		t.Fatal("steps=0 accepted")
 	}
-	if _, err := Nibble(g, nil, 1e-3, 5); err == nil {
+	if _, err := Nibble(gstore.Wrap(g), nil, 1e-3, 5); err == nil {
 		t.Fatal("empty seeds accepted")
 	}
 }
@@ -210,7 +211,7 @@ func TestNibbleErrors(t *testing.T) {
 func TestHeatKernelLocalApproximatesDense(t *testing.T) {
 	g := gen.RingOfCliques(3, 5)
 	tVal := 3.0
-	res, err := HeatKernelLocal(g, []int{0}, tVal, 1e-9)
+	res, err := HeatKernelLocal(gstore.Wrap(g), []int{0}, tVal, 1e-9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,13 +265,13 @@ func denseLazyHeatKernel(g *graph.Graph, seed []float64, t float64) []float64 {
 
 func TestHeatKernelLocalErrors(t *testing.T) {
 	g := gen.Path(5)
-	if _, err := HeatKernelLocal(g, []int{0}, 0, 1e-3); err == nil {
+	if _, err := HeatKernelLocal(gstore.Wrap(g), []int{0}, 0, 1e-3); err == nil {
 		t.Fatal("t=0 accepted")
 	}
-	if _, err := HeatKernelLocal(g, []int{0}, 1, 0); err == nil {
+	if _, err := HeatKernelLocal(gstore.Wrap(g), []int{0}, 1, 0); err == nil {
 		t.Fatal("eps=0 accepted")
 	}
-	if _, err := HeatKernelLocal(g, nil, 1, 1e-3); err == nil {
+	if _, err := HeatKernelLocal(gstore.Wrap(g), nil, 1, 1e-3); err == nil {
 		t.Fatal("empty seeds accepted")
 	}
 }
@@ -370,7 +371,7 @@ func TestPropPushInvariants(t *testing.T) {
 		alpha := 0.05 + rng.Float64()*0.9
 		eps := math.Pow(10, -1-3*rng.Float64())
 		node := rng.Intn(g.N())
-		res, err := ApproxPageRank(g, []int{node}, alpha, eps)
+		res, err := ApproxPageRank(gstore.Wrap(g), []int{node}, alpha, eps)
 		if err != nil {
 			return false
 		}
@@ -398,7 +399,7 @@ func TestPropNibbleSubStochastic(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Nibble(g, []int{rng.Intn(g.N())}, 1e-3, 1+rng.Intn(15))
+		res, err := Nibble(gstore.Wrap(g), []int{rng.Intn(g.N())}, 1e-3, 1+rng.Intn(15))
 		if err != nil {
 			return false
 		}

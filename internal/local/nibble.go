@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/partition"
 )
@@ -29,7 +29,7 @@ type NibbleResult struct {
 // entry with q(u) < eps·deg(u). The truncation keeps the support — and
 // hence the work — small and independent of n; §3.3 identifies it as
 // the implicit regularizer, "a bias analogous to early stopping".
-func Nibble(g *graph.Graph, seeds []int, eps float64, steps int) (*NibbleResult, error) {
+func Nibble(g gstore.Graph, seeds []int, eps float64, steps int) (*NibbleResult, error) {
 	ws := kernel.Acquire(g.N())
 	defer kernel.Release(ws)
 	st, best, err := NibbleWorkspace(g, ws, seeds, eps, steps)
@@ -47,7 +47,7 @@ func Nibble(g *graph.Graph, seeds []int, eps float64, steps int) (*NibbleResult,
 // keeping the best cut. The final distribution is left in the
 // workspace's P plane (snapshot with FromWorkspaceP if a map is
 // needed). Layers that pool workspaces per graph call this directly.
-func NibbleWorkspace(g *graph.Graph, ws *kernel.Workspace, seeds []int, eps float64, steps int) (kernel.Stats, *partition.SweepResult, error) {
+func NibbleWorkspace(g gstore.Graph, ws *kernel.Workspace, seeds []int, eps float64, steps int) (kernel.Stats, *partition.SweepResult, error) {
 	var best *partition.SweepResult
 	bestPhi := math.Inf(1)
 	walk := kernel.NibbleWalk{
@@ -86,7 +86,7 @@ type HeatKernelResult struct {
 // eps (K grows like t + log(1/eps), independent of n). Runs on a pooled
 // kernel workspace; layers that hold a workspace should run
 // kernel.HeatKernel directly.
-func HeatKernelLocal(g *graph.Graph, seeds []int, t, eps float64) (*HeatKernelResult, error) {
+func HeatKernelLocal(g gstore.Graph, seeds []int, t, eps float64) (*HeatKernelResult, error) {
 	ws := kernel.Acquire(g.N())
 	defer kernel.Release(ws)
 	st, err := kernel.HeatKernel{T: t, Eps: eps}.Diffuse(g, ws, seeds)

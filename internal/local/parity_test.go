@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 )
 
@@ -226,7 +227,7 @@ func TestPushMatchesMapOracle(t *testing.T) {
 			for _, alpha := range alphas {
 				for _, eps := range epss {
 					label := fmt.Sprintf("%s seeds=%v a=%g e=%g", name, seeds, alpha, eps)
-					res, err := ApproxPageRank(g, seeds, alpha, eps)
+					res, err := ApproxPageRank(gstore.Wrap(g), seeds, alpha, eps)
 					if err != nil {
 						t.Fatalf("%s: %v", label, err)
 					}
@@ -250,7 +251,7 @@ func TestNibbleMatchesMapOracle(t *testing.T) {
 		for _, eps := range []float64{1e-2, 1e-3, 1e-5} {
 			for _, steps := range []int{1, 7, 25} {
 				label := fmt.Sprintf("%s e=%g steps=%d", name, eps, steps)
-				res, err := Nibble(g, []int{0, g.N() - 1}, eps, steps)
+				res, err := Nibble(gstore.Wrap(g), []int{0, g.N() - 1}, eps, steps)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -273,7 +274,7 @@ func TestHeatKernelMatchesMapOracle(t *testing.T) {
 		for _, tv := range []float64{0.5, 2, 8} {
 			for _, eps := range []float64{1e-3, 1e-6} {
 				label := fmt.Sprintf("%s t=%g e=%g", name, tv, eps)
-				res, err := HeatKernelLocal(g, []int{1}, tv, eps)
+				res, err := HeatKernelLocal(gstore.Wrap(g), []int{1}, tv, eps)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -292,17 +293,17 @@ func TestHeatKernelMatchesMapOracle(t *testing.T) {
 // sweep path produces the same order and the same cut as the map path.
 func TestWorkspaceSweepMatchesMapSweep(t *testing.T) {
 	for name, g := range parityGraphs(t) {
-		res, err := ApproxPageRank(g, []int{0}, 0.1, 1e-4)
+		res, err := ApproxPageRank(gstore.Wrap(g), []int{0}, 0.1, 1e-4)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		ws := kernel.Acquire(g.N())
-		if _, err := (kernel.PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(g, ws, []int{0}); err != nil {
+		if _, err := (kernel.PushACL{Alpha: 0.1, Eps: 1e-4}).Diffuse(gstore.Wrap(g), ws, []int{0}); err != nil {
 			kernel.Release(ws)
 			t.Fatalf("%s: %v", name, err)
 		}
-		mapOrder := SweepOrder(DegreeNormalized(g, res.P))
-		wsOrder := WorkspaceSweepOrder(g, ws)
+		mapOrder := SweepOrder(DegreeNormalized(gstore.Wrap(g), res.P))
+		wsOrder := WorkspaceSweepOrder(gstore.Wrap(g), ws)
 		if len(mapOrder) != len(wsOrder) {
 			kernel.Release(ws)
 			t.Fatalf("%s: order lengths %d vs %d", name, len(mapOrder), len(wsOrder))
@@ -313,8 +314,8 @@ func TestWorkspaceSweepMatchesMapSweep(t *testing.T) {
 				t.Fatalf("%s: sweep order diverges at %d: %d vs %d", name, i, mapOrder[i], wsOrder[i])
 			}
 		}
-		mapCut, mapErr := SweepCut(g, res.P)
-		wsCut, wsErr := WorkspaceSweepCut(g, ws)
+		mapCut, mapErr := SweepCut(gstore.Wrap(g), res.P)
+		wsCut, wsErr := WorkspaceSweepCut(gstore.Wrap(g), ws)
 		kernel.Release(ws)
 		if (mapErr == nil) != (wsErr == nil) {
 			t.Fatalf("%s: sweep errors diverge: %v vs %v", name, mapErr, wsErr)

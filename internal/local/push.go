@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/partition"
 )
@@ -82,8 +83,9 @@ type PushResult struct {
 // pooled kernel workspace and snapshots the result into SparseVec maps.
 // Layers that hold a workspace (ncp, stream, service) should run
 // kernel.PushACL directly and skip the map conversion; the numerical
-// output is identical either way, bit for bit.
-func ApproxPageRank(g *graph.Graph, seeds []int, alpha, eps float64) (*PushResult, error) {
+// output is identical either way, bit for bit — on any storage backend
+// (wrap a heap graph with gstore.Wrap).
+func ApproxPageRank(g gstore.Graph, seeds []int, alpha, eps float64) (*PushResult, error) {
 	ws := kernel.Acquire(g.N())
 	defer kernel.Release(ws)
 	st, err := kernel.PushACL{Alpha: alpha, Eps: eps}.Diffuse(g, ws, seeds)
@@ -100,7 +102,7 @@ func ApproxPageRank(g *graph.Graph, seeds []int, alpha, eps float64) (*PushResul
 // DegreeNormalized returns the degree-normalized profile p(u)/deg(u) over
 // the support, the quantity whose sweep realizes the local Cheeger
 // guarantee. Zero-degree nodes are skipped.
-func DegreeNormalized(g *graph.Graph, p SparseVec) SparseVec {
+func DegreeNormalized(g gstore.Graph, p SparseVec) SparseVec {
 	out := make(SparseVec, len(p))
 	for u, x := range p {
 		if d := g.Degree(u); d > 0 {
@@ -128,13 +130,13 @@ func SweepOrder(v SparseVec) []int {
 // plane — its support ordered by p(u)/deg(u) descending, ties by node
 // id, zero-degree nodes skipped — without materializing a map. The
 // permutation is identical to SweepOrder(DegreeNormalized(g, p)).
-func WorkspaceSweepOrder(g *graph.Graph, ws *kernel.Workspace) []int {
+func WorkspaceSweepOrder(g gstore.Graph, ws *kernel.Workspace) []int {
 	return sweepOrderOf(g, ws.ForEachP)
 }
 
 // sweepOrderOf builds the degree-normalized sweep order from any sparse
 // iteration.
-func sweepOrderOf(g *graph.Graph, forEach func(func(u int, x float64))) []int {
+func sweepOrderOf(g gstore.Graph, forEach func(func(u int, x float64))) []int {
 	var order []int
 	var vals []float64
 	forEach(func(u int, x float64) {
@@ -169,7 +171,7 @@ func (s *sweepSorter) Swap(i, j int) {
 // SweepCut performs the local sweep: order the support of p by
 // p(u)/deg(u) and return the best-conductance prefix. The cost depends
 // only on the support size and its boundary, not on n.
-func SweepCut(g *graph.Graph, p SparseVec) (*partition.SweepResult, error) {
+func SweepCut(g gstore.Graph, p SparseVec) (*partition.SweepResult, error) {
 	if len(p) == 0 {
 		return nil, errors.New("local: sweep over empty vector")
 	}
@@ -181,7 +183,7 @@ func SweepCut(g *graph.Graph, p SparseVec) (*partition.SweepResult, error) {
 }
 
 // WorkspaceSweepCut is SweepCut over a workspace's output plane.
-func WorkspaceSweepCut(g *graph.Graph, ws *kernel.Workspace) (*partition.SweepResult, error) {
+func WorkspaceSweepCut(g gstore.Graph, ws *kernel.Workspace) (*partition.SweepResult, error) {
 	if ws.PSupport() == 0 {
 		return nil, errors.New("local: sweep over empty vector")
 	}

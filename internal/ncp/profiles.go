@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/local"
 	"repro/internal/par"
@@ -85,6 +86,14 @@ func SpectralProfile(g *graph.Graph, cfg SpectralConfig, rng *rand.Rand) (*Profi
 // dispatching (α, seed) tasks and the context's error is returned. This
 // is what makes long NCP jobs cancellable from a serving layer.
 func SpectralProfileCtx(ctx context.Context, g *graph.Graph, cfg SpectralConfig, rng *rand.Rand) (*Profile, error) {
+	return SpectralProfileOn(ctx, gstore.Wrap(g), cfg, rng)
+}
+
+// SpectralProfileOn is SpectralProfileCtx over any storage backend.
+// The profile — every sampled cluster and every conductance float — is
+// bit-identical across backends: the push, sweep order and prefix
+// conductances all ride on arithmetic the backends reproduce exactly.
+func SpectralProfileOn(ctx context.Context, g gstore.Graph, cfg SpectralConfig, rng *rand.Rand) (*Profile, error) {
 	c := (&cfg).withDefaults()
 	if g.N() < 4 {
 		return nil, errors.New("ncp: graph too small for a profile")
@@ -153,18 +162,18 @@ func progressStepper(fn func(done, total int), total int) func() {
 // that improves the best conductance seen so far at its size bucket (a
 // cheap way to keep the scatter informative without storing all n
 // prefixes).
-func collectSweepClusters(g *graph.Graph, order []int, maxVol float64, prof *Profile, method string) {
+func collectSweepClusters(g gstore.Graph, order []int, maxVol float64, prof *Profile, method string) {
 	inS := make([]bool, g.N())
 	var cut, volS float64
 	volume := g.Volume()
 	bestAtBucket := map[int]float64{}
 	for k, u := range order {
-		nbrs, ws := g.Neighbors(u)
-		for i, v := range nbrs {
+		it := g.Neighbors(u)
+		for v, w, ok := it.Next(); ok; v, w, ok = it.Next() {
 			if inS[v] {
-				cut -= ws[i]
+				cut -= w
 			} else {
-				cut += ws[i]
+				cut += w
 			}
 		}
 		inS[u] = true

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/spectral"
 )
 
@@ -104,5 +105,5 @@ func BFSGrow(g *graph.Graph, src int) (*SweepResult, error) {
 		}
 		return nodes[a] < nodes[b]
 	})
-	return SweepCutOrdered(g, nodes, len(nodes))
+	return SweepCutOrdered(gstore.Wrap(g), nodes, len(nodes))
 }

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/gstore"
 )
 
 // SweepResult is the best prefix cut found by a sweep over an embedding.
@@ -35,7 +36,7 @@ func SweepCut(g *graph.Graph, embedding []float64) (*SweepResult, error) {
 	if n < 2 {
 		return nil, errors.New("partition: sweep cut needs at least 2 nodes")
 	}
-	return sweepOverOrder(g, embeddingOrder(embedding), n-1)
+	return sweepOverOrder(gstore.Wrap(g), embeddingOrder(embedding), n-1)
 }
 
 // embeddingOrder returns all nodes sorted by embedding value descending,
@@ -72,13 +73,15 @@ func SweepCutPrefix(g *graph.Graph, embedding []float64, maxPrefix int) (*SweepR
 	if maxPrefix > n-1 {
 		maxPrefix = n - 1
 	}
-	return sweepOverOrder(g, embeddingOrder(embedding), maxPrefix)
+	return sweepOverOrder(gstore.Wrap(g), embeddingOrder(embedding), maxPrefix)
 }
 
 // SweepCutOrdered runs the sweep over an explicit node order (e.g. the
 // support of a sparse diffusion vector sorted by probability-per-degree).
-// Only the first maxPrefix prefixes are considered.
-func SweepCutOrdered(g *graph.Graph, order []int, maxPrefix int) (*SweepResult, error) {
+// Only the first maxPrefix prefixes are considered. It accepts any
+// storage backend: the per-query sweep path serves compact and mapped
+// graphs without materializing a heap copy.
+func SweepCutOrdered(g gstore.Graph, order []int, maxPrefix int) (*SweepResult, error) {
 	if len(order) == 0 {
 		return nil, errors.New("partition: empty sweep order")
 	}
@@ -107,7 +110,7 @@ func SweepCutOrdered(g *graph.Graph, order []int, maxPrefix int) (*SweepResult, 
 	return sweepOverOrder(g, order, maxPrefix)
 }
 
-func sweepOverOrder(g *graph.Graph, order []int, maxPrefix int) (*SweepResult, error) {
+func sweepOverOrder(g gstore.Graph, order []int, maxPrefix int) (*SweepResult, error) {
 	inS := make([]bool, g.N())
 	var cut, volS float64
 	volume := g.Volume()
@@ -116,13 +119,14 @@ func sweepOverOrder(g *graph.Graph, order []int, maxPrefix int) (*SweepResult, e
 	for k := 0; k < maxPrefix; k++ {
 		u := order[k]
 		// Adding u: its edges to S stop being cut edges; edges to the
-		// complement become cut edges.
-		nbrs, ws := g.Neighbors(u)
-		for i, v := range nbrs {
+		// complement become cut edges. The iterator walks the row in
+		// CSR order, so the float accumulation matches the heap path.
+		it := g.Neighbors(u)
+		for v, w, ok := it.Next(); ok; v, w, ok = it.Next() {
 			if inS[v] {
-				cut -= ws[i]
+				cut -= w
 			} else {
-				cut += ws[i]
+				cut += w
 			}
 		}
 		inS[u] = true

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/gstore"
 )
 
 // Counters are the persistence subsystem's monotonic event counts,
@@ -77,6 +78,29 @@ func (d *Dir) LoadSnapshot(name string) (*graph.Graph, error) {
 	}
 	d.counters.SnapshotsLoaded.Add(1)
 	return g, nil
+}
+
+// LoadCompactSnapshot reads and validates the graph's snapshot into
+// the compact in-heap backend.
+func (d *Dir) LoadCompactSnapshot(name string) (*gstore.Compact, error) {
+	c, err := ReadCompactFile(d.SnapshotPath(name))
+	if err != nil {
+		return nil, err
+	}
+	d.counters.SnapshotsLoaded.Add(1)
+	return c, nil
+}
+
+// MapSnapshot memory-maps and validates the graph's snapshot, serving
+// adjacency straight off the file. Fails with ErrNotMappable when the
+// snapshot or platform cannot be mapped (v1 format, big-endian host).
+func (d *Dir) MapSnapshot(name string) (*gstore.Compact, error) {
+	c, err := OpenMapped(d.SnapshotPath(name))
+	if err != nil {
+		return nil, err
+	}
+	d.counters.SnapshotsLoaded.Add(1)
+	return c, nil
 }
 
 // CreateWAL opens a fresh write-ahead log for a streaming graph.

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package persist
+
+import (
+	"fmt"
+
+	"repro/internal/gstore"
+)
+
+// OpenMapped is unavailable without POSIX mmap; callers fall back to a
+// copying load via ReadCompactFile.
+func OpenMapped(path string) (*gstore.Compact, error) {
+	return nil, fmt.Errorf("%w: no mmap support on this platform", ErrNotMappable)
+}

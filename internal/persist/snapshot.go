@@ -4,10 +4,16 @@
 // Together they let a daemon restart recover every sealed graph and
 // replay every in-flight stream without re-parsing text edge lists.
 //
-// Snapshot layout (all integers little-endian):
+// Two snapshot versions exist. v2 (the default, written for every
+// graph whose node count fits uint32 — see snapshot_v2.go for the
+// layout) stores compact 8-byte-aligned sections that a memory mapping
+// can serve in place, plus the degree vector, so mapped loads copy
+// nothing. v1 is the original streaming layout below; it is still read
+// transparently, and still written for graphs too large for uint32
+// ids:
 //
 //	magic    [6]byte  "GSNAP\x00"
-//	version  uint16   format version (currently 1)
+//	version  uint16   1
 //	n        uint64   node count
 //	m        uint64   undirected edge count
 //	hcrc     uint32   CRC32 (IEEE) of the version/n/m bytes
@@ -19,7 +25,7 @@
 // error messages, and decoding goes straight into graph.FromCSR — no
 // edge-list round trip, no re-sorting, no re-merging. A graph that
 // survives ReadSnapshot is bit-identical (adjacency, weights, degrees,
-// volume) to the one that was written.
+// volume) to the one that was written, whichever version carried it.
 package persist
 
 import (
@@ -33,9 +39,11 @@ import (
 	"path/filepath"
 
 	"repro/internal/graph"
+	"repro/internal/gstore"
 )
 
-// SnapshotVersion is the GSNAP format version this package writes.
+// SnapshotVersion is the legacy GSNAP format version; WriteSnapshot
+// emits SnapshotVersionV2 whenever the graph's ids fit uint32.
 const SnapshotVersion = 1
 
 // SnapshotExt is the conventional file extension for snapshot files.
@@ -54,9 +62,21 @@ const maxSnapshotDim = 1 << 48
 // large allocation.
 const sectionChunk = 1 << 16
 
-// WriteSnapshot encodes g in GSNAP format. The writer is buffered
-// internally; the caller owns any file-level durability (fsync, rename).
+// WriteSnapshot encodes g in GSNAP format — v2 (mappable, compact)
+// when the node ids fit uint32, v1 otherwise. The writer is buffered
+// internally; the caller owns any file-level durability (fsync,
+// rename).
 func WriteSnapshot(w io.Writer, g *graph.Graph) error {
+	if uint64(g.N()) > math.MaxUint32 {
+		return WriteSnapshotV1(w, g)
+	}
+	return writeSnapshotV2(w, g)
+}
+
+// WriteSnapshotV1 encodes g in the legacy v1 layout: the fallback for
+// graphs beyond the uint32 id space, and the writer compatibility
+// tests use to prove v1 streams still load.
+func WriteSnapshotV1(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriterSize(w, sectionChunk)
 	rowPtr, adj, wts := g.CSR()
 	var hdr [24]byte
@@ -85,34 +105,80 @@ func WriteSnapshot(w io.Writer, g *graph.Graph) error {
 	return nil
 }
 
-// ReadSnapshot decodes a GSNAP stream into a Graph, verifying the magic,
-// version, header checksum, every section checksum, and finally the full
-// CSR invariants via graph.FromCSR. It never panics on malformed input
-// and allocates in proportion to the bytes actually present.
+// ReadSnapshot decodes a GSNAP stream (either version) into a Graph,
+// verifying the magic, version, header checksum, every section
+// checksum, and finally the full CSR invariants via graph.FromCSR. It
+// never panics on malformed input and allocates in proportion to the
+// bytes actually present.
 func ReadSnapshot(r io.Reader) (*graph.Graph, error) {
 	br := bufio.NewReaderSize(r, sectionChunk)
+	h2, h1, err := readSnapshotHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if h1 != nil {
+		return readSnapshotV1Body(br, h1.n, h1.m)
+	}
+	c, err := readSnapshotV2(br, h2)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gstore.Materialize(c)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot failed CSR validation: %w", err)
+	}
+	return g, nil
+}
+
+// v1Header carries the dimensions of a legacy snapshot header.
+type v1Header struct{ n, m uint64 }
+
+// readSnapshotHeader reads and verifies a snapshot header of either
+// version from a sequential stream: exactly one of the returns is
+// non-nil on success, and the reader is positioned at the first
+// section.
+func readSnapshotHeader(br io.Reader) (*v2Header, *v1Header, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("persist: snapshot header truncated: %w", err)
+		return nil, nil, fmt.Errorf("persist: snapshot header truncated: %w", err)
 	}
 	if [6]byte(hdr[:6]) != snapMagic {
-		return nil, fmt.Errorf("persist: bad snapshot magic %q", hdr[:6])
+		return nil, nil, fmt.Errorf("persist: bad snapshot magic %q", hdr[:6])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[6:8]); v != SnapshotVersion {
-		return nil, fmt.Errorf("persist: unsupported snapshot version %d (supported: %d)", v, SnapshotVersion)
+	switch v := binary.LittleEndian.Uint16(hdr[6:8]); v {
+	case SnapshotVersion:
+	case SnapshotVersionV2:
+		full := make([]byte, v2HeaderSize)
+		copy(full, hdr[:])
+		if _, err := io.ReadFull(br, full[24:]); err != nil {
+			return nil, nil, fmt.Errorf("persist: v2 snapshot header truncated: %w", err)
+		}
+		h, err := parseV2Header(full)
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: %w", err)
+		}
+		return h, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("persist: unsupported snapshot version %d (supported: %d, %d)", v, SnapshotVersion, SnapshotVersionV2)
 	}
 	n := binary.LittleEndian.Uint64(hdr[8:16])
 	m := binary.LittleEndian.Uint64(hdr[16:24])
 	hcrc, err := readUint32(br)
 	if err != nil {
-		return nil, fmt.Errorf("persist: snapshot header checksum truncated: %w", err)
+		return nil, nil, fmt.Errorf("persist: snapshot header checksum truncated: %w", err)
 	}
 	if want := crc32.ChecksumIEEE(hdr[6:24]); hcrc != want {
-		return nil, fmt.Errorf("persist: snapshot header checksum mismatch (got %08x, want %08x)", hcrc, want)
+		return nil, nil, fmt.Errorf("persist: snapshot header checksum mismatch (got %08x, want %08x)", hcrc, want)
 	}
 	if n >= maxSnapshotDim || m >= maxSnapshotDim {
-		return nil, fmt.Errorf("persist: snapshot claims n=%d m=%d, beyond the %d limit", n, m, uint64(maxSnapshotDim))
+		return nil, nil, fmt.Errorf("persist: snapshot claims n=%d m=%d, beyond the %d limit", n, m, uint64(maxSnapshotDim))
 	}
+	return nil, &v1Header{n: n, m: m}, nil
+}
+
+// readSnapshotV1Body decodes the three v1 sections that follow a
+// verified v1 header.
+func readSnapshotV1Body(br io.Reader, n, m uint64) (*graph.Graph, error) {
 	rowPtr, err := readIntSection(br, int(n)+1)
 	if err != nil {
 		return nil, fmt.Errorf("persist: rowPtr section: %w", err)

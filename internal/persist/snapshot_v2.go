@@ -1,0 +1,447 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/gstore"
+)
+
+// GSNAP v2 is the mappable snapshot format: a fixed 136-byte header of
+// section descriptors followed by the raw CSR arrays, every section
+// starting on an 8-byte boundary so a memory mapping of the file can be
+// sliced directly into []int64/[]uint32/[]float32/[]float64 without a
+// copy (see OpenMapped). Layout (all integers little-endian):
+//
+//	magic    [6]byte  "GSNAP\x00"
+//	version  uint16   2
+//	n        uint64   node count (must fit uint32: ids are 4 bytes)
+//	m        uint64   undirected edge count
+//	flags    uint64   bit0 weights present, bit1 weights are float32
+//	desc[4]  4 × {off uint64, len uint64, crc uint32, rsvd uint32}
+//	         sections rowPtr, adj, weights, degrees in file order
+//	hcrc     uint32   CRC32 (IEEE) of header bytes [6, 128)
+//	pad      uint32   zero
+//
+// Sections:
+//
+//	rowPtr   (n+1) × int64
+//	adj      (2m)  × uint32
+//	weights  (2m)  × float32 or float64, or absent (unit weights);
+//	         float32 only when every weight narrows losslessly
+//	degrees  n × float64, bit-identical to the writer's degree vector
+//
+// Each section's descriptor carries its byte offset, unpadded byte
+// length and CRC32; the bytes between a section's end and the next
+// 8-byte boundary are zero (verified on read, so any byte flip in the
+// file fails the load). The degree vector is stored — not recomputed —
+// so a mapped graph reproduces the writer's degree floats bit for bit,
+// and the reader cross-checks it against the row-order accumulation.
+const SnapshotVersionV2 = 2
+
+const (
+	v2HeaderSize = 136
+	v2FlagW      = 1 << 0 // weights section present
+	v2FlagWF32   = 1 << 1 // weights stored as float32
+)
+
+// v2 section indices, in file order.
+const (
+	v2SecRowPtr = 0
+	v2SecAdj    = 1
+	v2SecW      = 2
+	v2SecDeg    = 3
+)
+
+// ErrNotMappable reports that a snapshot cannot be served by the mmap
+// backend (v1 format, oversized ids, or an unsupported platform) and
+// the caller should fall back to a copying load.
+var ErrNotMappable = errors.New("persist: snapshot not mappable")
+
+type v2Section struct {
+	off uint64 // absolute file offset, 8-byte aligned
+	len uint64 // unpadded byte length
+	crc uint32
+}
+
+type v2Header struct {
+	n, m  uint64
+	flags uint64
+	sec   [4]v2Section
+}
+
+// pad8 rounds a byte length up to the next multiple of 8.
+func pad8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// sectionLens returns the four unpadded section byte lengths for the
+// given dimensions and flags.
+func (h *v2Header) sectionLens() [4]uint64 {
+	var wlen uint64
+	if h.flags&v2FlagW != 0 {
+		if h.flags&v2FlagWF32 != 0 {
+			wlen = 2 * h.m * 4
+		} else {
+			wlen = 2 * h.m * 8
+		}
+	}
+	return [4]uint64{(h.n + 1) * 8, 2 * h.m * 4, wlen, h.n * 8}
+}
+
+// totalSize returns the expected file size: header plus padded sections.
+func (h *v2Header) totalSize() uint64 {
+	size := uint64(v2HeaderSize)
+	for _, l := range h.sectionLens() {
+		size += pad8(l)
+	}
+	return size
+}
+
+// parseV2Header validates a 136-byte v2 header (magic and version
+// already checked by the caller) and the internal consistency of its
+// descriptors: dimensions in range, known flags, each section at its
+// computed offset with its computed length. After this, a reader only
+// needs to verify content checksums and padding.
+func parseV2Header(hdr []byte) (*v2Header, error) {
+	if len(hdr) != v2HeaderSize {
+		return nil, fmt.Errorf("v2 header is %d bytes, want %d", len(hdr), v2HeaderSize)
+	}
+	stored := binary.LittleEndian.Uint32(hdr[128:132])
+	if want := crc32.ChecksumIEEE(hdr[6:128]); stored != want {
+		return nil, fmt.Errorf("v2 header checksum mismatch (stored %08x, computed %08x)", stored, want)
+	}
+	if p := binary.LittleEndian.Uint32(hdr[132:136]); p != 0 {
+		return nil, fmt.Errorf("v2 header padding is %08x, want zero", p)
+	}
+	h := &v2Header{
+		n:     binary.LittleEndian.Uint64(hdr[8:16]),
+		m:     binary.LittleEndian.Uint64(hdr[16:24]),
+		flags: binary.LittleEndian.Uint64(hdr[24:32]),
+	}
+	if h.n >= maxSnapshotDim || h.m >= maxSnapshotDim {
+		return nil, fmt.Errorf("v2 snapshot claims n=%d m=%d, beyond the %d limit", h.n, h.m, uint64(maxSnapshotDim))
+	}
+	if h.n > math.MaxUint32 {
+		return nil, fmt.Errorf("v2 snapshot claims n=%d, beyond the uint32 id space", h.n)
+	}
+	if h.flags&^uint64(v2FlagW|v2FlagWF32) != 0 {
+		return nil, fmt.Errorf("v2 snapshot has unknown flags %#x", h.flags)
+	}
+	if h.flags&v2FlagWF32 != 0 && h.flags&v2FlagW == 0 {
+		return nil, fmt.Errorf("v2 snapshot flags %#x: float32 bit without weights bit", h.flags)
+	}
+	lens := h.sectionLens()
+	off := uint64(v2HeaderSize)
+	for i := range h.sec {
+		d := hdr[32+24*i : 32+24*(i+1)]
+		h.sec[i] = v2Section{
+			off: binary.LittleEndian.Uint64(d[0:8]),
+			len: binary.LittleEndian.Uint64(d[8:16]),
+			crc: binary.LittleEndian.Uint32(d[16:20]),
+		}
+		if rsvd := binary.LittleEndian.Uint32(d[20:24]); rsvd != 0 {
+			return nil, fmt.Errorf("v2 section %d reserved field is %08x, want zero", i, rsvd)
+		}
+		if h.sec[i].off != off {
+			return nil, fmt.Errorf("v2 section %d at offset %d, want %d", i, h.sec[i].off, off)
+		}
+		if h.sec[i].len != lens[i] {
+			return nil, fmt.Errorf("v2 section %d is %d bytes, want %d", i, h.sec[i].len, lens[i])
+		}
+		off += pad8(lens[i])
+	}
+	return h, nil
+}
+
+// encodeV2Header serializes h, computing the header checksum.
+func encodeV2Header(h *v2Header) []byte {
+	hdr := make([]byte, v2HeaderSize)
+	copy(hdr[:6], snapMagic[:])
+	binary.LittleEndian.PutUint16(hdr[6:8], SnapshotVersionV2)
+	binary.LittleEndian.PutUint64(hdr[8:16], h.n)
+	binary.LittleEndian.PutUint64(hdr[16:24], h.m)
+	binary.LittleEndian.PutUint64(hdr[24:32], h.flags)
+	for i, s := range h.sec {
+		d := hdr[32+24*i : 32+24*(i+1)]
+		binary.LittleEndian.PutUint64(d[0:8], s.off)
+		binary.LittleEndian.PutUint64(d[8:16], s.len)
+		binary.LittleEndian.PutUint32(d[16:20], s.crc)
+	}
+	binary.LittleEndian.PutUint32(hdr[128:132], crc32.ChecksumIEEE(hdr[6:128]))
+	return hdr
+}
+
+// v2 section encoders. Each streams its array into w in sectionChunk
+// pieces; hashing and output share the code path, so the descriptor
+// CRCs are computed by running the encoder once into a crc32 writer.
+
+func encodeInt64s(w io.Writer, vals []int) error {
+	buf := make([]byte, 0, sectionChunk)
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+		if len(buf) >= sectionChunk-8 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		_, err := w.Write(buf)
+		return err
+	}
+	return nil
+}
+
+func encodeUint32s(w io.Writer, vals []int) error {
+	buf := make([]byte, 0, sectionChunk)
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		if len(buf) >= sectionChunk-4 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		_, err := w.Write(buf)
+		return err
+	}
+	return nil
+}
+
+func encodeFloat64s(w io.Writer, vals []float64) error {
+	buf := make([]byte, 0, sectionChunk)
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		if len(buf) >= sectionChunk-8 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		_, err := w.Write(buf)
+		return err
+	}
+	return nil
+}
+
+func encodeFloat32s(w io.Writer, vals []float64) error {
+	buf := make([]byte, 0, sectionChunk)
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(v)))
+		if len(buf) >= sectionChunk-4 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		_, err := w.Write(buf)
+		return err
+	}
+	return nil
+}
+
+// writeSnapshotV2 encodes g in GSNAP v2. The caller guarantees
+// n <= MaxUint32 (WriteSnapshot falls back to v1 otherwise).
+func writeSnapshotV2(w io.Writer, g *graph.Graph) error {
+	rowPtr, adj, wts := g.CSR()
+	deg := g.Degrees()
+	form := gstore.DetectWeightForm(wts)
+
+	h := &v2Header{n: uint64(g.N()), m: uint64(g.M())}
+	var encodeW func(io.Writer) error
+	switch form {
+	case gstore.WeightsUnit:
+		encodeW = func(io.Writer) error { return nil }
+	case gstore.WeightsF32:
+		h.flags = v2FlagW | v2FlagWF32
+		encodeW = func(w io.Writer) error { return encodeFloat32s(w, wts) }
+	default:
+		h.flags = v2FlagW
+		encodeW = func(w io.Writer) error { return encodeFloat64s(w, wts) }
+	}
+	encoders := [4]func(io.Writer) error{
+		func(w io.Writer) error { return encodeInt64s(w, rowPtr) },
+		func(w io.Writer) error { return encodeUint32s(w, adj) },
+		encodeW,
+		func(w io.Writer) error { return encodeFloat64s(w, deg) },
+	}
+	// First pass: lengths, offsets and CRCs into the descriptors.
+	lens := h.sectionLens()
+	off := uint64(v2HeaderSize)
+	for i, enc := range encoders {
+		crc := crc32.NewIEEE()
+		if err := enc(crc); err != nil {
+			return fmt.Errorf("persist: checksum section %d: %w", i, err)
+		}
+		h.sec[i] = v2Section{off: off, len: lens[i], crc: crc.Sum32()}
+		off += pad8(lens[i])
+	}
+	// Second pass: header, then each section followed by zero padding.
+	bw := bufio.NewWriterSize(w, sectionChunk)
+	if _, err := bw.Write(encodeV2Header(h)); err != nil {
+		return fmt.Errorf("persist: write v2 header: %w", err)
+	}
+	var zeros [8]byte
+	for i, enc := range encoders {
+		if err := enc(bw); err != nil {
+			return fmt.Errorf("persist: write section %d: %w", i, err)
+		}
+		if p := pad8(lens[i]) - lens[i]; p > 0 {
+			if _, err := bw.Write(zeros[:p]); err != nil {
+				return fmt.Errorf("persist: pad section %d: %w", i, err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("persist: flush snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSectionV2 reads one section's bytes (plus alignment padding) from
+// a sequential reader, verifying the descriptor CRC and that the
+// padding is zero. emit receives verified chunks in order.
+func readSectionV2(r io.Reader, sec v2Section, emit func(chunk []byte)) error {
+	crc := crc32.NewIEEE()
+	buf := make([]byte, sectionChunk)
+	remaining := sec.len
+	for remaining > 0 {
+		k := remaining
+		if k > sectionChunk {
+			k = sectionChunk
+		}
+		chunk := buf[:k]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return fmt.Errorf("truncated after %d of %d bytes: %w", sec.len-remaining, sec.len, err)
+		}
+		crc.Write(chunk)
+		emit(chunk)
+		remaining -= k
+	}
+	if got := crc.Sum32(); got != sec.crc {
+		return fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", sec.crc, got)
+	}
+	if p := pad8(sec.len) - sec.len; p > 0 {
+		var pad [8]byte
+		if _, err := io.ReadFull(r, pad[:p]); err != nil {
+			return fmt.Errorf("padding truncated: %w", err)
+		}
+		for _, b := range pad[:p] {
+			if b != 0 {
+				return fmt.Errorf("nonzero padding byte %#02x", b)
+			}
+		}
+	}
+	return nil
+}
+
+// readSnapshotV2 decodes the sections following a parsed v2 header
+// into a compact graph (copying out of the stream; OpenMapped is the
+// zero-copy path). NewCompactFromParts revalidates every CSR invariant
+// including the stored degree bits.
+func readSnapshotV2(r io.Reader, h *v2Header) (*gstore.Compact, error) {
+	names := [4]string{"rowPtr", "adjacency", "weight", "degree"}
+	rowPtr := make([]int64, 0, h.n+1)
+	adj := make([]uint32, 0, 2*h.m)
+	deg := make([]float64, 0, h.n)
+	var w32 []float32
+	var w64 []float64
+	emits := [4]func(chunk []byte){
+		func(chunk []byte) {
+			for i := 0; i+8 <= len(chunk); i += 8 {
+				rowPtr = append(rowPtr, int64(binary.LittleEndian.Uint64(chunk[i:])))
+			}
+		},
+		func(chunk []byte) {
+			for i := 0; i+4 <= len(chunk); i += 4 {
+				adj = append(adj, binary.LittleEndian.Uint32(chunk[i:]))
+			}
+		},
+		nil, // set below per weight form
+		func(chunk []byte) {
+			for i := 0; i+8 <= len(chunk); i += 8 {
+				deg = append(deg, math.Float64frombits(binary.LittleEndian.Uint64(chunk[i:])))
+			}
+		},
+	}
+	switch {
+	case h.flags&v2FlagWF32 != 0:
+		w32 = make([]float32, 0, 2*h.m)
+		emits[v2SecW] = func(chunk []byte) {
+			for i := 0; i+4 <= len(chunk); i += 4 {
+				w32 = append(w32, math.Float32frombits(binary.LittleEndian.Uint32(chunk[i:])))
+			}
+		}
+	case h.flags&v2FlagW != 0:
+		w64 = make([]float64, 0, 2*h.m)
+		emits[v2SecW] = func(chunk []byte) {
+			for i := 0; i+8 <= len(chunk); i += 8 {
+				w64 = append(w64, math.Float64frombits(binary.LittleEndian.Uint64(chunk[i:])))
+			}
+		}
+	default:
+		emits[v2SecW] = func([]byte) {}
+	}
+	for i := range emits {
+		if err := readSectionV2(r, h.sec[i], emits[i]); err != nil {
+			return nil, fmt.Errorf("persist: %s section: %w", names[i], err)
+		}
+	}
+	c, err := gstore.NewCompactFromParts(gstore.KindCompact, rowPtr, adj, w32, w64, deg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot failed CSR validation: %w", err)
+	}
+	return c, nil
+}
+
+// ReadCompactSnapshot decodes a GSNAP stream (either version) into the
+// compact in-heap representation. v2 streams decode directly; v1
+// streams take the heap path and convert.
+func ReadCompactSnapshot(r io.Reader) (*gstore.Compact, error) {
+	br := bufio.NewReaderSize(r, sectionChunk)
+	h, v1, err := readSnapshotHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if v1 != nil {
+		g, err := readSnapshotV1Body(br, v1.n, v1.m)
+		if err != nil {
+			return nil, err
+		}
+		c, err := gstore.NewCompact(g)
+		if err != nil {
+			return nil, fmt.Errorf("persist: compacting v1 snapshot: %w", err)
+		}
+		return c, nil
+	}
+	return readSnapshotV2(br, h)
+}
+
+// ReadCompactFile reads a GSNAP file into the compact representation.
+func ReadCompactFile(path string) (*gstore.Compact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := ReadCompactSnapshot(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, fmt.Errorf("persist: close %s: %w", path, cerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	return c, nil
+}

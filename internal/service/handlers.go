@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/persist"
 	"repro/pkg/api"
@@ -73,7 +74,12 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, storeErrf(ErrBadInput, "%v", err))
 		return
 	}
-	info, err := s.store.Put(name, g)
+	backend, err := backendOverride(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.store.PutWithBackend(name, g, backend)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -98,9 +104,17 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 // data directory.
 func (s *Server) handleExportSnapshot(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	g, _, err := s.store.Get(name)
+	sg, _, err := s.store.Get(name)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	// The snapshot encoder walks the heap CSR; materialize transiently
+	// (a no-op for heap-backed graphs) rather than caching a heap copy
+	// of a compact/mmap graph for a one-off export.
+	g, err := gstore.Materialize(sg)
+	if err != nil {
+		writeError(w, storeErrf(ErrInternal, "materializing %q for export: %v", name, err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -122,7 +136,12 @@ func (s *Server) handleImportSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, storeErrf(ErrBadInput, "%v", err))
 		return
 	}
-	info, err := s.store.Put(name, g)
+	backend, err := backendOverride(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.store.PutWithBackend(name, g, backend)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -148,7 +167,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	info, err := s.store.Put(r.PathValue("name"), g)
+	backend, err := backendOverride(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.store.PutWithBackend(r.PathValue("name"), g, backend)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -193,8 +217,8 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.serveCached(w, r, "stats", nil, func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, *api.WorkStats, error) {
-		return execStats(name, g), nil, nil
+	s.serveCached(w, r, "stats", nil, func(ctx context.Context, q queryView) (any, *api.WorkStats, error) {
+		return execStats(name, q.g), nil, nil
 	})
 }
 
@@ -203,8 +227,8 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "ppr", mustParams(req), func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, *api.WorkStats, error) {
-		return execPPR(g, pool, req)
+	s.serveCached(w, r, "ppr", mustParams(req), func(ctx context.Context, q queryView) (any, *api.WorkStats, error) {
+		return execPPR(q.g, q.pool, req)
 	})
 }
 
@@ -213,8 +237,8 @@ func (s *Server) handleLocalCluster(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "localcluster", mustParams(req), func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, *api.WorkStats, error) {
-		return execLocalCluster(g, pool, req)
+	s.serveCached(w, r, "localcluster", mustParams(req), func(ctx context.Context, q queryView) (any, *api.WorkStats, error) {
+		return execLocalCluster(q.g, q.pool, req)
 	})
 }
 
@@ -223,8 +247,14 @@ func (s *Server) handleDiffuse(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "diffuse", mustParams(req), func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, *api.WorkStats, error) {
-		return execDiffuse(g, req)
+	s.serveCached(w, r, "diffuse", mustParams(req), func(ctx context.Context, q queryView) (any, *api.WorkStats, error) {
+		// The dense diffusions walk the heap CSR; q.heap materializes
+		// once per graph and caches it on the store entry.
+		hg, err := q.heap()
+		if err != nil {
+			return nil, nil, err
+		}
+		return execDiffuse(hg, req)
 	})
 }
 
@@ -233,8 +263,8 @@ func (s *Server) handleSweepCut(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.serveCached(w, r, "sweepcut", mustParams(req), func(ctx context.Context, g *graph.Graph, _ *kernel.Pool) (any, *api.WorkStats, error) {
-		return execSweepCut(g, req)
+	s.serveCached(w, r, "sweepcut", mustParams(req), func(ctx context.Context, q queryView) (any, *api.WorkStats, error) {
+		return execSweepCut(q.g, req)
 	})
 }
 
@@ -282,6 +312,30 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+// queryView is what serveCached hands each compute function: the
+// graph's serving view (whichever backend it lives on), its pooled
+// kernel workspaces, and a lazy heap materialization for the dense
+// paths that need the full CSR slices.
+type queryView struct {
+	g    gstore.Graph
+	pool *kernel.Pool
+	heap func() (*graph.Graph, error)
+}
+
+// backendOverride parses the optional ?backend= query parameter of the
+// graph-creating endpoints; empty means the store's default backend.
+func backendOverride(r *http.Request) (gstore.Kind, error) {
+	v := r.URL.Query().Get("backend")
+	if v == "" {
+		return "", nil
+	}
+	k, err := gstore.ParseKind(v)
+	if err != nil {
+		return "", storeErrf(ErrBadInput, "%v", err)
+	}
+	return k, nil
+}
+
 // serveCached is the shared synchronous-query path: resolve the graph,
 // canonicalize the params into a cache key, answer from the LRU cache
 // when possible, deduplicate identical in-flight computations through
@@ -291,7 +345,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // ?debug=work response block, the cache sidecar (so hits re-observe
 // them), the work histograms and the trace ring; telemetry capture
 // happens only after the response has been written.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, params []byte, compute func(ctx context.Context, g *graph.Graph, pool *kernel.Pool) (any, *api.WorkStats, error)) {
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, params []byte, compute func(ctx context.Context, q queryView) (any, *api.WorkStats, error)) {
 	start := time.Now()
 	name := r.PathValue("name")
 	g, id, pool, err := s.store.GetForQuery(name)
@@ -299,6 +353,16 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		s.observeQuery(r, writeError(w, err), "", name, "", nil, start)
 		return
 	}
+	qv := queryView{g: g, pool: pool, heap: func() (*graph.Graph, error) {
+		hg, hid, err := s.store.GetHeap(name)
+		if err == nil && hid != id {
+			err = storeErrf(ErrConflict, "graph %q was replaced mid-query", name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return hg, nil
+	}}
 	if len(params) == 0 {
 		params = []byte("{}")
 	}
@@ -343,7 +407,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 			defer cancel()
 			var st *api.WorkStats
 			v, err := runWithDeadline(ctx, func(ctx context.Context) (any, error) {
-				v, work, err := compute(ctx, g, pool)
+				v, work, err := compute(ctx, qv)
 				if err != nil {
 					return nil, err
 				}

@@ -419,7 +419,9 @@ func (m *JobManager) runJob(job *Job) {
 	var g *graph.Graph
 	spec := m.specs[job.jobType]
 	if spec.needsGraph {
-		resolved, id, err := m.store.Get(job.graphName)
+		// Jobs run the dense/batch algorithms, which walk the heap CSR;
+		// GetHeap materializes non-heap backends once and caches the copy.
+		resolved, id, err := m.store.GetHeap(job.graphName)
 		if err != nil {
 			finish(api.JobFailed, nil, false, err.Error())
 			return

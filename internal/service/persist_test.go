@@ -63,7 +63,7 @@ func assertSameGraph(t *testing.T, want, got *graph.Graph) {
 func TestPersistCleanShutdownRestartIdentity(t *testing.T) {
 	dir := t.TempDir()
 	var lc logCapture
-	s1, err := NewPersistentGraphStore(dir, lc.logf)
+	s1, err := NewPersistentGraphStore(dir, "", lc.logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestPersistCleanShutdownRestartIdentity(t *testing.T) {
 		t.Fatal("put after Close succeeded")
 	}
 
-	s2, err := NewPersistentGraphStore(dir, lc.logf)
+	s2, err := NewPersistentGraphStore(dir, "", lc.logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestPersistCleanShutdownRestartIdentity(t *testing.T) {
 		t.Fatalf("clean restart quarantined files: %v", lc.lines)
 	}
 	for name, want := range map[string]*graph.Graph{"ring": ring, "er": er} {
-		got, _, err := s2.Get(name)
+		got, _, err := s2.GetHeap(name)
 		if err != nil {
 			t.Fatalf("recovering %q: %v", name, err)
 		}
@@ -150,7 +150,7 @@ func TestPersistCleanShutdownRestartIdentity(t *testing.T) {
 	if sealedInfo.Persistence != api.PersistSnapshot {
 		t.Fatalf("sealed persistence = %q", sealedInfo.Persistence)
 	}
-	sealed, _, err := s2.Get("inc")
+	sealed, _, err := s2.GetHeap("inc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestPersistCleanShutdownRestartIdentity(t *testing.T) {
 // re-recovers in a third, exercising snapshot-of-a-recovered-stream.
 func TestPersistThirdGenerationRecovery(t *testing.T) {
 	dir := t.TempDir()
-	s1, err := NewPersistentGraphStore(dir, nil)
+	s1, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,24 +187,24 @@ func TestPersistThirdGenerationRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	s1.Close()
-	s2, err := NewPersistentGraphStore(dir, nil)
+	s2, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s2.Seal("g"); err != nil {
 		t.Fatal(err)
 	}
-	g2, _, err := s2.Get("g")
+	g2, _, err := s2.GetHeap("g")
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2.Close()
-	s3, err := NewPersistentGraphStore(dir, nil)
+	s3, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s3.Close()
-	g3, _, err := s3.Get("g")
+	g3, _, err := s3.GetHeap("g")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestPersistThirdGenerationRecovery(t *testing.T) {
 // graphs recover untouched.
 func TestPersistQuarantineCorruptFiles(t *testing.T) {
 	dir := t.TempDir()
-	s1, err := NewPersistentGraphStore(dir, nil)
+	s1, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,12 +275,12 @@ func TestPersistQuarantineCorruptFiles(t *testing.T) {
 	}
 
 	var lc logCapture
-	s2, err := NewPersistentGraphStore(dir, lc.logf)
+	s2, err := NewPersistentGraphStore(dir, "", lc.logf)
 	if err != nil {
 		t.Fatalf("boot failed instead of quarantining: %v", err)
 	}
 	defer s2.Close()
-	g, _, err := s2.Get("good")
+	g, _, err := s2.GetHeap("good")
 	if err != nil {
 		t.Fatalf("healthy graph lost: %v", err)
 	}
@@ -317,7 +317,7 @@ func TestPersistQuarantineCorruptFiles(t *testing.T) {
 // snapshot and discard the stale log.
 func TestPersistStaleWALAfterSeal(t *testing.T) {
 	dir := t.TempDir()
-	s1, err := NewPersistentGraphStore(dir, nil)
+	s1, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestPersistStaleWALAfterSeal(t *testing.T) {
 	if _, err := s1.Seal("g"); err != nil {
 		t.Fatal(err)
 	}
-	sealed, _, err := s1.Get("g")
+	sealed, _, err := s1.GetHeap("g")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,12 +347,12 @@ func TestPersistStaleWALAfterSeal(t *testing.T) {
 	}
 
 	var lc logCapture
-	s2, err := NewPersistentGraphStore(dir, lc.logf)
+	s2, err := NewPersistentGraphStore(dir, "", lc.logf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	g, _, err := s2.Get("g")
+	g, _, err := s2.GetHeap("g")
 	if err != nil {
 		t.Fatalf("graph not recovered sealed: %v", err)
 	}
@@ -369,7 +369,7 @@ func TestPersistStaleWALAfterSeal(t *testing.T) {
 // a restart cannot resurrect a deleted graph.
 func TestPersistDeleteRemovesFiles(t *testing.T) {
 	dir := t.TempDir()
-	s1, err := NewPersistentGraphStore(dir, nil)
+	s1, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +393,7 @@ func TestPersistDeleteRemovesFiles(t *testing.T) {
 	if len(entries) != 0 {
 		t.Fatalf("data dir not empty after deletes: %v", entries)
 	}
-	s2, err := NewPersistentGraphStore(dir, nil)
+	s2, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestPersistDeleteRemovesFiles(t *testing.T) {
 // sorted by name regardless of insertion order, stable across restart.
 func TestListDeterministicallySorted(t *testing.T) {
 	dir := t.TempDir()
-	s, err := NewPersistentGraphStore(dir, nil)
+	s, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +429,7 @@ func TestListDeterministicallySorted(t *testing.T) {
 		t.Fatalf("List order %v, want %v", g, want)
 	}
 	s.Close()
-	s2, err := NewPersistentGraphStore(dir, nil)
+	s2, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +444,7 @@ func TestListDeterministicallySorted(t *testing.T) {
 // suffixes (quarantine, temp, the live extensions themselves).
 func TestPersistTrickyNamesSurviveRestart(t *testing.T) {
 	dir := t.TempDir()
-	s1, err := NewPersistentGraphStore(dir, nil)
+	s1, err := NewPersistentGraphStore(dir, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +459,7 @@ func TestPersistTrickyNamesSurviveRestart(t *testing.T) {
 	}
 	s1.Close()
 	var lc logCapture
-	s2, err := NewPersistentGraphStore(dir, lc.logf)
+	s2, err := NewPersistentGraphStore(dir, "", lc.logf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +500,7 @@ func TestServerPersistenceOverHTTP(t *testing.T) {
 	if info.Persistence != api.PersistSnapshot {
 		t.Fatalf("gen persistence = %q", info.Persistence)
 	}
-	genGraph, _, err := srv1.Store().Get("gen")
+	genGraph, _, err := srv1.Store().GetHeap("gen")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -528,7 +528,7 @@ func TestServerPersistenceOverHTTP(t *testing.T) {
 	if inc.State != api.GraphStreaming || inc.Edges != 2 || inc.Persistence != api.PersistWAL {
 		t.Fatalf("inc recovered as %+v", inc)
 	}
-	recovered, _, err := srv2.Store().Get("gen")
+	recovered, _, err := srv2.Store().GetHeap("gen")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -546,7 +546,7 @@ func TestServerPersistenceOverHTTP(t *testing.T) {
 	if !imported.Sealed || imported.Nodes != info.Nodes || imported.Edges != info.Edges {
 		t.Fatalf("imported info %+v, want clone of %+v", imported, info)
 	}
-	g2, _, err := srv2.Store().Get("gen2")
+	g2, _, err := srv2.Store().GetHeap("gen2")
 	if err != nil {
 		t.Fatal(err)
 	}

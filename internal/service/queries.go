@@ -6,6 +6,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/local"
 	"repro/pkg/api"
@@ -16,7 +17,7 @@ import (
 // in sight. Handlers decode/validate, serveCached keys and deduplicates,
 // these compute.
 
-func execStats(name string, g *graph.Graph) *api.StatsResponse {
+func execStats(name string, g gstore.Graph) *api.StatsResponse {
 	res := &api.StatsResponse{
 		Name: name, Nodes: g.N(), Edges: g.M(), Volume: g.Volume(),
 	}
@@ -62,7 +63,7 @@ func workFromStats(method string, st kernel.Stats) *api.WorkStats {
 // execPPR answers a PPR query on a pooled kernel workspace: the push,
 // the response assembly, and the optional sweep all read the workspace
 // planes directly, so steady-state serving allocates only the response.
-func execPPR(g *graph.Graph, pool *kernel.Pool, req api.PPRRequest) (*api.PPRResponse, *api.WorkStats, error) {
+func execPPR(g gstore.Graph, pool *kernel.Pool, req api.PPRRequest) (*api.PPRResponse, *api.WorkStats, error) {
 	ws := pool.Get()
 	defer pool.Put(ws)
 	st, err := kernel.PushACL{Alpha: req.Alpha, Eps: req.Eps}.Diffuse(g, ws, req.Seeds)
@@ -87,7 +88,7 @@ func execPPR(g *graph.Graph, pool *kernel.Pool, req api.PPRRequest) (*api.PPRRes
 	return out, workFromStats("push", st), nil
 }
 
-func execLocalCluster(g *graph.Graph, pool *kernel.Pool, req api.LocalClusterRequest) (*api.LocalClusterResponse, *api.WorkStats, error) {
+func execLocalCluster(g gstore.Graph, pool *kernel.Pool, req api.LocalClusterRequest) (*api.LocalClusterResponse, *api.WorkStats, error) {
 	var (
 		sw      *api.SweepInfo
 		support int
@@ -135,7 +136,7 @@ func execLocalCluster(g *graph.Graph, pool *kernel.Pool, req api.LocalClusterReq
 	return &api.LocalClusterResponse{
 		Method: req.Method, Set: sw.Set, Size: sw.Size,
 		Conductance: sw.Conductance,
-		Volume:      g.VolumeOf(g.Membership(sw.Set)),
+		Volume:      gstore.VolumeOfSet(g, sw.Set),
 		Support:     support,
 	}, work, nil
 }
@@ -175,7 +176,7 @@ func execDiffuse(g *graph.Graph, req api.DiffuseRequest) (*api.DiffuseResponse, 
 	return &api.DiffuseResponse{Kind: req.Kind, Sum: sum, Top: topMassesDense(v, req.TopK)}, work, nil
 }
 
-func execSweepCut(g *graph.Graph, req api.SweepCutRequest) (*api.SweepInfo, *api.WorkStats, error) {
+func execSweepCut(g gstore.Graph, req api.SweepCutRequest) (*api.SweepInfo, *api.WorkStats, error) {
 	v := make(local.SparseVec, len(req.Values))
 	for _, nm := range req.Values {
 		if nm.Node < 0 || nm.Node >= g.N() {

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/gstore"
 )
 
 // Config sizes the server's bounded resources. The zero value is a
@@ -44,6 +46,11 @@ type Config struct {
 	// logs, and boot recovers both (quarantining corrupt files).
 	// Empty keeps the store in-memory only.
 	DataDir string
+	// Backend selects the default storage backend sealed graphs are
+	// served from: "heap" (default), "compact" or "mmap". The mmap
+	// backend requires DataDir. Individual graphs can override it with
+	// ?backend= at load/import/generate time.
+	Backend string
 	// OpLog receives operational log lines (recovery, quarantine,
 	// persistence failures). Nil uses the process-default logger.
 	OpLog *log.Logger
@@ -95,19 +102,25 @@ type Server struct {
 // directory-level (unreadable/uncreatable data dir).
 func NewServer(cfg Config) (*Server, error) {
 	c := cfg.withDefaults()
+	backend, err := gstore.ParseKind(c.Backend)
+	if err != nil {
+		return nil, err
+	}
 	var store *GraphStore
 	if c.DataDir != "" {
 		logf := log.Printf
 		if c.OpLog != nil {
 			logf = c.OpLog.Printf
 		}
-		var err error
-		store, err = NewPersistentGraphStore(c.DataDir, logf)
+		store, err = NewPersistentGraphStore(c.DataDir, backend, logf)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		store = NewGraphStore()
+		if err := store.SetDefaultBackend(backend); err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:       c,

@@ -16,6 +16,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/persist"
 	"repro/pkg/api"
@@ -65,7 +67,8 @@ func storeErrf(kind StoreErrorKind, format string, args ...any) *StoreError {
 type entry struct {
 	id      uint64 // unique per stored graph; part of every cache key
 	mu      sync.Mutex
-	g       *graph.Graph
+	g       gstore.Graph // sealed read view (heap, compact or mmap backend)
+	hg      *graph.Graph // lazy heap materialization for dense/batch consumers
 	b       *graph.Builder
 	pool    *kernel.Pool // per-graph diffusion workspaces; set when sealed
 	nNodes  int
@@ -77,8 +80,11 @@ type entry struct {
 // seal installs the immutable graph on the entry (caller holds e.mu)
 // together with its workspace pool, so every strongly-local query on
 // this graph reuses the same kernel scratch instead of allocating.
-func (e *entry) seal(g *graph.Graph) {
+func (e *entry) seal(g gstore.Graph) {
 	e.g = g
+	if h, ok := g.(gstore.Heap); ok {
+		e.hg = h.Unwrap()
+	}
 	e.pool = kernel.NewPool(g.N())
 }
 
@@ -89,34 +95,52 @@ func (e *entry) seal(g *graph.Graph) {
 // acknowledged: sealed graphs as binary snapshots, streaming graphs as
 // fsync'd write-ahead-log batches.
 type GraphStore struct {
-	mu     sync.RWMutex
-	graphs map[string]*entry
-	nextID atomic.Uint64
-	closed atomic.Bool
-	dir    *persist.Dir // nil: in-memory only
-	logf   func(format string, args ...any)
+	mu      sync.RWMutex
+	graphs  map[string]*entry
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+	dir     *persist.Dir // nil: in-memory only
+	backend gstore.Kind  // default serving backend for sealed graphs
+	logf    func(format string, args ...any)
 }
 
-// NewGraphStore returns an empty, in-memory store.
+// NewGraphStore returns an empty, in-memory store serving heap graphs.
 func NewGraphStore() *GraphStore {
-	return &GraphStore{graphs: make(map[string]*entry), logf: func(string, ...any) {}}
+	return &GraphStore{graphs: make(map[string]*entry), backend: gstore.KindHeap, logf: func(string, ...any) {}}
 }
+
+// SetDefaultBackend changes the backend new sealed graphs are served
+// from when no per-graph override is given. The mmap backend needs a
+// data directory to map snapshots from.
+func (s *GraphStore) SetDefaultBackend(kind gstore.Kind) error {
+	if kind == gstore.KindMmap && s.dir == nil {
+		return storeErrf(ErrBadInput, "backend %q requires a data directory", kind)
+	}
+	s.backend = kind
+	return nil
+}
+
+// DefaultBackend reports the store's default serving backend.
+func (s *GraphStore) DefaultBackend() gstore.Kind { return s.backend }
 
 // NewPersistentGraphStore opens (creating if needed) dataDir and
-// recovers its contents: every valid snapshot loads as a sealed graph,
-// every write-ahead log without a snapshot replays back into streaming
-// state, and corrupt files are quarantined with a log line instead of
-// failing boot. logf receives one line per recovery event (nil
-// discards them).
-func NewPersistentGraphStore(dataDir string, logf func(format string, args ...any)) (*GraphStore, error) {
+// recovers its contents: every valid snapshot loads as a sealed graph
+// served from the given default backend, every write-ahead log without
+// a snapshot replays back into streaming state, and corrupt files are
+// quarantined with a log line instead of failing boot. logf receives
+// one line per recovery event (nil discards them).
+func NewPersistentGraphStore(dataDir string, backend gstore.Kind, logf func(format string, args ...any)) (*GraphStore, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	if backend == "" {
+		backend = gstore.KindHeap
 	}
 	dir, err := persist.OpenDir(dataDir)
 	if err != nil {
 		return nil, err
 	}
-	s := &GraphStore{graphs: make(map[string]*entry), dir: dir, logf: logf}
+	s := &GraphStore{graphs: make(map[string]*entry), dir: dir, backend: backend, logf: logf}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -136,7 +160,7 @@ func (s *GraphStore) recover() error {
 			s.quarantine(s.dir.SnapshotPath(name), fmt.Errorf("invalid graph name: %w", err))
 			continue
 		}
-		g, err := s.dir.LoadSnapshot(name)
+		g, err := s.openSealed(name, s.backend)
 		if err != nil {
 			s.quarantine(s.dir.SnapshotPath(name), err)
 			continue
@@ -144,7 +168,8 @@ func (s *GraphStore) recover() error {
 		e := &entry{id: s.nextID.Add(1), persist: api.PersistSnapshot}
 		e.seal(g)
 		s.graphs[name] = e
-		s.logf("persist: recovered sealed graph %q from snapshot (n=%d m=%d)", name, g.N(), g.M())
+		s.logf("persist: recovered sealed graph %q from snapshot (n=%d m=%d backend=%s)",
+			name, g.N(), g.M(), g.Backend())
 	}
 	for _, name := range wals {
 		if _, ok := s.graphs[name]; ok {
@@ -194,6 +219,68 @@ func (s *GraphStore) recover() error {
 			name, nodes, edges, len(batches))
 	}
 	return nil
+}
+
+// openSealed loads the named graph's on-disk snapshot on the requested
+// backend, downgrading with a log line when the snapshot cannot serve
+// it: mmap falls back to compact (v1 snapshot, unmappable platform),
+// compact falls back to heap (graph too large for 32-bit node ids).
+func (s *GraphStore) openSealed(name string, kind gstore.Kind) (gstore.Graph, error) {
+	switch kind {
+	case gstore.KindMmap:
+		c, err := s.dir.MapSnapshot(name)
+		if err == nil {
+			return c, nil
+		}
+		if !errors.Is(err, persist.ErrNotMappable) {
+			return nil, err
+		}
+		s.logf("persist: graph %q: %v; serving compact instead", name, err)
+		fallthrough
+	case gstore.KindCompact:
+		c, cerr := s.dir.LoadCompactSnapshot(name)
+		if cerr == nil {
+			return c, nil
+		}
+		g, herr := s.dir.LoadSnapshot(name)
+		if herr != nil {
+			return nil, cerr
+		}
+		s.logf("persist: graph %q: compact load failed (%v); serving heap instead", name, cerr)
+		return gstore.Wrap(g), nil
+	default:
+		g, err := s.dir.LoadSnapshot(name)
+		if err != nil {
+			return nil, err
+		}
+		return gstore.Wrap(g), nil
+	}
+}
+
+// adopt converts a freshly built heap graph to its serving backend.
+// When the store is persistent, the graph's snapshot is already on
+// disk (Put and Seal write it before sealing), which is what the mmap
+// backend maps. Conversion failures downgrade with a log line rather
+// than failing the store operation — the data is intact either way.
+func (s *GraphStore) adopt(name string, g *graph.Graph, kind gstore.Kind) gstore.Graph {
+	switch kind {
+	case gstore.KindMmap:
+		c, err := s.dir.MapSnapshot(name)
+		if err == nil {
+			return c
+		}
+		s.logf("persist: graph %q: %v; serving compact instead", name, err)
+		fallthrough
+	case gstore.KindCompact:
+		c, err := gstore.NewCompact(g)
+		if err == nil {
+			return c
+		}
+		s.logf("store: graph %q: %v; serving heap instead", name, err)
+		fallthrough
+	default:
+		return gstore.Wrap(g)
+	}
 }
 
 // removeStaleWAL deletes a WAL that lost the race with its own seal
@@ -259,10 +346,23 @@ func (s *GraphStore) abortReserve(name string, e *entry) {
 	e.mu.Unlock()
 }
 
-// Put registers a sealed graph under name. It fails with ErrConflict if
-// the name is taken. With a data directory attached the snapshot is
-// written (atomically) before the graph becomes visible as sealed.
+// Put registers a sealed graph under name, served from the store's
+// default backend. It fails with ErrConflict if the name is taken. With
+// a data directory attached the snapshot is written (atomically) before
+// the graph becomes visible as sealed.
 func (s *GraphStore) Put(name string, g *graph.Graph) (api.GraphInfo, error) {
+	return s.PutWithBackend(name, g, "")
+}
+
+// PutWithBackend is Put with a per-graph serving-backend override; the
+// empty kind means the store default.
+func (s *GraphStore) PutWithBackend(name string, g *graph.Graph, kind gstore.Kind) (api.GraphInfo, error) {
+	if kind == "" {
+		kind = s.backend
+	}
+	if kind == gstore.KindMmap && s.dir == nil {
+		return api.GraphInfo{}, storeErrf(ErrBadInput, "backend %q requires a data directory", kind)
+	}
 	e, err := s.reserve(name)
 	if err != nil {
 		return api.GraphInfo{}, err
@@ -275,17 +375,18 @@ func (s *GraphStore) Put(name string, g *graph.Graph) (api.GraphInfo, error) {
 		}
 		pstate = api.PersistSnapshot
 	}
-	e.seal(g)
+	e.seal(s.adopt(name, g, kind))
 	e.persist = pstate
 	info := s.infoLocked(name, e)
 	e.mu.Unlock()
 	return info, nil
 }
 
-// Get returns the sealed graph under name together with its store id
-// (the cache-key component that distinguishes same-named graphs across
-// delete/re-create cycles). Unsealed graphs report ErrConflict.
-func (s *GraphStore) Get(name string) (*graph.Graph, uint64, error) {
+// Get returns the sealed graph's read view under name together with
+// its store id (the cache-key component that distinguishes same-named
+// graphs across delete/re-create cycles). Unsealed graphs report
+// ErrConflict.
+func (s *GraphStore) Get(name string) (gstore.Graph, uint64, error) {
 	s.mu.RLock()
 	e, ok := s.graphs[name]
 	s.mu.RUnlock()
@@ -301,10 +402,37 @@ func (s *GraphStore) Get(name string) (*graph.Graph, uint64, error) {
 	return g, e.id, nil
 }
 
+// GetHeap returns the sealed graph as a heap *graph.Graph, the form the
+// dense diffusions, batch jobs and snapshot export consume. For compact
+// and mmap backends the first call materializes (copies) the graph into
+// the heap and caches it on the entry; heap-backed graphs return the
+// stored graph directly.
+func (s *GraphStore) GetHeap(name string) (*graph.Graph, uint64, error) {
+	s.mu.RLock()
+	e, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, storeErrf(ErrNotFound, "graph %q not found", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.g == nil {
+		return nil, 0, storeErrf(ErrConflict, "graph %q is still streaming; seal it first", name)
+	}
+	if e.hg == nil {
+		hg, err := gstore.Materialize(e.g)
+		if err != nil {
+			return nil, 0, storeErrf(ErrInternal, "materializing graph %q: %v", name, err)
+		}
+		e.hg = hg
+	}
+	return e.hg, e.id, nil
+}
+
 // GetForQuery is Get plus the graph's workspace pool, the form the
 // synchronous query path uses so every request borrows (and returns)
 // pooled kernel scratch instead of allocating sparse vectors.
-func (s *GraphStore) GetForQuery(name string) (*graph.Graph, uint64, *kernel.Pool, error) {
+func (s *GraphStore) GetForQuery(name string) (gstore.Graph, uint64, *kernel.Pool, error) {
 	s.mu.RLock()
 	e, ok := s.graphs[name]
 	s.mu.RUnlock()
@@ -346,6 +474,7 @@ func (s *GraphStore) infoLocked(name string, e *entry) api.GraphInfo {
 		info.Nodes = e.g.N()
 		info.Edges = e.g.M()
 		info.Volume = e.g.Volume()
+		info.Backend = api.GraphBackend(e.g.Backend())
 	} else {
 		info.Nodes = e.nNodes
 		info.Edges = e.nEdges
@@ -377,8 +506,15 @@ func (s *GraphStore) Delete(name string) error {
 			s.logf("persist: removing files of deleted graph %q: %v", name, err)
 		}
 	}
-	// Unmap only this entry; a concurrent delete/re-create cycle may
-	// already have replaced it.
+	// Deliberately NOT closing e.g here: a query that fetched the graph
+	// before this delete may still be walking an mmap-backed adjacency,
+	// and an eager munmap under it would be a segfault. Dropping the
+	// store's reference is enough — the snapshot file was unlinked
+	// above, and once the last in-flight query releases the graph the
+	// Compact's finalizer unmaps it (gstore.NewCompactFromParts), so a
+	// deleted graph never pins its mapping past the next collection.
+	// Unregister only this entry; a concurrent delete/re-create cycle
+	// may already have replaced it.
 	s.mu.Lock()
 	if cur, ok := s.graphs[name]; ok && cur == e {
 		delete(s.graphs, name)
@@ -517,12 +653,12 @@ func (s *GraphStore) Seal(name string) (api.GraphInfo, error) {
 	if e.b == nil {
 		return api.GraphInfo{}, storeErrf(ErrConflict, "graph %q is already sealed", name)
 	}
-	g, err := e.b.Build()
+	hg, err := e.b.Build()
 	if err != nil {
 		return api.GraphInfo{}, storeErrf(ErrBadInput, "sealing %q: %v", name, err)
 	}
 	if s.dir != nil {
-		if err := s.dir.SaveSnapshot(name, g); err != nil {
+		if err := s.dir.SaveSnapshot(name, hg); err != nil {
 			// The stream stays intact (builder and WAL untouched): the
 			// caller can retry the seal once the I/O problem clears.
 			return api.GraphInfo{}, storeErrf(ErrInternal, "persisting sealed graph %q: %v", name, err)
@@ -538,7 +674,7 @@ func (s *GraphStore) Seal(name string) (api.GraphInfo, error) {
 		}
 		e.persist = api.PersistSnapshot
 	}
-	e.seal(g)
+	e.seal(s.adopt(name, hg, s.backend))
 	e.b = nil
 	return s.infoLocked(name, e), nil
 }
@@ -568,6 +704,17 @@ func (s *GraphStore) Close() error {
 				}
 			}
 			e.wal = nil
+		}
+		// Release mmap-backed graphs so shutdown leaves no dangling
+		// mappings (Close runs after the listener stops, so no query is
+		// still reading them).
+		if e.g != nil {
+			if err := gstore.Close(e.g); err != nil {
+				s.logf("store: closing backend of %q on shutdown: %v", name, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
 		}
 		e.mu.Unlock()
 	}

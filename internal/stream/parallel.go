@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/local"
 	"repro/internal/par"
@@ -78,7 +79,7 @@ func BatchPersonalizedPageRank(g *graph.Graph, sources []int, opt BatchPPROption
 	err := par.ForEach(opt.Workers, len(sources), func(i int) error {
 		ws := pool.Get()
 		defer pool.Put(ws)
-		st, err := kernel.PushACL{Alpha: opt.Alpha, Eps: opt.Eps}.Diffuse(g, ws, []int{sources[i]})
+		st, err := kernel.PushACL{Alpha: opt.Alpha, Eps: opt.Eps}.Diffuse(gstore.Wrap(g), ws, []int{sources[i]})
 		if err != nil {
 			return fmt.Errorf("stream: source %d: %w", sources[i], err)
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/local"
 	"repro/internal/vec"
 )
@@ -334,7 +335,7 @@ func TestBatchPPRMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, s := range sources {
-		seq, err := local.ApproxPageRank(g, []int{s}, opt.Alpha, opt.Eps)
+		seq, err := local.ApproxPageRank(gstore.Wrap(g), []int{s}, opt.Alpha, opt.Eps)
 		if err != nil {
 			t.Fatal(err)
 		}

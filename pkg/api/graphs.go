@@ -27,6 +27,22 @@ const (
 	PersistWAL GraphPersistence = "wal"
 )
 
+// GraphBackend identifies the in-process storage backend a sealed
+// graph is served from.
+type GraphBackend string
+
+const (
+	// BackendHeap: the native []int/[]float64 CSR structure, fastest for
+	// pure in-memory serving.
+	BackendHeap GraphBackend = "heap"
+	// BackendCompact: uint32 node ids with weights narrowed to float32
+	// when lossless, roughly halving resident memory.
+	BackendCompact GraphBackend = "compact"
+	// BackendMmap: adjacency served directly off the memory-mapped GSNAP
+	// v2 snapshot — zero-copy load and near-instant restart.
+	BackendMmap GraphBackend = "mmap"
+)
+
 // GraphInfo describes one stored graph; returned by the load, generate,
 // stream, seal, import, get and list endpoints.
 type GraphInfo struct {
@@ -39,6 +55,9 @@ type GraphInfo struct {
 	// Persistence reports the graph's durability: "none", "snapshot" or
 	// "wal".
 	Persistence GraphPersistence `json:"persistence,omitempty"`
+	// Backend reports the storage backend a sealed graph is served from:
+	// "heap", "compact" or "mmap". Empty while streaming.
+	Backend GraphBackend `json:"backend,omitempty"`
 }
 
 // GraphList is the reply of GET /v1/graphs.

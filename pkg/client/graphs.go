@@ -27,6 +27,30 @@ func WithWorkStats() QueryOption {
 	return func(q url.Values) { q.Set("debug", "work") }
 }
 
+// CreateOption adjusts a graph-creating call (Load, Import, Generate)
+// by editing its URL query parameters.
+type CreateOption func(url.Values)
+
+// WithBackend asks the server to serve the new graph from the given
+// storage backend ("heap", "compact" or "mmap") instead of the server's
+// default. The mmap backend needs the server to run with a data
+// directory.
+func WithBackend(backend api.GraphBackend) CreateOption {
+	return func(q url.Values) { q.Set("backend", string(backend)) }
+}
+
+// createValues builds the query parameters for a graph-creating call.
+func createValues(opts []CreateOption) url.Values {
+	if len(opts) == 0 {
+		return nil
+	}
+	q := url.Values{}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
 // queryValuesOpts extends the client-wide query parameters with
 // per-call options.
 func (c *Client) queryValuesOpts(opts []QueryOption) url.Values {
@@ -59,29 +83,29 @@ func (s *GraphsService) List(ctx context.Context) ([]api.GraphInfo, error) {
 // accepts) and registers it as a sealed graph named name. The body is
 // buffered so the call can be retried; for very large graphs prefer
 // LoadFile, and enable WithGzipUpload to compress the wire transfer.
-func (s *GraphsService) Load(ctx context.Context, name string, edgeList io.Reader) (api.GraphInfo, error) {
+func (s *GraphsService) Load(ctx context.Context, name string, edgeList io.Reader, opts ...CreateOption) (api.GraphInfo, error) {
 	data, err := io.ReadAll(edgeList)
 	if err != nil {
 		return api.GraphInfo{}, fmt.Errorf("client: reading edge list: %w", err)
 	}
-	return s.upload(ctx, name, data, false)
+	return s.upload(ctx, name, data, false, opts)
 }
 
 // LoadFile uploads the edge-list file at path (plain or .gz) as a
 // sealed graph named name.
-func (s *GraphsService) LoadFile(ctx context.Context, name, path string) (api.GraphInfo, error) {
+func (s *GraphsService) LoadFile(ctx context.Context, name, path string, opts ...CreateOption) (api.GraphInfo, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return api.GraphInfo{}, fmt.Errorf("client: %w", err)
 	}
 	// Already-compressed files ship as-is; the server sniffs the gzip
 	// magic bytes.
-	return s.upload(ctx, name, data, strings.HasSuffix(path, ".gz"))
+	return s.upload(ctx, name, data, strings.HasSuffix(path, ".gz"), opts)
 }
 
 // upload POSTs edge-list bytes, gzip-compressing them when the client
 // is configured for it and the payload is not already compressed.
-func (s *GraphsService) upload(ctx context.Context, name string, data []byte, compressed bool) (api.GraphInfo, error) {
+func (s *GraphsService) upload(ctx context.Context, name string, data []byte, compressed bool, opts []CreateOption) (api.GraphInfo, error) {
 	contentType := "text/plain"
 	if s.c.gzipUpload && !compressed {
 		var buf bytes.Buffer
@@ -94,7 +118,7 @@ func (s *GraphsService) upload(ctx context.Context, name string, data []byte, co
 		}
 		data = buf.Bytes()
 	}
-	body, _, err := s.c.doRaw(ctx, http.MethodPost, v1("graphs", name), nil, data, contentType)
+	body, _, err := s.c.doRaw(ctx, http.MethodPost, v1("graphs", name), createValues(opts), data, contentType)
 	if err != nil {
 		return api.GraphInfo{}, err
 	}
@@ -149,12 +173,12 @@ func (s *GraphsService) ExportFile(ctx context.Context, name, path string) (int6
 // Import uploads a GSNAP snapshot and registers it as a sealed graph
 // named name. The server validates the checksums and CSR invariants
 // before storing anything.
-func (s *GraphsService) Import(ctx context.Context, name string, snapshot io.Reader) (api.GraphInfo, error) {
+func (s *GraphsService) Import(ctx context.Context, name string, snapshot io.Reader, opts ...CreateOption) (api.GraphInfo, error) {
 	data, err := io.ReadAll(snapshot)
 	if err != nil {
 		return api.GraphInfo{}, fmt.Errorf("client: reading snapshot: %w", err)
 	}
-	body, _, err := s.c.doRaw(ctx, http.MethodPut, v1("graphs", name, "snapshot"), nil, data, "application/octet-stream")
+	body, _, err := s.c.doRaw(ctx, http.MethodPut, v1("graphs", name, "snapshot"), createValues(opts), data, "application/octet-stream")
 	if err != nil {
 		return api.GraphInfo{}, err
 	}
@@ -166,20 +190,20 @@ func (s *GraphsService) Import(ctx context.Context, name string, snapshot io.Rea
 }
 
 // ImportFile uploads the snapshot file at path as a sealed graph.
-func (s *GraphsService) ImportFile(ctx context.Context, name, path string) (api.GraphInfo, error) {
+func (s *GraphsService) ImportFile(ctx context.Context, name, path string, opts ...CreateOption) (api.GraphInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return api.GraphInfo{}, fmt.Errorf("client: %w", err)
 	}
 	defer f.Close()
-	return s.Import(ctx, name, f)
+	return s.Import(ctx, name, f, opts...)
 }
 
 // Generate asks the server to synthesize a graph named name from one of
 // the generator families.
-func (s *GraphsService) Generate(ctx context.Context, name string, req api.GenerateRequest) (api.GraphInfo, error) {
+func (s *GraphsService) Generate(ctx context.Context, name string, req api.GenerateRequest, opts ...CreateOption) (api.GraphInfo, error) {
 	var out api.GraphInfo
-	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "generate"), nil, &req, &out)
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "generate"), createValues(opts), &req, &out)
 	return out, err
 }
 

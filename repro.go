@@ -40,6 +40,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/gstore"
 	"repro/internal/local"
 	"repro/internal/ncp"
 	"repro/internal/partition"
@@ -206,22 +207,22 @@ type PushResult = local.PushResult
 // ApproxPageRank runs the Andersen–Chung–Lang push algorithm with
 // teleport α and truncation ε: work O(1/(εα)) independent of graph size.
 func ApproxPageRank(g *Graph, seeds []int, alpha, eps float64) (*PushResult, error) {
-	return local.ApproxPageRank(g, seeds, alpha, eps)
+	return local.ApproxPageRank(gstore.Wrap(g), seeds, alpha, eps)
 }
 
 // LocalCluster finds a low-conductance cluster near the seeds via push +
 // degree-normalized sweep, the Section 3.3 workhorse.
 func LocalCluster(g *Graph, seeds []int, alpha, eps float64) (*SweepResult, error) {
-	pr, err := local.ApproxPageRank(g, seeds, alpha, eps)
+	pr, err := local.ApproxPageRank(gstore.Wrap(g), seeds, alpha, eps)
 	if err != nil {
 		return nil, err
 	}
-	return local.SweepCut(g, pr.P)
+	return local.SweepCut(gstore.Wrap(g), pr.P)
 }
 
 // Nibble runs the Spielman–Teng truncated-random-walk clustering.
 func Nibble(g *Graph, seeds []int, eps float64, steps int) (*local.NibbleResult, error) {
-	return local.Nibble(g, seeds, eps, steps)
+	return local.Nibble(gstore.Wrap(g), seeds, eps, steps)
 }
 
 // MOV solves the locally-biased spectral program of Mahoney–Orecchia–
