@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint graphlint fuzz bench graphd
+.PHONY: build test race vet fmt lint graphlint fuzz bench benchdiff graphd
 
 build:
 	$(GO) build ./...
@@ -63,8 +63,15 @@ graphd:
 # BENCH_observe.json. The storage-backend matrix (snapshot load time,
 # resident memory, PPR latency for heap/compact/mmap at three graph
 # sizes, from bench_mmap_test.go) is filtered into BENCH_mmap.json.
-# Use BENCHTIME=5s for a statistically meaningful local run.
+# The steady-state serving SLO (graphload's open-loop mix against an
+# in-process daemon: qps, error rate, p50/p99/p99.9 latency) lands in
+# BENCH_load.json; compare two runs with cmd/benchdiff. Use
+# BENCHTIME=5s and LOADDURATION=30s for statistically meaningful local
+# runs.
 BENCHTIME ?= 1x
+LOADRATE ?= 300
+LOADWARMUP ?= 1s
+LOADDURATION ?= 5s
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json . > BENCH_ncp.json
 	@grep -c '"Action":"output"' BENCH_ncp.json >/dev/null && \
@@ -78,3 +85,12 @@ bench:
 	@echo "wrote BENCH_observe.json ($$(wc -c < BENCH_observe.json) bytes)"
 	@grep -E '"Test":"BenchmarkBackend(Load|PPR)' BENCH_ncp.json > BENCH_mmap.json && \
 	  echo "wrote BENCH_mmap.json ($$(wc -c < BENCH_mmap.json) bytes)"
+	$(GO) run ./cmd/graphload -self -rate $(LOADRATE) -warmup $(LOADWARMUP) \
+	  -duration $(LOADDURATION) -seed 1 -out BENCH_load.json
+
+# benchdiff gates the deterministic slices of two bench runs against
+# each other; OLD/NEW default to the committed baselines vs a fresh run.
+OLD ?= BENCH_load.json
+NEW ?= /tmp/BENCH_load.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff -tolerance 0.25 $(OLD) $(NEW)

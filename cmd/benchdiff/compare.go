@@ -1,0 +1,57 @@
+package main
+
+// largerBetter lists the units where an increase is an improvement;
+// every other unit (ns/op, B/op, allocs/op, latency percentiles,
+// error_rate) regresses upward.
+var largerBetter = map[string]bool{"qps": true}
+
+// diff is one compared (benchmark, unit) pair.
+type diff struct {
+	Bench     string
+	Unit      string
+	Old, New  float64
+	Rel       float64 // signed relative change vs old (0 when old == 0)
+	Regressed bool
+	Improved  bool
+}
+
+// compare evaluates every (bench, unit) pair present in both maps.
+// units, when non-nil, is an allowlist; pairs outside it are skipped
+// entirely. A zero baseline falls back to an absolute comparison: the
+// gate trips when the new value exceeds the tolerance itself (relative
+// change from zero is undefined, but "error rate went from 0 to 0.4"
+// must still fail).
+func compare(old, cur metricsMap, tolerance float64, units map[string]bool) []diff {
+	var diffs []diff
+	for bench, oldUnits := range old {
+		curUnits, ok := cur[bench]
+		if !ok {
+			continue
+		}
+		for unit, ov := range oldUnits {
+			if units != nil && !units[unit] {
+				continue
+			}
+			nv, ok := curUnits[unit]
+			if !ok {
+				continue
+			}
+			d := diff{Bench: bench, Unit: unit, Old: ov, New: nv}
+			if ov != 0 {
+				d.Rel = (nv - ov) / ov
+				if largerBetter[unit] {
+					d.Regressed = d.Rel < -tolerance
+					d.Improved = d.Rel > tolerance
+				} else {
+					d.Regressed = d.Rel > tolerance
+					d.Improved = d.Rel < -tolerance
+				}
+			} else if !largerBetter[unit] {
+				d.Regressed = nv > tolerance
+				d.Improved = false
+			}
+			diffs = append(diffs, d)
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,113 @@
+// Command benchdiff is the repository's performance regression gate:
+// it compares two benchmark artifacts — either test2json streams from
+// `make bench` (BENCH_ncp.json, BENCH_mmap.json, ...) or graphload
+// reports (BENCH_load.json) — metric by metric, and exits non-zero when
+// any metric moved past its tolerance in the bad direction.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.25] [-units qps,error_rate,allocs/op] old.json new.json
+//
+// Every (benchmark, unit) pair present in BOTH files is compared; pairs
+// present in only one file are reported but never fail the gate (the
+// benchmark set is allowed to grow). Units are smaller-is-better except
+// qps, which is larger-is-better. A baseline of zero switches to an
+// absolute comparison against the tolerance, so error_rate 0 → 0.3
+// still trips a 0.25 gate.
+//
+// Exit codes: 0 no regression, 1 regression detected, 2 usage or parse
+// failure. Machine-noisy units (ns/op on shared CI runners) should be
+// excluded with -units; deterministic ones (allocs/op, B/op, qps at an
+// un-saturating offered rate, error_rate) are the intended gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		tolerance = flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = 25%)")
+		unitsSpec = flag.String("units", "", "comma-separated unit allowlist (empty = compare all units)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tolerance < 0 {
+		log.Print("-tolerance must be non-negative")
+		os.Exit(2)
+	}
+	units := parseUnits(*unitsSpec)
+
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+
+	diffs := compare(old, cur, *tolerance, units)
+	regressions := render(os.Stdout, diffs, flag.Arg(0), flag.Arg(1), *tolerance)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseUnits(spec string) map[string]bool {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	units := map[string]bool{}
+	for _, u := range strings.Split(spec, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			units[u] = true
+		}
+	}
+	return units
+}
+
+// render prints the comparison table and returns the regression count.
+func render(w *os.File, diffs []diff, oldPath, newPath string, tol float64) int {
+	fmt.Fprintf(w, "benchdiff: %s -> %s (tolerance %.0f%%)\n", oldPath, newPath, tol*100)
+	sort.Slice(diffs, func(i, j int) bool {
+		if diffs[i].Bench != diffs[j].Bench {
+			return diffs[i].Bench < diffs[j].Bench
+		}
+		return diffs[i].Unit < diffs[j].Unit
+	})
+	regressions := 0
+	for _, d := range diffs {
+		mark := "  "
+		if d.Regressed {
+			mark = "✗ "
+			regressions++
+		} else if d.Improved {
+			mark = "+ "
+		}
+		fmt.Fprintf(w, "%s%-60s %-12s %14.4g -> %-14.4g %+7.1f%%\n",
+			mark, d.Bench, d.Unit, d.Old, d.New, d.Rel*100)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "FAIL: %d metric(s) regressed past %.0f%%\n", regressions, tol*100)
+	} else {
+		fmt.Fprintf(w, "ok: no regression past %.0f%% across %d compared metric(s)\n", tol*100, len(diffs))
+	}
+	return regressions
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const graphloadReport = `{
+  "kind": "graphload",
+  "config": {"graph": "loadtest", "rate": 300},
+  "metrics": {
+    "requests": 600, "errors": 0, "dropped": 0,
+    "qps": 300.5, "error_rate": 0,
+    "latency_ms": {"p50": 0.36, "p90": 0.7, "p99": 3.8, "p999": 6.2, "mean": 0.57, "max": 6.2}
+  }
+}`
+
+const regressedReport = `{
+  "kind": "graphload",
+  "config": {"graph": "loadtest", "rate": 300},
+  "metrics": {
+    "requests": 400, "errors": 200, "dropped": 0,
+    "qps": 150.0, "error_rate": 0.33,
+    "latency_ms": {"p50": 0.9, "p90": 2.1, "p99": 9.9, "p999": 20.0, "mean": 1.4, "max": 22.0}
+  }
+}`
+
+// test2json stream with a result line SPLIT across two Output events —
+// the shape `go test -json` actually emits, and the reason the parser
+// concatenates before line-splitting.
+const test2jsonStream = `{"Action":"run","Package":"repro","Test":"BenchmarkBackendPPR"}
+{"Action":"output","Package":"repro","Test":"BenchmarkBackendPPR","Output":"BenchmarkBackendPPR/n4k/mmap-8 \t"}
+{"Action":"output","Package":"repro","Test":"BenchmarkBackendPPR","Output":"    1234\t     98765 ns/op\t     432 B/op\t       7 allocs/op\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkBackendPPR","Output":"BenchmarkBackendLoad/n4k/heap-8 \t    50\t  2000000 ns/op\t  900000 B/op\t    1200 allocs/op\n"}
+{"Action":"pass","Package":"repro"}
+`
+
+func TestParseGraphloadReport(t *testing.T) {
+	m, err := parseFile(writeTemp(t, "load.json", graphloadReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m["graphload"]
+	if g == nil {
+		t.Fatal("no graphload bench parsed")
+	}
+	if g["qps"] != 300.5 || g["p99_ms"] != 3.8 || g["error_rate"] != 0 {
+		t.Fatalf("parsed metrics = %v", g)
+	}
+}
+
+func TestParseTest2JSONSplitOutput(t *testing.T) {
+	m, err := parseFile(writeTemp(t, "bench.json", test2jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppr := m["BenchmarkBackendPPR/n4k/mmap"]
+	if ppr == nil {
+		t.Fatalf("split result line not reassembled; parsed benches: %v", m)
+	}
+	if ppr["ns/op"] != 98765 || ppr["allocs/op"] != 7 {
+		t.Fatalf("metrics = %v", ppr)
+	}
+	if _, ok := m["BenchmarkBackendLoad/n4k/heap"]; !ok {
+		t.Errorf("GOMAXPROCS suffix not stripped; benches: %v", m)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for name, content := range map[string]string{
+		"empty.json":   "",
+		"garbage.json": "not json at all",
+		"noresult.json": `{"Action":"output","Output":"=== RUN TestFoo\n"}
+`,
+	} {
+		if _, err := parseFile(writeTemp(t, name, content)); err == nil {
+			t.Errorf("%s: parse accepted, want error", name)
+		}
+	}
+}
+
+// TestCompareInjectedRegression is the acceptance contract: an injected
+// regression past the tolerance must be flagged, in both directions
+// (qps drop = larger-is-better, p99 rise = smaller-is-better), and the
+// zero-baseline error_rate must gate on the absolute tolerance.
+func TestCompareInjectedRegression(t *testing.T) {
+	old, err := parseFile(writeTemp(t, "old.json", graphloadReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := parseFile(writeTemp(t, "new.json", regressedReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := compare(old, bad, 0.25, nil)
+	regressed := map[string]bool{}
+	for _, d := range diffs {
+		if d.Regressed {
+			regressed[d.Unit] = true
+		}
+	}
+	for _, unit := range []string{"qps", "p99_ms", "error_rate"} {
+		if !regressed[unit] {
+			t.Errorf("injected regression in %s not flagged; diffs: %+v", unit, diffs)
+		}
+	}
+
+	// The same artifact against itself is clean.
+	for _, d := range compare(old, old, 0.25, nil) {
+		if d.Regressed {
+			t.Errorf("self-comparison flagged %s/%s as regressed", d.Bench, d.Unit)
+		}
+	}
+
+	// A generous tolerance lets a mild slowdown through; the unit
+	// allowlist drops everything else from consideration.
+	diffs = compare(old, bad, 0.25, map[string]bool{"p50_ms": true})
+	if len(diffs) != 1 || diffs[0].Unit != "p50_ms" {
+		t.Fatalf("unit filter leaked: %+v", diffs)
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	old := metricsMap{"b": {"allocs/op": 100}}
+	within := metricsMap{"b": {"allocs/op": 124}}
+	past := metricsMap{"b": {"allocs/op": 126}}
+	if d := compare(old, within, 0.25, nil); d[0].Regressed {
+		t.Errorf("24%% growth flagged at 25%% tolerance")
+	}
+	if d := compare(old, past, 0.25, nil); !d[0].Regressed {
+		t.Errorf("26%% growth not flagged at 25%% tolerance")
+	}
+	// Benchmarks present only on one side never gate.
+	newOnly := metricsMap{"b": {"allocs/op": 100}, "c": {"allocs/op": 9999}}
+	if d := compare(old, newOnly, 0.25, nil); len(d) != 1 {
+		t.Errorf("one-sided bench compared: %+v", d)
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// metricsMap is benchmark name -> unit -> value. Both artifact formats
+// normalize into it: a test2json stream yields one entry per Benchmark*
+// result line, a graphload report yields a single "graphload" bench
+// with qps / error_rate / p50_ms / ... units.
+type metricsMap map[string]map[string]float64
+
+func (m metricsMap) add(bench, unit string, value float64) {
+	if m[bench] == nil {
+		m[bench] = map[string]float64{}
+	}
+	m[bench][unit] = value
+}
+
+// parseFile sniffs the artifact format from its first JSON value: a
+// graphload report is one object with kind=="graphload"; everything
+// else is treated as a test2json event stream.
+func parseFile(path string) (metricsMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if json.Unmarshal(data, &probe) == nil && probe.Kind == "graphload" {
+		return parseGraphload(path, data)
+	}
+	return parseTest2JSON(path, data)
+}
+
+func parseGraphload(path string, data []byte) (metricsMap, error) {
+	var rep struct {
+		Kind    string `json:"kind"`
+		Metrics struct {
+			Requests  uint64  `json:"requests"`
+			QPS       float64 `json:"qps"`
+			ErrorRate float64 `json:"error_rate"`
+			LatencyMS struct {
+				P50  float64 `json:"p50"`
+				P90  float64 `json:"p90"`
+				P99  float64 `json:"p99"`
+				P999 float64 `json:"p999"`
+				Mean float64 `json:"mean"`
+				Max  float64 `json:"max"`
+			} `json:"latency_ms"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Metrics.Requests == 0 {
+		return nil, fmt.Errorf("%s: graphload report has zero completed requests", path)
+	}
+	m := metricsMap{}
+	lm := rep.Metrics.LatencyMS
+	m.add("graphload", "qps", rep.Metrics.QPS)
+	m.add("graphload", "error_rate", rep.Metrics.ErrorRate)
+	m.add("graphload", "p50_ms", lm.P50)
+	m.add("graphload", "p90_ms", lm.P90)
+	m.add("graphload", "p99_ms", lm.P99)
+	m.add("graphload", "p999_ms", lm.P999)
+	m.add("graphload", "mean_ms", lm.Mean)
+	m.add("graphload", "max_ms", lm.Max)
+	return m, nil
+}
+
+// parseTest2JSON extracts benchmark result lines from a `go test -json`
+// event stream. One result line is frequently SPLIT across several
+// Output events (the name flushes before the timing completes), so all
+// Output payloads are concatenated before line-splitting — scanning
+// per-event would silently drop every split result.
+func parseTest2JSON(path string, data []byte) (metricsMap, error) {
+	var out strings.Builder
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	events := 0
+	for {
+		var evt struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if err := dec.Decode(&evt); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: not a graphload report or test2json stream: %w", path, err)
+		}
+		events++
+		if evt.Action == "output" {
+			out.WriteString(evt.Output)
+		}
+	}
+	if events == 0 {
+		return nil, fmt.Errorf("%s: empty benchmark artifact", path)
+	}
+	m := metricsMap{}
+	for _, line := range strings.Split(out.String(), "\n") {
+		bench, metrics, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		for unit, v := range metrics {
+			m.add(bench, unit, v)
+		}
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return m, nil
+}
+
+// parseBenchLine parses one textual benchmark result, e.g.
+//
+//	BenchmarkBackendPPR/n4k/mmap-8   1234  98765 ns/op  432 B/op  7 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so runs from machines
+// with different core counts compare as the same benchmark.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false // second field must be the iteration count
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}

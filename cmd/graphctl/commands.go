@@ -623,11 +623,15 @@ func cmdJob(ctx context.Context, c *client.Client, args []string) error {
 	}
 }
 
-// cmdDebug is the observability verb family; today's only verb is
-// "queries", which dumps the server's recent-query trace ring.
+// cmdDebug is the observability verb family: "queries" dumps the
+// server's recent-query trace ring, "metrics [prefix]" fetches the
+// Prometheus exposition and pretty-prints it grouped by family.
 func cmdDebug(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) >= 1 && args[0] == "metrics" {
+		return debugMetrics(ctx, c, args[1:])
+	}
 	if len(args) != 1 || args[0] != "queries" {
-		return fmt.Errorf("usage: graphctl debug queries")
+		return fmt.Errorf("usage: graphctl debug queries | debug metrics [prefix]")
 	}
 	qs, err := c.DebugQueries(ctx)
 	if err != nil {
@@ -649,6 +653,86 @@ func cmdDebug(ctx context.Context, c *client.Client, args []string) error {
 				q.ID, q.Route, q.Graph, q.Status, q.Cache, q.DurationMS, work)
 		}
 	})
+}
+
+// debugMetrics renders /metrics grouped by family, one header per
+// metric with its TYPE, samples indented beneath it. An optional
+// argument filters families by name prefix ("graphd_persist",
+// "graphd_gstore", ...), which is the intended way to eyeball one
+// subsystem's telemetry without the full exposition scrolling past.
+func debugMetrics(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) > 1 {
+		return fmt.Errorf("usage: graphctl debug metrics [prefix]")
+	}
+	prefix := ""
+	if len(args) == 1 {
+		prefix = args[0]
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	type family struct {
+		name, typ string
+		samples   []string
+	}
+	var fams []*family
+	byName := map[string]*family{}
+	get := func(name string) *family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &family{name: name, typ: "untyped"}
+		byName[name] = f
+		fams = append(fams, f)
+		return f
+	}
+	// A histogram's _bucket/_sum/_count samples belong to the base
+	// family announced by the TYPE line.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t := strings.TrimSuffix(name, suf); t != name {
+				if f, ok := byName[t]; ok && f.typ == "histogram" {
+					return t
+				}
+			}
+		}
+		return name
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "# HELP"):
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) == 4 {
+				get(fields[2]).typ = fields[3]
+			}
+		case strings.HasPrefix(line, "#"):
+		default:
+			name := line
+			if i := strings.IndexAny(line, "{ "); i > 0 {
+				name = line[:i]
+			}
+			f := get(base(name))
+			f.samples = append(f.samples, line)
+		}
+	}
+	shown := 0
+	for _, f := range fams {
+		if !strings.HasPrefix(f.name, prefix) || len(f.samples) == 0 {
+			continue
+		}
+		shown++
+		fmt.Printf("%s (%s)\n", f.name, f.typ)
+		for _, s := range f.samples {
+			fmt.Printf("  %s\n", s)
+		}
+	}
+	if shown == 0 {
+		return fmt.Errorf("no metric families match prefix %q", prefix)
+	}
+	return nil
 }
 
 func cmdNCP(ctx context.Context, c *client.Client, args []string) error {

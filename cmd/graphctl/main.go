@@ -159,6 +159,7 @@ misc:
   health                         server health and build info
   metrics                        raw Prometheus metrics
   debug queries                  recent queries (id, route, cache, ms, work)
+  debug metrics [prefix]         metrics grouped by family, filtered by name prefix
 
 global flags:
 `)

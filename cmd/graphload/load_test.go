@@ -1,0 +1,86 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("ppr=0.8,localcluster=0.15,diffuse=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ops) != 3 || m.cumul[2] != 1 {
+		t.Fatalf("mix = %+v, want 3 ops with cumulative mass 1", m)
+	}
+	// Zero-weight ops vanish; weights need not sum to 1.
+	m, err = parseMix("ppr=3,diffuse=0,localcluster=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ops) != 2 {
+		t.Fatalf("ops = %v, want zero-weight diffuse dropped", m.ops)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[m.pick(rng)]++
+	}
+	if counts["diffuse"] != 0 {
+		t.Errorf("picked zero-weight op %d times", counts["diffuse"])
+	}
+	if frac := float64(counts["ppr"]) / 4000; frac < 0.70 || frac > 0.80 {
+		t.Errorf("ppr fraction = %.3f, want ~0.75", frac)
+	}
+
+	for _, bad := range []string{"", "ppr", "ppr=x", "ppr=-1", "walk=1", "ppr=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 5}, {0.90, 9}, {0.99, 10}, {0.999, 10}, {0.10, 1}, {1, 10},
+	} {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile of empty samples = %v, want 0", got)
+	}
+	if got := percentile([]float64{42}, 0.999); got != 42 {
+		t.Errorf("single-sample p99.9 = %v, want 42", got)
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	rec := &recorder{errors: 2, dropped: 1}
+	for i := 1; i <= 97; i++ {
+		rec.latencies = append(rec.latencies, float64(i))
+	}
+	rep := buildReport(loadConfig{Graph: "g", Rate: 100}, rec, 10*time.Second)
+	if rep.Kind != "graphload" {
+		t.Fatalf("kind = %q", rep.Kind)
+	}
+	m := rep.Metrics
+	if m.Requests != 97 || m.Errors != 2 || m.Dropped != 1 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if m.QPS != 9.7 {
+		t.Errorf("qps = %v, want 9.7", m.QPS)
+	}
+	if m.ErrorRate != 0.03 {
+		t.Errorf("error rate = %v, want 0.03 (errors+drops over total)", m.ErrorRate)
+	}
+	if m.LatencyMS.P50 != 49 || m.LatencyMS.Max != 97 || m.LatencyMS.Mean != 49 {
+		t.Errorf("latency summary = %+v", m.LatencyMS)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -148,9 +149,11 @@ func NewCompactFromParts(kind Kind, rowPtr []int64, adj []uint32, w32 []float32,
 		rowPtr: rowPtr, adj: adj, w32: w32, w64: w64, deg: deg,
 		closer: closer,
 	}
+	verifyStart := time.Now()
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
+	stats.noteOpenVerify(int64(time.Since(verifyStart)))
 	for _, d := range deg {
 		c.volume += d
 	}
@@ -161,7 +164,10 @@ func NewCompactFromParts(kind Kind, rowPtr []int64, adj []uint32, w32 []float32,
 		// collected, so deleted graphs never pin their mappings for the
 		// life of the process. Close is idempotent, so the finalizer
 		// and an explicit Close cannot double-unmap.
-		runtime.SetFinalizer(c, func(c *Compact) { _ = c.Close() })
+		runtime.SetFinalizer(c, func(c *Compact) {
+			stats.noteFinalizerUnmap()
+			_ = c.Close()
+		})
 	}
 	return c, nil
 }

@@ -194,8 +194,10 @@ func Materialize(g Graph) (*graph.Graph, error) {
 	case Heap:
 		return t.g, nil
 	case *Compact:
+		stats.noteMaterialization()
 		return t.materialize()
 	}
+	stats.noteMaterialization()
 	// Generic fallback for third-party backends: rebuild CSR through
 	// the iterator and revalidate.
 	n := g.N()

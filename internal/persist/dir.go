@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/gstore"
@@ -31,6 +32,7 @@ type Counters struct {
 type Dir struct {
 	root     string
 	counters Counters
+	obs      Observer // nil: no durability telemetry
 }
 
 // QuarantineExt is the suffix appended to corrupt files set aside during
@@ -51,6 +53,27 @@ func (d *Dir) Root() string { return d.root }
 // Counters exposes the live event counters.
 func (d *Dir) Counters() *Counters { return &d.counters }
 
+// SetObserver attaches a durability-telemetry sink: every snapshot
+// write/load, WAL replay, and (via the WALs this Dir opens) every WAL
+// append reports its latency and byte count to obs. Call before
+// serving; nil (the default) keeps every operation free of clock
+// reads.
+func (d *Dir) SetObserver(obs Observer) { d.obs = obs }
+
+// observeFile reports one completed file-level operation, using the
+// file's current size as the byte count. Stat only runs when an
+// observer is attached, so the nil path costs nothing.
+func (d *Dir) observeFile(op Op, start time.Time, path string) {
+	if d.obs == nil {
+		return
+	}
+	var bytes int64
+	if fi, err := os.Stat(path); err == nil {
+		bytes = fi.Size()
+	}
+	d.obs.ObservePersist(op, time.Since(start), bytes)
+}
+
 // SnapshotPath returns the snapshot file path for a graph name.
 func (d *Dir) SnapshotPath(name string) string {
 	return filepath.Join(d.root, name+SnapshotExt)
@@ -63,31 +86,46 @@ func (d *Dir) WALPath(name string) string {
 
 // SaveSnapshot atomically writes the graph's snapshot.
 func (d *Dir) SaveSnapshot(name string, g *graph.Graph) error {
+	var start time.Time
+	if d.obs != nil {
+		start = time.Now()
+	}
 	if err := WriteSnapshotFile(d.SnapshotPath(name), g); err != nil {
 		return err
 	}
 	d.counters.SnapshotsWritten.Add(1)
+	d.observeFile(OpSnapshotWrite, start, d.SnapshotPath(name))
 	return nil
 }
 
 // LoadSnapshot reads and validates the graph's snapshot.
 func (d *Dir) LoadSnapshot(name string) (*graph.Graph, error) {
+	var start time.Time
+	if d.obs != nil {
+		start = time.Now()
+	}
 	g, err := ReadSnapshotFile(d.SnapshotPath(name))
 	if err != nil {
 		return nil, err
 	}
 	d.counters.SnapshotsLoaded.Add(1)
+	d.observeFile(OpSnapshotLoad, start, d.SnapshotPath(name))
 	return g, nil
 }
 
 // LoadCompactSnapshot reads and validates the graph's snapshot into
 // the compact in-heap backend.
 func (d *Dir) LoadCompactSnapshot(name string) (*gstore.Compact, error) {
+	var start time.Time
+	if d.obs != nil {
+		start = time.Now()
+	}
 	c, err := ReadCompactFile(d.SnapshotPath(name))
 	if err != nil {
 		return nil, err
 	}
 	d.counters.SnapshotsLoaded.Add(1)
+	d.observeFile(OpSnapshotLoad, start, d.SnapshotPath(name))
 	return c, nil
 }
 
@@ -95,11 +133,16 @@ func (d *Dir) LoadCompactSnapshot(name string) (*gstore.Compact, error) {
 // adjacency straight off the file. Fails with ErrNotMappable when the
 // snapshot or platform cannot be mapped (v1 format, big-endian host).
 func (d *Dir) MapSnapshot(name string) (*gstore.Compact, error) {
+	var start time.Time
+	if d.obs != nil {
+		start = time.Now()
+	}
 	c, err := OpenMapped(d.SnapshotPath(name))
 	if err != nil {
 		return nil, err
 	}
 	d.counters.SnapshotsLoaded.Add(1)
+	d.observeFile(OpSnapshotLoad, start, d.SnapshotPath(name))
 	return c, nil
 }
 
@@ -109,17 +152,24 @@ func (d *Dir) CreateWAL(name string, nodes int) (*WAL, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetObserver(d.obs)
 	d.counters.WALCreated.Add(1)
 	return w, nil
 }
 
 // OpenWAL reopens and replays a graph's write-ahead log.
 func (d *Dir) OpenWAL(name string) (*WAL, int, [][]Edge, error) {
+	var start time.Time
+	if d.obs != nil {
+		start = time.Now()
+	}
 	w, nodes, batches, err := OpenWAL(d.WALPath(name))
 	if err != nil {
 		return nil, 0, nil, err
 	}
+	w.SetObserver(d.obs)
 	d.counters.WALReplayed.Add(1)
+	d.observeFile(OpRecoveryReplay, start, d.WALPath(name))
 	return w, nodes, batches, nil
 }
 

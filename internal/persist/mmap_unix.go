@@ -120,11 +120,20 @@ func openMappedData(data []byte, path string) (*gstore.Compact, error) {
 	} else if h.flags&v2FlagW != 0 {
 		w64 = mapSlice[float64](data, h.sec[v2SecW])
 	}
-	closer := func() error { return syscall.Munmap(data) }
+	// The closer un-notes exactly what the successful open notes below;
+	// a failed open munmaps directly in OpenMapped without ever noting,
+	// so the mapped-bytes gauge never double-counts or goes negative.
+	size := int64(len(data))
+	closer := func() error {
+		err := syscall.Munmap(data)
+		gstore.Telemetry().NoteUnmapped(size)
+		return err
+	}
 	c, err := gstore.NewCompactFromParts(gstore.KindMmap, rowPtr, adj, w32, w64, deg, closer)
 	if err != nil {
 		return nil, fmt.Errorf("persist: %s: %w", path, err)
 	}
+	gstore.Telemetry().NoteMapped(size)
 	return c, nil
 }
 

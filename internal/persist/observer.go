@@ -1,0 +1,49 @@
+package persist
+
+import "time"
+
+// Op names one timed durability operation. The values index the
+// service layer's fixed histogram array, so they must stay dense and
+// NumOps last.
+type Op int
+
+const (
+	// OpWALFsync is one AppendBatch record: encode, write, fsync.
+	OpWALFsync Op = iota
+	// OpSnapshotWrite is one atomic snapshot write (temp, fsync, rename).
+	OpSnapshotWrite
+	// OpSnapshotLoad is one snapshot open on any backend: the copying
+	// v1/v2 readers and the verified mmap open alike.
+	OpSnapshotLoad
+	// OpRecoveryReplay is one WAL open-and-replay at boot.
+	OpRecoveryReplay
+	// NumOps bounds the enum for array-indexed consumers.
+	NumOps
+)
+
+// String returns the metric-name fragment for the operation.
+func (op Op) String() string {
+	switch op {
+	case OpWALFsync:
+		return "wal_fsync"
+	case OpSnapshotWrite:
+		return "snapshot_write"
+	case OpSnapshotLoad:
+		return "snapshot_load"
+	case OpRecoveryReplay:
+		return "recovery"
+	}
+	return "unknown"
+}
+
+// Observer receives one callback per completed durability operation
+// with its wall-clock duration and the bytes written (WAL append,
+// snapshot write) or read (snapshot load, recovery replay). Callbacks
+// run on the operation's goroutine and must be cheap and non-blocking;
+// the service layer's implementation is a lock-guarded histogram
+// insert. A nil Observer is the contract for "telemetry off": every
+// call site guards with a nil check so the disabled path performs no
+// clock reads and no allocations (locked by TestNilObserverZeroCost).
+type Observer interface {
+	ObservePersist(op Op, d time.Duration, bytes int64)
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 )
 
 // WAL layout (all integers little-endian):
@@ -57,7 +58,13 @@ type WAL struct {
 	f     *os.File
 	path  string
 	nodes int
+	obs   Observer // nil: no durability telemetry
 }
+
+// SetObserver attaches a durability-telemetry sink to the log. Call
+// before the first append; a nil observer (the default) keeps every
+// append free of clock reads.
+func (w *WAL) SetObserver(obs Observer) { w.obs = obs }
 
 // CreateWAL creates a fresh log at path for a streaming graph on nodes
 // vertices, failing if the file already exists. The header is fsynced
@@ -193,11 +200,18 @@ func (w *WAL) AppendBatch(edges []Edge) error {
 	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(edges)))
 	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
 	rec = append(rec, payload...)
+	var start time.Time
+	if w.obs != nil {
+		start = time.Now()
+	}
 	if _, err := w.f.Write(rec); err != nil {
 		return fmt.Errorf("persist: append WAL record: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("persist: sync WAL record: %w", err)
+	}
+	if w.obs != nil {
+		w.obs.ObservePersist(OpWALFsync, time.Since(start), int64(len(rec)))
 	}
 	return nil
 }

@@ -146,3 +146,109 @@ func TestLintDeclaredButUnobservedHistogram(t *testing.T) {
 		t.Fatalf("idle histogram flagged: %v", errs)
 	}
 }
+
+// newFamiliesExposition mirrors the full-stack telemetry families the
+// service exports as of the durability/storage instrumentation work:
+// unlabeled persist histograms with bytes counters, process-wide gstore
+// gauges/counters, job-pool depth gauges with the queue-wait histogram,
+// and the backend-labeled query work histograms. The fixture keeps the
+// linter honest about shapes the seed exposition never exercised —
+// label-free histograms chief among them.
+const newFamiliesExposition = `# TYPE graphd_persist_wal_fsync_seconds histogram
+graphd_persist_wal_fsync_seconds_bucket{le="0.000001"} 0
+graphd_persist_wal_fsync_seconds_bucket{le="0.001"} 3
+graphd_persist_wal_fsync_seconds_bucket{le="+Inf"} 4
+graphd_persist_wal_fsync_seconds_sum 0.0042
+graphd_persist_wal_fsync_seconds_count 4
+# TYPE graphd_persist_wal_fsync_bytes_total counter
+graphd_persist_wal_fsync_bytes_total 224
+# TYPE graphd_persist_recovery_seconds histogram
+graphd_persist_recovery_seconds_bucket{le="0.01"} 1
+graphd_persist_recovery_seconds_bucket{le="+Inf"} 1
+graphd_persist_recovery_seconds_sum 0.003
+graphd_persist_recovery_seconds_count 1
+# TYPE graphd_gstore_mapped_bytes gauge
+graphd_gstore_mapped_bytes 1048576
+# TYPE graphd_gstore_mapped_graphs gauge
+graphd_gstore_mapped_graphs 2
+# TYPE graphd_gstore_finalizer_unmaps_total counter
+graphd_gstore_finalizer_unmaps_total 0
+# TYPE graphd_gstore_heap_materializations_total counter
+graphd_gstore_heap_materializations_total 5
+# TYPE graphd_gstore_open_verifies_total counter
+graphd_gstore_open_verifies_total 7
+# TYPE graphd_gstore_open_verify_seconds_total counter
+graphd_gstore_open_verify_seconds_total 0.0019
+# TYPE graphd_jobs_queued gauge
+graphd_jobs_queued 0
+# TYPE graphd_jobs_running gauge
+graphd_jobs_running 1
+# TYPE graphd_jobs_finished_total counter
+graphd_jobs_finished_total 12
+# TYPE graphd_job_queue_wait_seconds histogram
+graphd_job_queue_wait_seconds_bucket{type="partition",le="0.001"} 2
+graphd_job_queue_wait_seconds_bucket{type="partition",le="+Inf"} 2
+graphd_job_queue_wait_seconds_sum{type="partition"} 0.0004
+graphd_job_queue_wait_seconds_count{type="partition"} 2
+# TYPE graphd_query_pushes histogram
+graphd_query_pushes_bucket{method="push",cache="miss",backend="mmap",le="100"} 1
+graphd_query_pushes_bucket{method="push",cache="miss",backend="mmap",le="+Inf"} 1
+graphd_query_pushes_sum{method="push",cache="miss",backend="mmap"} 37
+graphd_query_pushes_count{method="push",cache="miss",backend="mmap"} 1
+graphd_query_pushes_bucket{method="push",cache="miss",backend="heap",le="100"} 2
+graphd_query_pushes_bucket{method="push",cache="miss",backend="heap",le="+Inf"} 2
+graphd_query_pushes_sum{method="push",cache="miss",backend="heap"} 61
+graphd_query_pushes_count{method="push",cache="miss",backend="heap"} 2
+`
+
+func TestLintNewTelemetryFamilies(t *testing.T) {
+	if errs := lint(newFamiliesExposition); len(errs) != 0 {
+		t.Fatalf("new telemetry families flagged: %v", errs)
+	}
+}
+
+// TestLintBrokenNewFamilies injects shape bugs into the new families to
+// show the linter still has teeth there: an unlabeled histogram missing
+// its +Inf bucket, and a persist bytes counter without the _total
+// suffix convention.
+func TestLintBrokenNewFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			"unlabeled histogram missing +Inf",
+			"# TYPE graphd_persist_wal_fsync_seconds histogram\n" +
+				"graphd_persist_wal_fsync_seconds_bucket{le=\"0.001\"} 3\n" +
+				"graphd_persist_wal_fsync_seconds_sum 0.004\n" +
+				"graphd_persist_wal_fsync_seconds_count 3\n",
+			"+Inf",
+		},
+		{
+			"non-cumulative unlabeled buckets",
+			"# TYPE graphd_persist_recovery_seconds histogram\n" +
+				"graphd_persist_recovery_seconds_bucket{le=\"0.01\"} 5\n" +
+				"graphd_persist_recovery_seconds_bucket{le=\"+Inf\"} 4\n" +
+				"graphd_persist_recovery_seconds_sum 0.1\n" +
+				"graphd_persist_recovery_seconds_count 4\n",
+			"not cumulative",
+		},
+		{
+			"gstore counter without TYPE",
+			"graphd_gstore_finalizer_unmaps_total 1\n",
+			"no preceding # TYPE",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lint(tc.in)
+			if len(errs) == 0 {
+				t.Fatalf("lint accepted broken exposition")
+			}
+			if !strings.Contains(joinErrs(errs), tc.want) {
+				t.Fatalf("lint errors %v missing %q", errs, tc.want)
+			}
+		})
+	}
+}

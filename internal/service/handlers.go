@@ -350,9 +350,10 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	name := r.PathValue("name")
 	g, id, pool, err := s.store.GetForQuery(name)
 	if err != nil {
-		s.observeQuery(r, writeError(w, err), "", name, "", nil, start)
+		s.observeQuery(r, writeError(w, err), "", "", name, "", nil, start)
 		return
 	}
+	backend := string(g.Backend())
 	qv := queryView{g: g, pool: pool, heap: func() (*graph.Graph, error) {
 		hg, hid, err := s.store.GetHeap(name)
 		if err == nil && hid != id {
@@ -368,7 +369,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	}
 	canon, err := canonicalJSON(params)
 	if err != nil {
-		s.observeQuery(r, writeError(w, storeErrf(ErrBadInput, "%v", err)), "", name, "", nil, start)
+		s.observeQuery(r, writeError(w, storeErrf(ErrBadInput, "%v", err)), "", backend, name, "", nil, start)
 		return
 	}
 	// ?debug=work responses carry the extra work block, so they are
@@ -382,7 +383,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		w.Header().Set("X-Graphd-Cache", "hit")
 		writeJSONBytes(w, http.StatusOK, cached)
 		st, _ := meta.(*api.WorkStats)
-		s.observeQuery(r, http.StatusOK, "hit", name, canon, st, start)
+		s.observeQuery(r, http.StatusOK, "hit", backend, name, canon, st, start)
 		return
 	}
 	// The flight's computation runs under its own context — bounded by
@@ -436,11 +437,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	}()
 	select {
 	case <-r.Context().Done():
-		s.observeQuery(r, writeError(w, r.Context().Err()), "", name, canon, nil, start)
+		s.observeQuery(r, writeError(w, r.Context().Err()), "", backend, name, canon, nil, start)
 		return
 	case out := <-ch:
 		if out.err != nil {
-			s.observeQuery(r, writeError(w, out.err), "", name, canon, nil, start)
+			s.observeQuery(r, writeError(w, out.err), "", backend, name, canon, nil, start)
 			return
 		}
 		outcome := "miss"
@@ -449,7 +450,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		}
 		w.Header().Set("X-Graphd-Cache", outcome)
 		writeJSONBytes(w, http.StatusOK, out.body)
-		s.observeQuery(r, http.StatusOK, outcome, name, canon, out.work, start)
+		s.observeQuery(r, http.StatusOK, outcome, backend, name, canon, out.work, start)
 	}
 }
 

@@ -385,7 +385,11 @@ func (m *JobManager) runJob(job *Job) {
 	}
 	job.status = api.JobRunning
 	job.started = time.Now()
+	wait := job.started.Sub(job.submitted)
 	job.mu.Unlock()
+	if m.metrics != nil {
+		m.metrics.ObserveJobWait(job.jobType, wait)
+	}
 	m.queued.Add(-1)
 	m.running.Add(1)
 	defer m.running.Add(-1)

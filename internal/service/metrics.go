@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/gstore"
 	"repro/internal/persist"
 	"repro/pkg/api"
 )
@@ -23,6 +24,13 @@ var latencyBuckets = []float64{
 // cover everything a strongly-local query can legally do.
 var workBuckets = []float64{
 	1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+}
+
+// persistBuckets are the decade upper bounds for the durability
+// histograms, spanning a page-cache hit (~µs) to a stalled fsync on
+// contended storage (~10s).
+var persistBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10,
 }
 
 type histogram struct {
@@ -54,8 +62,9 @@ type requestKey struct {
 // workKey is the composite label set of the graphd_query_* work
 // histograms.
 type workKey struct {
-	method string // diffusion method: push, nibble, heat, dense-*
-	cache  string // cache outcome: hit, shared, miss
+	method  string // diffusion method: push, nibble, heat, dense-*
+	cache   string // cache outcome: hit, shared, miss
+	backend string // storage backend the graph was served from
 }
 
 // workHists holds the three per-label work histograms together so one
@@ -75,18 +84,43 @@ type Metrics struct {
 	requests  map[requestKey]uint64
 	latencies map[string]*histogram // by pattern
 	jobTimes  map[string]*histogram // by job type
+	jobWaits  map[string]*histogram // queue wait by job type
 	queryWork map[workKey]*workHists
-	started   time.Time
+	// Durability telemetry, array-indexed by persist.Op so ObservePersist
+	// stays allocation-free (locked by TestObservePersistZeroAllocs).
+	persistHists [persist.NumOps]*histogram
+	persistBytes [persist.NumOps]uint64
+	started      time.Time
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		requests:  make(map[requestKey]uint64),
 		latencies: make(map[string]*histogram),
 		jobTimes:  make(map[string]*histogram),
+		jobWaits:  make(map[string]*histogram),
 		queryWork: make(map[workKey]*workHists),
 		started:   time.Now(),
+	}
+	for op := persist.Op(0); op < persist.NumOps; op++ {
+		m.persistHists[op] = newHistogram(persistBuckets)
+	}
+	return m
+}
+
+// ObservePersist implements persist.Observer: one durability operation
+// (WAL fsync, snapshot write/load, recovery replay) lands in its
+// latency histogram and bytes counter.
+func (m *Metrics) ObservePersist(op persist.Op, d time.Duration, bytes int64) {
+	if op < 0 || op >= persist.NumOps {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.persistHists[op].observe(d.Seconds())
+	if bytes > 0 {
+		m.persistBytes[op] += uint64(bytes)
 	}
 }
 
@@ -115,17 +149,30 @@ func (m *Metrics) ObserveJob(jobType string, dur time.Duration) {
 	h.observe(dur.Seconds())
 }
 
+// ObserveJobWait records how long one job sat in the queue between
+// submission and a worker picking it up.
+func (m *Metrics) ObserveJobWait(jobType string, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.jobWaits[jobType]
+	if !ok {
+		h = newHistogram(latencyBuckets)
+		m.jobWaits[jobType] = h
+	}
+	h.observe(dur.Seconds())
+}
+
 // ObserveQueryWork records one query's diffusion work accounting under
 // its method and cache outcome. Cache hits re-observe the stats stored
 // with the cached entry, so the histograms reflect the work each reply
 // represents, not just the work freshly performed.
-func (m *Metrics) ObserveQueryWork(method, cache string, st *api.WorkStats) {
+func (m *Metrics) ObserveQueryWork(method, cache, backend string, st *api.WorkStats) {
 	if st == nil {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := workKey{method, cache}
+	k := workKey{method, cache, backend}
 	wh, ok := m.queryWork[k]
 	if !ok {
 		wh = &workHists{
@@ -161,7 +208,19 @@ func (m *Metrics) WriteTo(w io.Writer, cache *LRUCache, jobs *JobManager, pc *pe
 	}
 	writeHistograms(w, "graphd_request_seconds", "route", m.latencies)
 	writeHistograms(w, "graphd_job_seconds", "type", m.jobTimes)
+	writeHistograms(w, "graphd_job_queue_wait_seconds", "type", m.jobWaits)
 	writeWorkHistograms(w, m.queryWork)
+	for op := persist.Op(0); op < persist.NumOps; op++ {
+		h := m.persistHists[op]
+		if h.total == 0 {
+			continue
+		}
+		name := "graphd_persist_" + op.String() + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		writeUnlabeledHistogram(w, name, h)
+		fmt.Fprintf(w, "# TYPE graphd_persist_%s_bytes_total counter\n", op)
+		fmt.Fprintf(w, "graphd_persist_%s_bytes_total %d\n", op, m.persistBytes[op])
+	}
 	uptime := time.Since(m.started).Seconds()
 	m.mu.Unlock()
 
@@ -193,6 +252,19 @@ func (m *Metrics) WriteTo(w io.Writer, cache *LRUCache, jobs *JobManager, pc *pe
 			fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 		}
 	}
+	gs := gstore.Telemetry()
+	fmt.Fprintln(w, "# TYPE graphd_gstore_mapped_bytes gauge")
+	fmt.Fprintf(w, "graphd_gstore_mapped_bytes %d\n", gs.MappedBytes())
+	fmt.Fprintln(w, "# TYPE graphd_gstore_mapped_graphs gauge")
+	fmt.Fprintf(w, "graphd_gstore_mapped_graphs %d\n", gs.MappedGraphs())
+	fmt.Fprintln(w, "# TYPE graphd_gstore_finalizer_unmaps_total counter")
+	fmt.Fprintf(w, "graphd_gstore_finalizer_unmaps_total %d\n", gs.FinalizerUnmaps())
+	fmt.Fprintln(w, "# TYPE graphd_gstore_heap_materializations_total counter")
+	fmt.Fprintf(w, "graphd_gstore_heap_materializations_total %d\n", gs.HeapMaterializations())
+	fmt.Fprintln(w, "# TYPE graphd_gstore_open_verifies_total counter")
+	fmt.Fprintf(w, "graphd_gstore_open_verifies_total %d\n", gs.OpenVerifies())
+	fmt.Fprintln(w, "# TYPE graphd_gstore_open_verify_seconds_total counter")
+	fmt.Fprintf(w, "graphd_gstore_open_verify_seconds_total %g\n", gs.OpenVerifySeconds())
 	if jobs != nil {
 		queued, running, done := jobs.Depths()
 		fmt.Fprintln(w, "# TYPE graphd_jobs_queued gauge")
@@ -235,7 +307,10 @@ func writeWorkHistograms(w io.Writer, work map[workKey]*workHists) {
 		if keys[i].method != keys[j].method {
 			return keys[i].method < keys[j].method
 		}
-		return keys[i].cache < keys[j].cache
+		if keys[i].cache != keys[j].cache {
+			return keys[i].cache < keys[j].cache
+		}
+		return keys[i].backend < keys[j].backend
 	})
 	series := []struct {
 		name string
@@ -248,7 +323,7 @@ func writeWorkHistograms(w io.Writer, work map[workKey]*workHists) {
 	for _, s := range series {
 		fmt.Fprintf(w, "# TYPE %s histogram\n", s.name)
 		for _, k := range keys {
-			labels := fmt.Sprintf("method=%q,cache=%q", k.method, k.cache)
+			labels := fmt.Sprintf("method=%q,cache=%q,backend=%q", k.method, k.cache, k.backend)
 			writeHistogram(w, s.name, labels, s.pick(work[k]))
 		}
 	}
@@ -265,4 +340,17 @@ func writeHistogram(w io.Writer, name, labels string, h *histogram) {
 	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.total)
 	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
 	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total)
+}
+
+// writeUnlabeledHistogram renders one histogram series whose only
+// label is the bucket bound itself.
+func writeUnlabeledHistogram(w io.Writer, name string, h *histogram) {
+	var cum uint64
+	for i, le := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/gstore"
+	"repro/internal/persist"
 )
 
 // Config sizes the server's bounded resources. The zero value is a
@@ -106,13 +107,22 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The metrics registry exists before the store so boot-time recovery
+	// (WAL replay, snapshot loads) already reports into the durability
+	// histograms. With DisableTelemetry the store gets a nil observer
+	// and the persistence path performs no clock reads at all.
+	metrics := NewMetrics()
+	var obs persist.Observer
+	if !c.DisableTelemetry {
+		obs = metrics
+	}
 	var store *GraphStore
 	if c.DataDir != "" {
 		logf := log.Printf
 		if c.OpLog != nil {
 			logf = c.OpLog.Printf
 		}
-		store, err = NewPersistentGraphStore(c.DataDir, backend, logf)
+		store, err = NewPersistentGraphStoreObserved(c.DataDir, backend, logf, obs)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +136,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:       c,
 		store:     store,
 		cache:     NewLRUCache(c.CacheEntries),
-		metrics:   NewMetrics(),
+		metrics:   metrics,
 		accessLog: c.AccessLog,
 		started:   time.Now(),
 		ridPrefix: newRIDPrefix(),

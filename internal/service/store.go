@@ -130,6 +130,14 @@ func (s *GraphStore) DefaultBackend() gstore.Kind { return s.backend }
 // quarantined with a log line instead of failing boot. logf receives
 // one line per recovery event (nil discards them).
 func NewPersistentGraphStore(dataDir string, backend gstore.Kind, logf func(format string, args ...any)) (*GraphStore, error) {
+	return NewPersistentGraphStoreObserved(dataDir, backend, logf, nil)
+}
+
+// NewPersistentGraphStoreObserved is NewPersistentGraphStore with a
+// durability-telemetry sink attached before recovery runs, so boot-time
+// WAL replays and snapshot loads are observed too. A nil observer
+// keeps every persistence operation free of clock reads.
+func NewPersistentGraphStoreObserved(dataDir string, backend gstore.Kind, logf func(format string, args ...any), obs persist.Observer) (*GraphStore, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -139,6 +147,9 @@ func NewPersistentGraphStore(dataDir string, backend gstore.Kind, logf func(form
 	dir, err := persist.OpenDir(dataDir)
 	if err != nil {
 		return nil, err
+	}
+	if obs != nil {
+		dir.SetObserver(obs)
 	}
 	s := &GraphStore{graphs: make(map[string]*entry), dir: dir, backend: backend, logf: logf}
 	if err := s.recover(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/persist"
 	"repro/pkg/api"
 )
 
@@ -28,7 +29,7 @@ func BenchmarkObserveQueryWork(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.ObserveQueryWork("push", "miss", st)
+		m.ObserveQueryWork("push", "miss", "heap", st)
 	}
 }
 
@@ -39,15 +40,41 @@ func TestObserveRequestZeroAllocs(t *testing.T) {
 	m := NewMetrics()
 	m.ObserveRequest("POST /v1/graphs/{name}/ppr", 200, time.Millisecond) // warm the maps
 	st := &api.WorkStats{Method: "push", Pushes: 412, WorkVolume: 8311, MaxSupport: 127}
-	m.ObserveQueryWork("push", "miss", st)
+	m.ObserveQueryWork("push", "miss", "heap", st)
 	if n := testing.AllocsPerRun(100, func() {
 		m.ObserveRequest("POST /v1/graphs/{name}/ppr", 200, time.Millisecond)
 	}); n != 0 {
 		t.Errorf("ObserveRequest allocates %v per call on the steady path, want 0", n)
 	}
 	if n := testing.AllocsPerRun(100, func() {
-		m.ObserveQueryWork("push", "miss", st)
+		m.ObserveQueryWork("push", "miss", "heap", st)
 	}); n != 0 {
 		t.Errorf("ObserveQueryWork allocates %v per call on the steady path, want 0", n)
+	}
+}
+
+// TestObservePersistZeroAllocs locks the durability-telemetry sink to
+// the same contract as the request path: the histograms are a fixed
+// array indexed by persist.Op, so one observation is a lock and two
+// in-place updates — no map lookups, no allocations.
+func TestObservePersistZeroAllocs(t *testing.T) {
+	m := NewMetrics()
+	for op := persist.Op(0); op < persist.NumOps; op++ {
+		if n := testing.AllocsPerRun(100, func() {
+			m.ObservePersist(op, 250*time.Microsecond, 4096)
+		}); n != 0 {
+			t.Errorf("ObservePersist(%s) allocates %v per call, want 0", op, n)
+		}
+	}
+}
+
+// BenchmarkObservePersist measures the per-fsync telemetry cost the
+// WAL append path pays when an observer is attached.
+func BenchmarkObservePersist(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ObservePersist(persist.OpWALFsync, 250*time.Microsecond, 4096)
 	}
 }

@@ -66,12 +66,12 @@ func digestParams(canon string) string {
 // strictly after the response has been written, so neither the ring's
 // mutex nor the metrics lock sits between the computation and the
 // client.
-func (s *Server) observeQuery(r *http.Request, status int, cacheOutcome, graphName, params string, st *api.WorkStats, start time.Time) {
+func (s *Server) observeQuery(r *http.Request, status int, cacheOutcome, backend, graphName, params string, st *api.WorkStats, start time.Time) {
 	if s.cfg.DisableTelemetry {
 		return
 	}
 	if st != nil && cacheOutcome != "" {
-		s.metrics.ObserveQueryWork(st.Method, cacheOutcome, st)
+		s.metrics.ObserveQueryWork(st.Method, cacheOutcome, backend, st)
 	}
 	if s.trace == nil {
 		return
