@@ -65,7 +65,10 @@ graphd:
 # sizes, from bench_mmap_test.go) is filtered into BENCH_mmap.json.
 # The steady-state serving SLO (graphload's open-loop mix against an
 # in-process daemon: qps, error rate, p50/p99/p99.9 latency) lands in
-# BENCH_load.json; compare two runs with cmd/benchdiff. Use
+# BENCH_load.json, and a second batch-heavy run (mix ppr=0.5,batch=0.5
+# exercising the ppr:batch endpoint) in BENCH_load_batch.json — a
+# separate file because benchdiff reads one JSON report per file.
+# Compare two runs with cmd/benchdiff. Use
 # BENCHTIME=5s and LOADDURATION=30s for statistically meaningful local
 # runs.
 BENCHTIME ?= 1x
@@ -78,7 +81,7 @@ bench:
 	  echo "wrote BENCH_ncp.json ($$(wc -c < BENCH_ncp.json) bytes)"
 	@grep '"Test":"BenchmarkPersist' BENCH_ncp.json > BENCH_persist.json && \
 	  echo "wrote BENCH_persist.json ($$(wc -c < BENCH_persist.json) bytes)"
-	@grep -E '"Test":"Benchmark(Push(Map|Indexed)|Nibble|HeatKernel|GraphdPPRSteadyState)' BENCH_ncp.json > BENCH_kernel.json && \
+	@grep -E '"Test":"Benchmark(Push(Map|Indexed|Batch)|Nibble|HeatKernel|GraphdPPRSteadyState)' BENCH_ncp.json > BENCH_kernel.json && \
 	  echo "wrote BENCH_kernel.json ($$(wc -c < BENCH_kernel.json) bytes)"
 	@grep -E '"Test":"BenchmarkGraphdPPR' BENCH_ncp.json > BENCH_observe.json
 	$(GO) test -run '^$$' -bench 'BenchmarkObserve' -benchtime $(BENCHTIME) -benchmem -json ./internal/service >> BENCH_observe.json
@@ -87,6 +90,8 @@ bench:
 	  echo "wrote BENCH_mmap.json ($$(wc -c < BENCH_mmap.json) bytes)"
 	$(GO) run ./cmd/graphload -self -rate $(LOADRATE) -warmup $(LOADWARMUP) \
 	  -duration $(LOADDURATION) -seed 1 -out BENCH_load.json
+	$(GO) run ./cmd/graphload -self -rate $(LOADRATE) -warmup $(LOADWARMUP) \
+	  -duration $(LOADDURATION) -seed 1 -mix 'ppr=0.5,batch=0.5' -out BENCH_load_batch.json
 
 # benchdiff gates the deterministic slices of two bench runs against
 # each other; OLD/NEW default to the committed baselines vs a fresh run.

@@ -30,6 +30,7 @@ var commands = map[string]command{
 	"stats":        cmdStats,
 	"delete":       cmdDelete,
 	"ppr":          cmdPPR,
+	"ppr-batch":    cmdPPRBatch,
 	"localcluster": cmdLocalCluster,
 	"diffuse":      cmdDiffuse,
 	"sweepcut":     cmdSweepCut,
@@ -420,6 +421,42 @@ func cmdPPR(ctx context.Context, c *client.Client, args []string) error {
 		if res.Sweep != nil {
 			fmt.Printf("sweep: %d nodes at phi=%.4f (prefix %d)\n",
 				res.Sweep.Size, res.Sweep.Conductance, res.Sweep.Prefix)
+		}
+		printWork(res.Work)
+	})
+}
+
+func cmdPPRBatch(ctx context.Context, c *client.Client, args []string) error {
+	fs := flags("ppr-batch")
+	var req api.PPRBatchRequest
+	var seeds seedsFlag
+	fs.Var(&seeds, "seeds", "comma-separated seed node ids, one diffusion each")
+	fs.Float64Var(&req.Alpha, "alpha", 0, "teleportation (default 0.15)")
+	fs.Float64Var(&req.Eps, "eps", 0, "push tolerance (default 1e-4)")
+	fs.IntVar(&req.TopK, "topk", 0, "entries to return per seed (default 100)")
+	fs.BoolVar(&req.Sweep, "sweep", false, "also sweep each vector for its best cut")
+	work := fs.Bool("work", false, "request the kernel work accounting (?debug=work)")
+	g, rest, err := name(fs, args, "ppr-batch <name> -seeds 0,1[,..] [flags]")
+	if err != nil {
+		return err
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	req.Seeds = seeds
+	res, err := c.Graphs.PPRBatch(ctx, g, req, queryOpts(*work)...)
+	if err != nil {
+		return err
+	}
+	return emit(res, func() {
+		fmt.Printf("ppr-batch on %s: %d seeds, total work=%.0f\n", g, len(res.Results), res.TotalWork)
+		for _, r := range res.Results {
+			fmt.Printf("  seed %d: support=%d sum=%.4f pushes=%d work=%.0f\n",
+				r.Seed, r.Support, r.Sum, r.Pushes, r.WorkVolume)
+			if r.Sweep != nil {
+				fmt.Printf("    sweep: %d nodes at phi=%.4f (prefix %d)\n",
+					r.Sweep.Size, r.Sweep.Conductance, r.Sweep.Prefix)
+			}
 		}
 		printWork(res.Work)
 	})

@@ -143,6 +143,7 @@ graphs:
 
 queries:
   ppr <name> [flags]             personalized PageRank (ACL push)
+  ppr-batch <name> [flags]       K independent single-seed pushes in one batch
   localcluster <name> [flags]    ppr | nibble | heat local clustering
   diffuse <name> [flags]         heat | ppr | lazy dense diffusion
   sweepcut <name> <file|->       sweep a "node mass" vector

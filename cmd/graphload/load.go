@@ -38,9 +38,9 @@ func parseMix(spec string) (*opMix, error) {
 			return nil, fmt.Errorf("mix entry %q: want op=weight", part)
 		}
 		switch op {
-		case "ppr", "localcluster", "diffuse":
+		case "ppr", "localcluster", "diffuse", "batch":
 		default:
-			return nil, fmt.Errorf("mix entry %q: unknown op (want ppr, localcluster or diffuse)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown op (want ppr, localcluster, diffuse or batch)", part)
 		}
 		w, err := strconv.ParseFloat(ws, 64)
 		if err != nil || w < 0 {
@@ -138,7 +138,7 @@ func run(c *client.Client, cfg loadConfig, mix *opMix, rate float64, warmup, dur
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			err := issue(c, cfg.Graph, op, seedNode)
+			err := issue(c, cfg.Graph, op, seedNode, nodes)
 			d := time.Since(t0)
 			if t0.Before(measureFrom) {
 				return // warmup completion; discard either way
@@ -158,10 +158,18 @@ func run(c *client.Client, cfg loadConfig, mix *opMix, rate float64, warmup, dur
 	return buildReport(cfg, rec, elapsed)
 }
 
+// batchOpSeeds and batchOpStride shape the "batch" op: each request
+// carries batchOpSeeds seeds, spread batchOpStride apart so they land
+// in distinct neighborhoods rather than one cache line of node ids.
+const (
+	batchOpSeeds  = 8
+	batchOpStride = 101
+)
+
 // issue sends one query. Request parameters lean on server-side
 // Normalize defaults (alpha 0.15, eps 1e-4) so the load is the paper's
 // canonical strongly-local regime.
-func issue(c *client.Client, graph, op string, seedNode int) error {
+func issue(c *client.Client, graph, op string, seedNode, nodes int) error {
 	ctx := context.Background()
 	var err error
 	switch op {
@@ -171,6 +179,15 @@ func issue(c *client.Client, graph, op string, seedNode int) error {
 		_, err = c.Graphs.LocalCluster(ctx, graph, api.LocalClusterRequest{Method: "ppr", Seeds: []int{seedNode}})
 	case "diffuse":
 		_, err = c.Graphs.Diffuse(ctx, graph, api.DiffuseRequest{Kind: "heat", Seeds: []int{seedNode}, T: 3})
+	case "batch":
+		// Eight distinct seeds fanned out from the drawn one — the
+		// batched twin of eight single-seed ppr arrivals, exercising the
+		// kernel batch engine under load.
+		seeds := make([]int, batchOpSeeds)
+		for i := range seeds {
+			seeds[i] = (seedNode + i*batchOpStride) % nodes
+		}
+		_, err = c.Graphs.PPRBatch(ctx, graph, api.PPRBatchRequest{Seeds: seeds})
 	default:
 		err = fmt.Errorf("unknown op %q", op)
 	}

@@ -1,6 +1,6 @@
 // Command graphload is graphd's steady-state load generator: it drives
 // an open-loop arrival process of strongly-local queries (a configurable
-// ppr/localcluster/diffuse mix) against a live daemon through the
+// ppr/localcluster/diffuse/batch mix) against a live daemon through the
 // pkg/client SDK, and reports the latency distribution (p50/p90/p99/
 // p99.9), achieved qps and error rate as both a human summary and a
 // BENCH_load.json artifact that cmd/benchdiff consumes as a regression
@@ -47,7 +47,7 @@ func main() {
 		graphName   = flag.String("graph", "loadtest", "target graph name; generated if absent")
 		genK        = flag.Int("gen-k", 32, "cliques in the generated ring-of-cliques graph")
 		genSize     = flag.Int("gen-size", 16, "clique size in the generated graph")
-		mixSpec     = flag.String("mix", "ppr=0.8,localcluster=0.15,diffuse=0.05", "query mix as op=weight pairs")
+		mixSpec     = flag.String("mix", "ppr=0.8,localcluster=0.15,diffuse=0.05", "query mix as op=weight pairs (ops: ppr, localcluster, diffuse, batch)")
 		rate        = flag.Float64("rate", 200, "open-loop arrival rate in requests/second")
 		duration    = flag.Duration("duration", 10*time.Second, "measured steady-state duration")
 		warmup      = flag.Duration("warmup", 2*time.Second, "warmup duration excluded from the report")

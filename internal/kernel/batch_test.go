@@ -1,0 +1,308 @@
+package kernel_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/gstore"
+	"repro/internal/kernel"
+	"repro/internal/persist"
+)
+
+// The batch engine's whole value proposition rests on one promise:
+// running K seeds through BatchDiffuser produces, per seed, the exact
+// bytes the sequential single-seed Diffuse produces — on every
+// backend, at every batch size, duplicates included. These tests lock
+// that promise with Float64bits fingerprints, no tolerances.
+
+func batchTestGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g, err := gen.ErdosRenyi(300, 0.03, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// batchBackends serves g from heap, compact and mmap, skipping mmap on
+// platforms that cannot map snapshots.
+func batchBackends(t testing.TB, g *graph.Graph) map[string]gstore.Graph {
+	t.Helper()
+	c, err := gstore.NewCompact(g)
+	if err != nil {
+		t.Fatalf("NewCompact: %v", err)
+	}
+	out := map[string]gstore.Graph{
+		"heap":    gstore.Wrap(g),
+		"compact": c,
+	}
+	path := filepath.Join(t.TempDir(), "g"+persist.SnapshotExt)
+	if err := persist.WriteSnapshotFile(path, g); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	m, err := persist.OpenMapped(path)
+	if errors.Is(err, persist.ErrNotMappable) {
+		t.Logf("platform cannot mmap snapshots: %v", err)
+		return out
+	}
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	out["mmap"] = m
+	return out
+}
+
+// wsFingerprint folds a workspace's output planes and stats into a
+// printable byte-exact fingerprint.
+func wsFingerprint(ws *kernel.Workspace, st kernel.Stats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pushes=%d work=%016x steps=%d terms=%d maxsupport=%d\n",
+		st.Pushes, math.Float64bits(st.WorkVolume), st.Steps, st.Terms, st.MaxSupport)
+	sb.WriteString("P")
+	ws.ForEachP(func(u int, v float64) {
+		fmt.Fprintf(&sb, " %d:%016x", u, math.Float64bits(v))
+	})
+	sb.WriteString("\nR")
+	ws.ForEachR(func(u int, v float64) {
+		fmt.Fprintf(&sb, " %d:%016x", u, math.Float64bits(v))
+	})
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// batchSeeds returns K seeds spread over the graph, with duplicates:
+// index 3 repeats index 0 and every 11th seed repeats, so the suite
+// always exercises identical seeds in one batch and across blocks.
+func batchSeeds(n, k int) []int {
+	seeds := make([]int, k)
+	for i := range seeds {
+		seeds[i] = (i * 37) % n
+	}
+	if k > 3 {
+		seeds[3] = seeds[0]
+	}
+	for i := 11; i < k; i += 11 {
+		seeds[i] = seeds[i-11]
+	}
+	return seeds
+}
+
+func batchMethods() map[string]kernel.Diffuser {
+	return map[string]kernel.Diffuser{
+		"push":   kernel.PushACL{Alpha: 0.13, Eps: 3e-5},
+		"nibble": kernel.NibbleWalk{Eps: 1e-4, Steps: 18},
+		"heat":   kernel.HeatKernel{T: 4.5, Eps: 1e-4},
+	}
+}
+
+// TestBatchMatchesSequential: for each backend, method, and batch size
+// K ∈ {1, 7, 64}, every seed's batch output is byte-identical to the
+// sequential single-seed path, for several block sizes and worker
+// counts (the schedule must never leak into the floats).
+func TestBatchMatchesSequential(t *testing.T) {
+	hg := batchTestGraph(t)
+	backends := batchBackends(t, hg)
+	for backendName, g := range backends {
+		for methodName, method := range batchMethods() {
+			for _, k := range []int{1, 7, 64} {
+				name := fmt.Sprintf("%s/%s/K%d", backendName, methodName, k)
+				t.Run(name, func(t *testing.T) {
+					seeds := batchSeeds(g.N(), k)
+					pool := kernel.NewPool(g.N())
+
+					// Sequential oracle, one Diffuse per seed.
+					want := make([]string, len(seeds))
+					for i, s := range seeds {
+						ws := pool.Get()
+						st, err := method.Diffuse(g, ws, []int{s})
+						if err != nil {
+							t.Fatalf("sequential Diffuse(seed %d): %v", s, err)
+						}
+						want[i] = wsFingerprint(ws, st)
+						pool.Put(ws)
+					}
+
+					for _, block := range []int{1, 3, 8} {
+						for _, workers := range []int{1, 4} {
+							got := make([]string, len(seeds))
+							bd := kernel.BatchDiffuser{Method: method, Block: block, Workers: workers}
+							sts, err := bd.Run(context.Background(), g, pool, seeds,
+								func(i int, ws *kernel.Workspace, st kernel.Stats) error {
+									got[i] = wsFingerprint(ws, st)
+									return nil
+								})
+							if err != nil {
+								t.Fatalf("batch Run(block=%d workers=%d): %v", block, workers, err)
+							}
+							if len(sts) != len(seeds) {
+								t.Fatalf("batch returned %d stats for %d seeds", len(sts), len(seeds))
+							}
+							for i := range seeds {
+								if got[i] != want[i] {
+									t.Fatalf("seed[%d]=%d diverges (block=%d workers=%d):\nbatch: %.200s\nseq:   %.200s",
+										i, seeds[i], block, workers, got[i], want[i])
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBatchOnStepMatchesSequential: the batch per-seed OnStep hook sees
+// the same (step, frontier) sequence as NibbleWalk.OnStep does
+// sequentially.
+func TestBatchOnStepMatchesSequential(t *testing.T) {
+	hg := batchTestGraph(t)
+	g := gstore.Wrap(hg)
+	pool := kernel.NewPool(g.N())
+	seeds := batchSeeds(g.N(), 7)
+	const eps, steps = 1e-4, 18
+
+	trace := func(ws *kernel.Workspace, step int) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "step=%d", step)
+		ws.ForEachR(func(u int, v float64) {
+			fmt.Fprintf(&sb, " %d:%016x", u, math.Float64bits(v))
+		})
+		return sb.String()
+	}
+
+	want := make([][]string, len(seeds))
+	for i, s := range seeds {
+		i := i
+		ws := pool.Get()
+		d := kernel.NibbleWalk{Eps: eps, Steps: steps, OnStep: func(step int, ws *kernel.Workspace) error {
+			want[i] = append(want[i], trace(ws, step))
+			return nil
+		}}
+		if _, err := d.Diffuse(g, ws, []int{s}); err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(ws)
+	}
+
+	got := make([][]string, len(seeds))
+	bd := kernel.BatchDiffuser{
+		Method: kernel.NibbleWalk{Eps: eps, Steps: steps},
+		Block:  3,
+		OnStep: func(i, step int, ws *kernel.Workspace) error {
+			got[i] = append(got[i], trace(ws, step))
+			return nil
+		},
+	}
+	if _, err := bd.Run(context.Background(), g, pool, seeds, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("seed[%d]: %d batch steps vs %d sequential", i, len(got[i]), len(want[i]))
+		}
+		for s := range got[i] {
+			if got[i][s] != want[i][s] {
+				t.Fatalf("seed[%d] step %d diverges:\nbatch: %.200s\nseq:   %.200s", i, s+1, got[i][s], want[i][s])
+			}
+		}
+	}
+}
+
+// TestBatchCancellation: cancelling mid-batch stops the run promptly
+// with ctx.Err() and never emits a seed after the cancellation point.
+func TestBatchCancellation(t *testing.T) {
+	hg := batchTestGraph(t)
+	g := gstore.Wrap(hg)
+	pool := kernel.NewPool(g.N())
+	seeds := batchSeeds(g.N(), 64)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	_, err := kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: 0.13, Eps: 3e-5}, Block: 4, Workers: 1}.
+		Run(ctx, g, pool, seeds, func(i int, ws *kernel.Workspace, st kernel.Stats) error {
+			emitted++
+			if emitted == 5 {
+				cancel() // mid-batch: blocks remain undispatched
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after mid-batch cancel = %v, want context.Canceled", err)
+	}
+	if emitted >= len(seeds) {
+		t.Fatalf("all %d seeds emitted despite cancellation", len(seeds))
+	}
+
+	// A context cancelled before Run starts no work at all.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	_, err = kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: 0.13, Eps: 3e-5}}.
+		Run(pre, g, pool, seeds, func(i int, ws *kernel.Workspace, st kernel.Stats) error {
+			t.Fatal("emit called under a pre-cancelled context")
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under pre-cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	// Walk methods check between steps too.
+	stepCtx, stepCancel := context.WithCancel(context.Background())
+	defer stepCancel()
+	steps := 0
+	_, err = kernel.BatchDiffuser{
+		Method: kernel.NibbleWalk{Eps: 1e-6, Steps: 500},
+		OnStep: func(i, step int, ws *kernel.Workspace) error {
+			if steps++; steps == 3 {
+				stepCancel()
+			}
+			return nil
+		},
+	}.Run(stepCtx, g, pool, seeds[:4], nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after mid-walk cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchValidation pins the error surface: parameter and seed
+// validation match the sequential diffusers'.
+func TestBatchValidation(t *testing.T) {
+	hg := batchTestGraph(t)
+	g := gstore.Wrap(hg)
+	pool := kernel.NewPool(g.N())
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		bd   kernel.BatchDiffuser
+		pool *kernel.Pool
+		seed []int
+		want string
+	}{
+		{"no method", kernel.BatchDiffuser{}, pool, []int{1}, "needs a Method"},
+		{"no seeds", kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: 0.1, Eps: 1e-4}}, pool, nil, "nonempty seed list"},
+		{"no pool", kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: 0.1, Eps: 1e-4}}, nil, []int{1}, "needs a workspace pool"},
+		{"wrong pool", kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: 0.1, Eps: 1e-4}}, kernel.NewPool(7), []int{1}, "pool sized for"},
+		{"bad alpha", kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: 2, Eps: 1e-4}}, pool, []int{1}, "outside (0,1)"},
+		{"bad eps", kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: 0.1, Eps: 0}}, pool, []int{1}, "must be positive"},
+		{"seed range", kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: 0.1, Eps: 1e-4}}, pool, []int{hg.N()}, "out of range"},
+		{"nibble hook", kernel.BatchDiffuser{Method: kernel.NibbleWalk{Eps: 1e-4, Steps: 3, OnStep: func(int, *kernel.Workspace) error { return nil }}}, pool, []int{1}, "BatchDiffuser.OnStep"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.bd.Run(ctx, g, tc.pool, tc.seed, nil)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Run = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

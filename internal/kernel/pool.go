@@ -39,6 +39,25 @@ func (p *Pool) Put(ws *Workspace) {
 	p.pool.Put(ws)
 }
 
+// GetBlock returns k reset workspaces, the unit the batch engine
+// processes one cache block with. Pair with a deferred PutBlock — the
+// wspool analyzer checks GetBlock/PutBlock exactly like Get/Put.
+func (p *Pool) GetBlock(k int) []*Workspace {
+	wss := make([]*Workspace, k)
+	for i := range wss {
+		wss[i] = p.Get()
+	}
+	return wss
+}
+
+// PutBlock returns a block of workspaces to the pool. Nil entries are
+// skipped so a partially filled block releases cleanly.
+func (p *Pool) PutBlock(wss []*Workspace) {
+	for _, ws := range wss {
+		p.Put(ws)
+	}
+}
+
 // pools is the package-level registry of pools keyed by graph size,
 // serving callers (like local's map-compatible wrappers) that have no
 // natural place to hang a per-graph pool.

@@ -1,6 +1,7 @@
 package local
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -69,6 +70,40 @@ func NibbleWorkspace(g gstore.Graph, ws *kernel.Workspace, seeds []int, eps floa
 		return st, nil, fmt.Errorf("local: %w", err)
 	}
 	return st, best, nil
+}
+
+// NibbleBatch runs one truncated walk per seed on the kernel batch
+// engine (one diffusion per entry of seeds, unlike NibbleWorkspace's
+// seed *set*), sweeping each seed's distribution after every step and
+// keeping its best cut — the per-seed outputs are byte-identical to K
+// separate NibbleWorkspace calls. Workspaces come from pool; stats and
+// best cuts are returned in seed order (best[i] nil if no valid cut
+// appeared for that seed).
+func NibbleBatch(ctx context.Context, g gstore.Graph, pool *kernel.Pool, seeds []int, eps float64, steps int) ([]kernel.Stats, []*partition.SweepResult, error) {
+	best := make([]*partition.SweepResult, len(seeds))
+	bestPhi := make([]float64, len(seeds))
+	for i := range bestPhi {
+		bestPhi[i] = math.Inf(1)
+	}
+	bd := kernel.BatchDiffuser{
+		Method: kernel.NibbleWalk{Eps: eps, Steps: steps},
+		OnStep: func(i, _ int, w *kernel.Workspace) error {
+			order := sweepOrderOf(g, w.ForEachR)
+			if len(order) == 0 {
+				return nil
+			}
+			if sw, err := partition.SweepCutOrdered(g, order, len(order)); err == nil && sw.Conductance < bestPhi[i] {
+				bestPhi[i] = sw.Conductance
+				best[i] = sw
+			}
+			return nil
+		},
+	}
+	sts, err := bd.Run(ctx, g, pool, seeds, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("local: %w", err)
+	}
+	return sts, best, nil
 }
 
 // HeatKernelResult reports a truncated heat-kernel computation.

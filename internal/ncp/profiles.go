@@ -103,39 +103,44 @@ func SpectralProfileOn(ctx context.Context, g gstore.Graph, cfg SpectralConfig, 
 		base = rng.Int63()
 	}
 	maxVol := c.MaxClusterFrac * g.Volume()
-	// One task per (α, seed) pair; each task appends only to its own
-	// slot, and the slots are concatenated in task order afterwards, so
-	// the assembled profile is the same for any worker count. The push
-	// runs on kernel workspaces shared through a per-profile pool, so a
-	// run with W workers keeps exactly W workspaces live instead of
-	// allocating one sparse map pair per (α, seed) task.
+	// One batch of seeds per α on the kernel batch engine: seeds that
+	// share an α (and hence an ε) diffuse in cache blocks against the
+	// same CSR row windows instead of one full traversal each. The seed
+	// for (α, seed-index) is drawn from par.TaskSeed exactly as the old
+	// one-task-per-pair loop drew it, each emit writes only its own
+	// slot, and slots are concatenated in task order afterwards, so the
+	// assembled profile is byte-identical for any worker count or block
+	// schedule. Workspaces are pooled by the engine: a run keeps at most
+	// Workers·Block workspaces live.
 	tasks := len(c.Alphas) * c.Seeds
 	perTask := make([][]Cluster, tasks)
 	pool := kernel.NewPool(g.N())
 	step := progressStepper(c.OnProgress, tasks)
-	err := par.ForEachCtx(ctx, c.Workers, tasks, func(t int) error {
-		defer step()
-		ai, si := t/c.Seeds, t%c.Seeds
-		alpha := c.Alphas[ai]
+	seeds := make([]int, c.Seeds)
+	for ai, alpha := range c.Alphas {
 		eps := pushEps(alpha, g.Volume(), c.EpsFactor)
-		trng := rand.New(rand.NewSource(par.TaskSeed(base, ai, si)))
-		seed := trng.Intn(g.N())
-		ws := pool.Get()
-		defer pool.Put(ws)
-		if _, err := (kernel.PushACL{Alpha: alpha, Eps: eps}).Diffuse(g, ws, []int{seed}); err != nil {
-			return fmt.Errorf("ncp: spectral profile push: %w", err)
+		for si := range seeds {
+			trng := rand.New(rand.NewSource(par.TaskSeed(base, ai, si)))
+			seeds[si] = trng.Intn(g.N())
 		}
-		if ws.PSupport() < 2 {
+		bd := kernel.BatchDiffuser{
+			Method:  kernel.PushACL{Alpha: alpha, Eps: eps},
+			Workers: c.Workers,
+		}
+		_, err := bd.Run(ctx, g, pool, seeds, func(si int, ws *kernel.Workspace, _ kernel.Stats) error {
+			defer step()
+			if ws.PSupport() < 2 {
+				return nil
+			}
+			order := local.WorkspaceSweepOrder(g, ws)
+			sub := &Profile{}
+			collectSweepClusters(g, order, maxVol, sub, "spectral")
+			perTask[ai*c.Seeds+si] = sub.Clusters
 			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ncp: spectral profile push: %w", err)
 		}
-		order := local.WorkspaceSweepOrder(g, ws)
-		sub := &Profile{}
-		collectSweepClusters(g, order, maxVol, sub, "spectral")
-		perTask[t] = sub.Clusters
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	prof := &Profile{Method: "spectral"}
 	for _, cs := range perTask {

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/api"
+)
+
+// TestPPRBatchMatchesSingleSeed locks the batch endpoint's core
+// contract: every per-seed result carries exactly the numbers the
+// single-seed endpoint returns for {"seeds":[s]} with the same
+// parameters — including bit-exact floats, which is how the kernel
+// batch engine's byte-identity surfaces on the wire.
+func TestPPRBatchMatchesSingleSeed(t *testing.T) {
+	_, _, c := testServer(t, Config{})
+	seeds := []int{0, 9, 17, 9, 40} // includes a duplicate
+	req := api.PPRBatchRequest{Seeds: seeds, Alpha: 0.12, Eps: 1e-5, TopK: 20, Sweep: true}
+	batch, err := c.Graphs.PPRBatch(ctx(), "ring", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(seeds) {
+		t.Fatalf("got %d results, want %d", len(batch.Results), len(seeds))
+	}
+	var totalWork float64
+	for i, seed := range seeds {
+		single, err := c.Graphs.PPR(ctx(), "ring", api.PPRRequest{
+			Seeds: []int{seed}, Alpha: req.Alpha, Eps: req.Eps, TopK: req.TopK, Sweep: req.Sweep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := batch.Results[i]
+		if r.Seed != seed {
+			t.Fatalf("result %d: seed %d, want %d", i, r.Seed, seed)
+		}
+		if r.Support != single.Support || r.Pushes != single.Pushes ||
+			math.Float64bits(r.Sum) != math.Float64bits(single.Sum) ||
+			math.Float64bits(r.WorkVolume) != math.Float64bits(single.WorkVolume) {
+			t.Fatalf("seed %d: batch %+v != single %+v", seed, r, single)
+		}
+		if !reflect.DeepEqual(r.Top, single.Top) {
+			t.Fatalf("seed %d: top lists differ:\nbatch  %v\nsingle %v", seed, r.Top, single.Top)
+		}
+		if !reflect.DeepEqual(r.Sweep, single.Sweep) {
+			t.Fatalf("seed %d: sweeps differ:\nbatch  %+v\nsingle %+v", seed, r.Sweep, single.Sweep)
+		}
+		totalWork += single.WorkVolume
+	}
+	if math.Float64bits(batch.TotalWork) != math.Float64bits(totalWork) {
+		t.Fatalf("TotalWork %v, want %v", batch.TotalWork, totalWork)
+	}
+}
+
+func TestLocalClusterBatchMatchesSingleSeed(t *testing.T) {
+	_, _, c := testServer(t, Config{})
+	seeds := []int{3, 21, 50}
+	for _, method := range []string{"ppr", "nibble", "heat"} {
+		batch, err := c.Graphs.LocalClusterBatch(ctx(), "ring", api.LocalClusterBatchRequest{
+			Method: method, Seeds: seeds,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if batch.Method != method || len(batch.Results) != len(seeds) {
+			t.Fatalf("%s: %+v", method, batch)
+		}
+		for i, seed := range seeds {
+			single, err := c.Graphs.LocalCluster(ctx(), "ring", api.LocalClusterRequest{
+				Method: method, Seeds: []int{seed},
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", method, seed, err)
+			}
+			r := batch.Results[i]
+			if r.Seed != seed || r.Size != single.Size || r.Support != single.Support ||
+				math.Float64bits(r.Conductance) != math.Float64bits(single.Conductance) ||
+				math.Float64bits(r.Volume) != math.Float64bits(single.Volume) ||
+				!reflect.DeepEqual(r.Set, single.Set) {
+				t.Fatalf("%s seed %d:\nbatch  %+v\nsingle %+v", method, seed, r, single)
+			}
+		}
+	}
+}
+
+func TestPPRBatchValidation(t *testing.T) {
+	_, ts, c := testServer(t, Config{})
+	// Too many seeds.
+	big := make([]int, api.MaxBatchSeeds+1)
+	_, err := c.Graphs.PPRBatch(ctx(), "ring", api.PPRBatchRequest{Seeds: big})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+	// Negative seed.
+	_, err = c.Graphs.PPRBatch(ctx(), "ring", api.PPRBatchRequest{Seeds: []int{0, -1}})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+	// Empty seed list.
+	_, err = c.Graphs.PPRBatch(ctx(), "ring", api.PPRBatchRequest{})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+	// Bad alpha.
+	_, err = c.Graphs.PPRBatch(ctx(), "ring", api.PPRBatchRequest{Seeds: []int{0}, Alpha: 1.5})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+	// Out-of-range seed surfaces as a 4xx through the wire.
+	status, _, _ := postWire(t, ts.URL+"/v1/graphs/ring/ppr:batch", api.PPRBatchRequest{Seeds: []int{1 << 20}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("out-of-range seed: status %d, want 400", status)
+	}
+	// Unknown method on the localcluster twin.
+	_, err = c.Graphs.LocalClusterBatch(ctx(), "ring", api.LocalClusterBatchRequest{Method: "push", Seeds: []int{0}})
+	wantAPIErr(t, err, api.CodeInvalidArgument)
+}
+
+// TestPPRCoalescing boots one daemon with coalescing on and one with it
+// off, fires a concurrent burst of single-seed ppr requests at the
+// coalesced one, and asserts every response's bytes equal the
+// uncoalesced daemon's — the "changes no response bytes" contract.
+// Also exercised: duplicate seeds within a gather, the "coalesced"
+// header outcome, and the per-seed cache fill (a repeat is a "hit").
+func TestPPRCoalescing(t *testing.T) {
+	// A window comfortably longer than the burst takes to launch, so
+	// every request reliably lands in one gather.
+	_, tsCo, _ := testServer(t, Config{CoalesceWindow: 100 * time.Millisecond})
+	_, tsPlain, _ := testServer(t, Config{})
+
+	seeds := []int{0, 5, 11, 23, 42, 5} // 5 twice: dedup inside the gather
+	plain := make([][]byte, len(seeds))
+	for i, seed := range seeds {
+		status, body, _ := postWire(t, tsPlain.URL+"/v1/graphs/ring/ppr", api.PPRRequest{Seeds: []int{seed}, Sweep: true})
+		if status != http.StatusOK {
+			t.Fatalf("plain seed %d: status %d: %s", seed, status, body)
+		}
+		plain[i] = body
+	}
+
+	type reply struct {
+		status  int
+		body    []byte
+		outcome string
+	}
+	replies := make([]reply, len(seeds))
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i, seed := range seeds {
+		done.Add(1)
+		go func(i, seed int) {
+			defer done.Done()
+			start.Wait()
+			status, body, hdr := postWire(t, tsCo.URL+"/v1/graphs/ring/ppr", api.PPRRequest{Seeds: []int{seed}, Sweep: true})
+			replies[i] = reply{status, body, hdr.Get("X-Graphd-Cache")}
+		}(i, seed)
+	}
+	start.Done()
+	done.Wait()
+
+	coalesced := 0
+	for i, seed := range seeds {
+		if replies[i].status != http.StatusOK {
+			t.Fatalf("coalesced seed %d: status %d: %s", seed, replies[i].status, replies[i].body)
+		}
+		if !bytes.Equal(replies[i].body, plain[i]) {
+			t.Fatalf("seed %d: coalesced bytes differ from plain:\n%s\nvs\n%s", seed, replies[i].body, plain[i])
+		}
+		if replies[i].outcome == "coalesced" {
+			coalesced++
+		}
+	}
+	if coalesced == 0 {
+		t.Fatal("no request reported the coalesced outcome despite a concurrent burst inside one window")
+	}
+
+	// The gather filled each seed's single-seed cache slot.
+	_, _, hdr := postWire(t, tsCo.URL+"/v1/graphs/ring/ppr", api.PPRRequest{Seeds: []int{seeds[0]}, Sweep: true})
+	if got := hdr.Get("X-Graphd-Cache"); got != "hit" {
+		t.Fatalf("repeat after coalesced round: X-Graphd-Cache %q, want hit", got)
+	}
+
+	// An out-of-range seed takes the solo path and errors like the
+	// uncoalesced daemon — its gather-mates are unaffected (checked
+	// above, this checks the error).
+	stCo, bodyCo, _ := postWire(t, tsCo.URL+"/v1/graphs/ring/ppr", api.PPRRequest{Seeds: []int{1 << 20}})
+	stPl, bodyPl, _ := postWire(t, tsPlain.URL+"/v1/graphs/ring/ppr", api.PPRRequest{Seeds: []int{1 << 20}})
+	if stCo != stPl || !bytes.Equal(bodyCo, bodyPl) {
+		t.Fatalf("out-of-range seed: coalesced (%d, %s) != plain (%d, %s)", stCo, bodyCo, stPl, bodyPl)
+	}
+}
+
+// TestPPRCoalescingRace hammers one coalescing daemon from many
+// goroutines across several rounds — overlapping gathers, cache hits,
+// window firings and size-cap interleavings — asserting only
+// self-consistency (every reply equals every other reply for the same
+// seed). Run under -race this is the coalescer's data-race probe.
+func TestPPRCoalescingRace(t *testing.T) {
+	_, ts, _ := testServer(t, Config{CoalesceWindow: time.Millisecond})
+	const rounds, workers = 4, 12
+	for round := 0; round < rounds; round++ {
+		bodies := make([][]byte, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				seed := w % 5 // heavy seed collision on purpose
+				status, body, _ := postWire(t, ts.URL+"/v1/graphs/ring/ppr", api.PPRRequest{Seeds: []int{seed}})
+				if status != http.StatusOK {
+					body = []byte(fmt.Sprintf("status %d: %s", status, body))
+				}
+				bodies[w] = body
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			if !bytes.Equal(bodies[w], bodies[w%5]) {
+				t.Fatalf("round %d: seed %d replies diverge:\n%s\nvs\n%s", round, w%5, bodies[w], bodies[w%5])
+			}
+		}
+	}
+}

@@ -227,8 +227,39 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	// With coalescing on, concurrent single-seed requests gather into
+	// one kernel batch pass; multi-seed seed *sets* stay on the
+	// ordinary path (their diffusion is one computation already).
+	if s.cfg.CoalesceWindow > 0 && len(req.Seeds) == 1 {
+		s.servePPRCoalesced(w, r, req)
+		return
+	}
 	s.serveCached(w, r, "ppr", mustParams(req), func(ctx context.Context, q queryView) (any, *api.WorkStats, error) {
 		return execPPR(q.g, q.pool, req)
+	})
+}
+
+// handlePPRBatch serves K independent single-seed pushes in one
+// request on the kernel batch engine. When the coalescer is enabled it
+// shares the same engine path, so batch requests and gathered
+// single-seed requests are literally the same computation.
+func (s *Server) handlePPRBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.PPRBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.serveCached(w, r, "ppr:batch", mustParams(req), func(ctx context.Context, q queryView) (any, *api.WorkStats, error) {
+		return execPPRBatch(ctx, q.g, q.pool, req)
+	})
+}
+
+func (s *Server) handleLocalClusterBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.LocalClusterBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.serveCached(w, r, "localcluster:batch", mustParams(req), func(ctx context.Context, q queryView) (any, *api.WorkStats, error) {
+		return execLocalClusterBatch(ctx, q.g, q.pool, req)
 	})
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/diffusion"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/gstore"
 	"repro/internal/kernel"
 	"repro/internal/local"
+	"repro/internal/partition"
 	"repro/pkg/api"
 )
 
@@ -139,6 +141,123 @@ func execLocalCluster(g gstore.Graph, pool *kernel.Pool, req api.LocalClusterReq
 		Volume:      gstore.VolumeOfSet(g, sw.Set),
 		Support:     support,
 	}, work, nil
+}
+
+// aggregateBatchWork folds per-seed kernel stats into the ?debug=work
+// view of a batch: sums over the additive counters, maxima over the
+// locality measures.
+func aggregateBatchWork(method string, sts []kernel.Stats) *api.WorkStats {
+	var agg kernel.Stats
+	for _, st := range sts {
+		agg.Pushes += st.Pushes
+		agg.WorkVolume += st.WorkVolume
+		if st.Steps > agg.Steps {
+			agg.Steps = st.Steps
+		}
+		if st.Terms > agg.Terms {
+			agg.Terms = st.Terms
+		}
+		if st.MaxSupport > agg.MaxSupport {
+			agg.MaxSupport = st.MaxSupport
+		}
+	}
+	return workFromStats(method, agg)
+}
+
+// execPPRBatch answers a batched PPR query on the kernel batch engine:
+// one push per seed, diffused in cache blocks over pooled workspaces.
+// Each per-seed result carries exactly the numbers the single-seed
+// endpoint would return for that seed; any seed failing (out of range,
+// unsweepable support) fails the whole batch, mirroring the
+// single-seed error surface.
+func execPPRBatch(ctx context.Context, g gstore.Graph, pool *kernel.Pool, req api.PPRBatchRequest) (*api.PPRBatchResponse, *api.WorkStats, error) {
+	out := &api.PPRBatchResponse{Results: make([]api.PPRBatchResult, len(req.Seeds))}
+	bd := kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: req.Alpha, Eps: req.Eps}}
+	sts, err := bd.Run(ctx, g, pool, req.Seeds, func(i int, ws *kernel.Workspace, st kernel.Stats) error {
+		res := api.PPRBatchResult{
+			Seed:    req.Seeds[i],
+			Support: ws.PSupport(), Sum: ws.PSum(),
+			Pushes: st.Pushes, WorkVolume: st.WorkVolume,
+			Top: topMassesWorkspace(ws, req.TopK),
+		}
+		if req.Sweep {
+			sw, err := local.WorkspaceSweepCut(g, ws)
+			if err != nil {
+				return storeErrf(ErrBadInput, "seed %d: ppr produced no sweepable support (eps too large?): %v", req.Seeds[i], err)
+			}
+			res.Sweep = &api.SweepInfo{
+				Set: sw.Set, Size: len(sw.Set),
+				Conductance: sw.Conductance, Prefix: sw.Prefix,
+			}
+		}
+		out.Results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, st := range sts {
+		out.TotalWork += st.WorkVolume
+	}
+	return out, aggregateBatchWork("push-batch", sts), nil
+}
+
+// execLocalClusterBatch is execLocalCluster over one seed per entry,
+// on the kernel batch engine.
+func execLocalClusterBatch(ctx context.Context, g gstore.Graph, pool *kernel.Pool, req api.LocalClusterBatchRequest) (*api.LocalClusterBatchResponse, *api.WorkStats, error) {
+	out := &api.LocalClusterBatchResponse{
+		Method:  req.Method,
+		Results: make([]api.LocalClusterBatchResult, len(req.Seeds)),
+	}
+	sweepResult := func(i, support int, set []int, conductance float64) {
+		out.Results[i] = api.LocalClusterBatchResult{
+			Seed: req.Seeds[i], Set: set, Size: len(set),
+			Conductance: conductance,
+			Volume:      gstore.VolumeOfSet(g, set),
+			Support:     support,
+		}
+	}
+	var (
+		sts []kernel.Stats
+		err error
+	)
+	switch req.Method {
+	case "ppr":
+		bd := kernel.BatchDiffuser{Method: kernel.PushACL{Alpha: req.Alpha, Eps: req.Eps}}
+		sts, err = bd.Run(ctx, g, pool, req.Seeds, func(i int, ws *kernel.Workspace, st kernel.Stats) error {
+			cut, err := local.WorkspaceSweepCut(g, ws)
+			if err != nil {
+				return storeErrf(ErrBadInput, "seed %d: ppr produced no sweepable support (eps too large?)", req.Seeds[i])
+			}
+			sweepResult(i, ws.PSupport(), cut.Set, cut.Conductance)
+			return nil
+		})
+	case "nibble":
+		var best []*partition.SweepResult
+		sts, best, err = local.NibbleBatch(ctx, g, pool, req.Seeds, req.Eps, req.Steps)
+		if err == nil {
+			for i, cut := range best {
+				if cut == nil {
+					return nil, nil, storeErrf(ErrBadInput, "seed %d: nibble found no cut (eps too large or too few steps)", req.Seeds[i])
+				}
+				sweepResult(i, sts[i].MaxSupport, cut.Set, cut.Conductance)
+			}
+		}
+	case "heat":
+		bd := kernel.BatchDiffuser{Method: kernel.HeatKernel{T: req.T, Eps: req.Eps}}
+		sts, err = bd.Run(ctx, g, pool, req.Seeds, func(i int, ws *kernel.Workspace, st kernel.Stats) error {
+			cut, err := local.WorkspaceSweepCut(g, ws)
+			if err != nil {
+				return storeErrf(ErrBadInput, "seed %d: heat kernel produced no sweepable support (eps too large?)", req.Seeds[i])
+			}
+			sweepResult(i, st.MaxSupport, cut.Set, cut.Conductance)
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, aggregateBatchWork(req.Method+"-batch", sts), nil
 }
 
 func execDiffuse(g *graph.Graph, req api.DiffuseRequest) (*api.DiffuseResponse, *api.WorkStats, error) {

@@ -28,6 +28,16 @@ type Config struct {
 	// QueryTimeout is the default per-request deadline for synchronous
 	// queries, overridable per request with ?timeout_ms= (default 30s).
 	QueryTimeout time.Duration
+	// CoalesceWindow, when positive, merges concurrent single-seed ppr
+	// requests that share a graph and parameters (but differ in seed)
+	// into one kernel batch pass: the first such request opens a gather
+	// window of this duration, requests arriving inside it join the
+	// batch, and each caller receives exactly the bytes the uncoalesced
+	// path would have produced, with per-seed cache fills and query
+	// histograms. Zero (the default) disables coalescing. ~200µs is a
+	// good starting point: long enough to catch a fan-out burst, short
+	// enough to be invisible next to a push.
+	CoalesceWindow time.Duration
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
 	// AccessLog receives one structured record per served request
@@ -88,6 +98,7 @@ type Server struct {
 	trace     *QueryTrace
 	accessLog *slog.Logger
 	flights   flightGroup
+	coalesce  coalescer
 	handler   http.Handler
 	started   time.Time
 
@@ -141,6 +152,7 @@ func NewServer(cfg Config) (*Server, error) {
 		started:   time.Now(),
 		ridPrefix: newRIDPrefix(),
 	}
+	s.coalesce.gathers = make(map[string]*coalesceGather)
 	if !c.DisableTelemetry && c.TraceBuffer >= 0 {
 		n := c.TraceBuffer
 		if n == 0 {
@@ -220,7 +232,9 @@ func (s *Server) routes() *http.ServeMux {
 
 	mux.HandleFunc("GET /v1/graphs/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
+	mux.HandleFunc("POST /v1/graphs/{name}/ppr:batch", s.handlePPRBatch)
 	mux.HandleFunc("POST /v1/graphs/{name}/localcluster", s.handleLocalCluster)
+	mux.HandleFunc("POST /v1/graphs/{name}/localcluster:batch", s.handleLocalClusterBatch)
 	mux.HandleFunc("POST /v1/graphs/{name}/diffuse", s.handleDiffuse)
 	mux.HandleFunc("POST /v1/graphs/{name}/sweepcut", s.handleSweepCut)
 

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -48,15 +49,22 @@ type BatchPPRResult struct {
 
 // BatchPersonalizedPageRank computes approximate Personalized PageRank
 // vectors for many sources concurrently, the all-pairs primitive of
-// reference [5] ("fast personalized PageRank on MapReduce"). The shared
-// par.ForEach pool over source indices stands in for the MapReduce
-// cluster: the per-source computation (one ACL push) is embarrassingly
-// parallel and touches only O(1/(ε·α)) volume, so the aggregate cost is
-// linear in the number of sources, independent of n.
+// reference [5] ("fast personalized PageRank on MapReduce"). It is a
+// thin veneer over kernel.BatchDiffuser — the repo's single batch code
+// path — which blocks sources against shared CSR row windows and runs
+// blocks across par workers; the per-source computation (one ACL push)
+// touches only O(1/(ε·α)) volume, so the aggregate cost is linear in
+// the number of sources, independent of n.
 //
 // The output is deterministic: identical to running the push sequentially
-// per source, whatever the worker count.
+// per source, whatever the worker count or block schedule.
 func BatchPersonalizedPageRank(g *graph.Graph, sources []int, opt BatchPPROptions) (*BatchPPRResult, error) {
+	return BatchPersonalizedPageRankCtx(context.Background(), g, sources, opt)
+}
+
+// BatchPersonalizedPageRankCtx is BatchPersonalizedPageRank with
+// cooperative cancellation between seed blocks.
+func BatchPersonalizedPageRankCtx(ctx context.Context, g *graph.Graph, sources []int, opt BatchPPROptions) (*BatchPPRResult, error) {
 	opt = opt.withDefaults()
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("stream: no sources")
@@ -71,24 +79,22 @@ func BatchPersonalizedPageRank(g *graph.Graph, sources []int, opt BatchPPROption
 		Vectors: make([]local.SparseVec, len(sources)),
 		Sources: append([]int(nil), sources...),
 	}
-	// Per-source pushes run on kernel workspaces shared through one
-	// pool, so a batch over thousands of sources keeps at most Workers
-	// workspaces live; only the returned per-source snapshots allocate.
+	// The engine pools the workspaces, so a batch over thousands of
+	// sources keeps at most Workers·Block workspaces live; only the
+	// returned per-source snapshots allocate.
 	work := make([]float64, len(sources))
 	pool := kernel.NewPool(g.N())
-	err := par.ForEach(opt.Workers, len(sources), func(i int) error {
-		ws := pool.Get()
-		defer pool.Put(ws)
-		st, err := kernel.PushACL{Alpha: opt.Alpha, Eps: opt.Eps}.Diffuse(gstore.Wrap(g), ws, []int{sources[i]})
-		if err != nil {
-			return fmt.Errorf("stream: source %d: %w", sources[i], err)
-		}
+	bd := kernel.BatchDiffuser{
+		Method:  kernel.PushACL{Alpha: opt.Alpha, Eps: opt.Eps},
+		Workers: opt.Workers,
+	}
+	_, err := bd.Run(ctx, gstore.Wrap(g), pool, sources, func(i int, ws *kernel.Workspace, st kernel.Stats) error {
 		res.Vectors[i] = local.FromWorkspaceP(ws)
 		work[i] = st.WorkVolume
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("stream: batch ppr: %w", err)
 	}
 	for _, w := range work {
 		res.TotalWork += w

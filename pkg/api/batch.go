@@ -1,0 +1,175 @@
+package api
+
+import "math"
+
+// Batch queries run one independent single-seed diffusion per entry of
+// Seeds — unlike PPRRequest.Seeds, which is one seed *set* for one
+// diffusion — on the kernel's cache-blocked batch engine. Every
+// per-seed result is byte-identical to the corresponding single-seed
+// endpoint's reply for `{"seeds":[s]}` with the same parameters; the
+// batch merely amortizes graph traversal and per-request overhead.
+
+// MaxBatchSeeds bounds the number of diffusions one batch request may
+// carry; larger fan-outs should be split client-side so a single
+// request cannot monopolize the query workers.
+const MaxBatchSeeds = 1024
+
+// PPRBatchRequest parameterizes the batched ACL push endpoint
+// (POST /v1/graphs/{name}/ppr:batch).
+type PPRBatchRequest struct {
+	// Seeds holds one seed per diffusion: K entries → K independent
+	// single-seed PPR vectors. Duplicates are allowed and produce
+	// identical results.
+	Seeds []int   `json:"seeds"`
+	Alpha float64 `json:"alpha"`
+	Eps   float64 `json:"eps"`
+	TopK  int     `json:"topk,omitempty"`
+	Sweep bool    `json:"sweep,omitempty"`
+}
+
+// Normalize defaults Alpha to 0.15, Eps to 1e-4 and TopK to 100 — the
+// single-seed PPR defaults, so a batched seed answers exactly like a
+// lone one.
+func (r *PPRBatchRequest) Normalize() {
+	if r.Alpha == 0 {
+		r.Alpha = 0.15
+	}
+	if r.Eps == 0 {
+		r.Eps = 1e-4
+	}
+	if r.TopK == 0 {
+		r.TopK = 100
+	}
+}
+
+func (r *PPRBatchRequest) Validate() error {
+	if err := validSeeds(r.Seeds); err != nil {
+		return err
+	}
+	if len(r.Seeds) > MaxBatchSeeds {
+		return Errorf(CodeInvalidArgument, "batch of %d seeds exceeds the %d-seed limit", len(r.Seeds), MaxBatchSeeds)
+	}
+	if r.Alpha <= 0 || r.Alpha >= 1 {
+		return Errorf(CodeInvalidArgument, "alpha=%v outside (0,1)", r.Alpha)
+	}
+	if r.Eps <= 0 || math.IsNaN(r.Eps) {
+		return Errorf(CodeInvalidArgument, "eps=%v must be positive", r.Eps)
+	}
+	if r.TopK < 0 {
+		return Errorf(CodeInvalidArgument, "topk=%d must be >= 0", r.TopK)
+	}
+	return nil
+}
+
+// PPRBatchResult is one seed's slice of a batch reply; its fields
+// mirror PPRResponse for the single-seed request {"seeds":[seed]}.
+type PPRBatchResult struct {
+	Seed       int        `json:"seed"`
+	Support    int        `json:"support"`
+	Sum        float64    `json:"sum"`
+	Pushes     int        `json:"pushes"`
+	WorkVolume float64    `json:"work_volume"`
+	Top        []NodeMass `json:"top"`
+	Sweep      *SweepInfo `json:"sweep,omitempty"`
+}
+
+// PPRBatchResponse is the batched PPR endpoint's reply: one result per
+// requested seed, in request order.
+type PPRBatchResponse struct {
+	Results []PPRBatchResult `json:"results"`
+	// TotalWork is Σ deg(u) over push operations across all seeds.
+	TotalWork float64 `json:"total_work"`
+	// Work aggregates the kernel's work accounting across the batch
+	// when the request asked for it with ?debug=work.
+	Work *WorkStats `json:"work,omitempty"`
+}
+
+// SetWork implements WorkCarrier.
+func (r *PPRBatchResponse) SetWork(w *WorkStats) { r.Work = w }
+
+// LocalClusterBatchRequest parameterizes the batched local-cluster
+// endpoint (POST /v1/graphs/{name}/localcluster:batch). Method and the
+// budget knobs are shared by every seed.
+type LocalClusterBatchRequest struct {
+	// Method is "ppr" (default), "nibble" or "heat".
+	Method string `json:"method,omitempty"`
+	// Seeds holds one seed per clustering: K entries → K independent
+	// single-seed local clusters.
+	Seeds []int   `json:"seeds"`
+	Alpha float64 `json:"alpha,omitempty"` // ppr teleportation
+	Eps   float64 `json:"eps,omitempty"`   // truncation threshold (all methods)
+	Steps int     `json:"steps,omitempty"` // nibble walk steps
+	T     float64 `json:"t,omitempty"`     // heat-kernel time
+}
+
+// Normalize applies the single-seed localcluster defaults: Method
+// "ppr", Alpha 0.15, Eps 1e-4, Steps 20, T 5.
+func (r *LocalClusterBatchRequest) Normalize() {
+	if r.Method == "" {
+		r.Method = "ppr"
+	}
+	if r.Alpha == 0 {
+		r.Alpha = 0.15
+	}
+	if r.Eps == 0 {
+		r.Eps = 1e-4
+	}
+	if r.Steps == 0 {
+		r.Steps = 20
+	}
+	if r.T == 0 {
+		r.T = 5
+	}
+}
+
+func (r *LocalClusterBatchRequest) Validate() error {
+	switch r.Method {
+	case "ppr", "nibble", "heat":
+	default:
+		return Errorf(CodeInvalidArgument, "method must be ppr|nibble|heat, got %q", r.Method).
+			WithDetail("methods", LocalClusterMethods)
+	}
+	if err := validSeeds(r.Seeds); err != nil {
+		return err
+	}
+	if len(r.Seeds) > MaxBatchSeeds {
+		return Errorf(CodeInvalidArgument, "batch of %d seeds exceeds the %d-seed limit", len(r.Seeds), MaxBatchSeeds)
+	}
+	if r.Alpha <= 0 || r.Alpha >= 1 {
+		return Errorf(CodeInvalidArgument, "alpha=%v outside (0,1)", r.Alpha)
+	}
+	if r.Eps <= 0 || math.IsNaN(r.Eps) {
+		return Errorf(CodeInvalidArgument, "eps=%v must be positive", r.Eps)
+	}
+	if r.Steps < 1 {
+		return Errorf(CodeInvalidArgument, "steps=%d must be >= 1", r.Steps)
+	}
+	if r.T <= 0 || math.IsNaN(r.T) || math.IsInf(r.T, 0) {
+		return Errorf(CodeInvalidArgument, "t=%v must be positive and finite", r.T)
+	}
+	return nil
+}
+
+// LocalClusterBatchResult is one seed's cluster; its fields mirror
+// LocalClusterResponse for the single-seed request {"seeds":[seed]}.
+type LocalClusterBatchResult struct {
+	Seed        int     `json:"seed"`
+	Set         []int   `json:"set"`
+	Size        int     `json:"size"`
+	Conductance float64 `json:"conductance"`
+	Volume      float64 `json:"volume"`
+	Support     int     `json:"support"`
+}
+
+// LocalClusterBatchResponse is the batched local-cluster endpoint's
+// reply: one result per requested seed, in request order.
+type LocalClusterBatchResponse struct {
+	Method  string                    `json:"method"`
+	Results []LocalClusterBatchResult `json:"results"`
+	// Work aggregates the kernel's work accounting across the batch
+	// when the request asked for it with ?debug=work.
+	Work *WorkStats `json:"work,omitempty"`
+}
+
+// SetWork implements WorkCarrier.
+func (r *LocalClusterBatchResponse) SetWork(w *WorkStats) { r.Work = w }

@@ -252,12 +252,34 @@ func (s *GraphsService) PPR(ctx context.Context, name string, req api.PPRRequest
 	return out, err
 }
 
+// PPRBatch runs one independent single-seed PPR push per entry of
+// req.Seeds in a single request, batched on the server's kernel batch
+// engine. Each per-seed result is byte-identical to what PPR would
+// return for {"seeds":[s]} with the same parameters. Pass
+// WithWorkStats() to receive the aggregated work accounting in
+// out.Work.
+func (s *GraphsService) PPRBatch(ctx context.Context, name string, req api.PPRBatchRequest, opts ...QueryOption) (api.PPRBatchResponse, error) {
+	var out api.PPRBatchResponse
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "ppr:batch"), s.c.queryValuesOpts(opts), &req, &out)
+	return out, err
+}
+
 // LocalCluster runs one of the strongly-local clustering methods
 // (ppr, nibble, heat) around the seed set. Pass WithWorkStats() to
 // receive the kernel work accounting in out.Work.
 func (s *GraphsService) LocalCluster(ctx context.Context, name string, req api.LocalClusterRequest, opts ...QueryOption) (api.LocalClusterResponse, error) {
 	var out api.LocalClusterResponse
 	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "localcluster"), s.c.queryValuesOpts(opts), &req, &out)
+	return out, err
+}
+
+// LocalClusterBatch runs one independent single-seed local clustering
+// per entry of req.Seeds (method and budget knobs shared), batched on
+// the server's kernel batch engine. Pass WithWorkStats() to receive
+// the aggregated work accounting in out.Work.
+func (s *GraphsService) LocalClusterBatch(ctx context.Context, name string, req api.LocalClusterBatchRequest, opts ...QueryOption) (api.LocalClusterBatchResponse, error) {
+	var out api.LocalClusterBatchResponse
+	err := s.c.doJSON(ctx, http.MethodPost, v1("graphs", name, "localcluster:batch"), s.c.queryValuesOpts(opts), &req, &out)
 	return out, err
 }
 

@@ -288,8 +288,11 @@ func NewIncrementalPPR(g *DynamicGraph, seed int, gamma float64, walks int, rng 
 	return stream.NewIncrementalPPR(g, seed, gamma, walks, rng)
 }
 
-// BatchPersonalizedPageRank computes PPR vectors for many sources with a
-// worker pool (reference [5]).
+// BatchPersonalizedPageRank computes PPR vectors for many sources
+// (reference [5]). It runs on the kernel's cache-blocked batch engine
+// (kernel.BatchDiffuser) via stream.BatchPersonalizedPageRank — the
+// single batch code path shared with graphd's ppr:batch endpoint —
+// and its output is byte-identical to sequential per-source pushes.
 func BatchPersonalizedPageRank(g *Graph, sources []int, workers int) (*stream.BatchPPRResult, error) {
 	return stream.BatchPersonalizedPageRank(g, sources, stream.BatchPPROptions{Workers: workers})
 }
